@@ -1,0 +1,36 @@
+# Benchmark harnesses: one binary per paper table/figure, plus
+# google-benchmark micro-benches of the simulator substrate. Included from
+# the TOP-LEVEL CMakeLists (not add_subdirectory) so ${CMAKE_BINARY_DIR}/bench
+# holds only runnable binaries: `for b in build/bench/*; do $b; done`.
+
+set(PCS_BENCHES
+  fig2_ber
+  fig3_power_capacity
+  fig3_leakage
+  fig3_yield
+  fig4_simulation
+  table1_params
+  table2_configs
+  table_area
+  ablation_nlevels
+  ablation_policy
+  ablation_vdd1floor
+  ext_multicore
+  ext_nlevels_dpcs
+  ext_system_energy
+  ext_ecc_supplement
+  ext_leakage_schemes)
+
+foreach(b IN LISTS PCS_BENCHES)
+  add_executable(bench_${b} bench/${b}.cpp)
+  target_link_libraries(bench_${b} PRIVATE pcs)
+  set_target_properties(bench_${b} PROPERTIES
+    OUTPUT_NAME ${b}
+    RUNTIME_OUTPUT_DIRECTORY ${CMAKE_BINARY_DIR}/bench)
+endforeach()
+
+add_executable(bench_micro_simulator bench/micro_simulator.cpp)
+target_link_libraries(bench_micro_simulator PRIVATE pcs benchmark::benchmark)
+set_target_properties(bench_micro_simulator PROPERTIES
+  OUTPUT_NAME micro_simulator
+  RUNTIME_OUTPUT_DIRECTORY ${CMAKE_BINARY_DIR}/bench)

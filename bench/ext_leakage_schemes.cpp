@@ -1,0 +1,91 @@
+// EXT-LEAK: PCS vs the classic leakage techniques it builds on (paper
+// section 2): Drowsy Cache and Gated-Vdd.
+//
+// Reproduces the paper's qualitative argument quantitatively:
+//  * Drowsy keeps full capacity but its retention voltage is pinned by
+//    process variation (hold failures are silent -- no fault map), so its
+//    savings saturate well above where PCS operates;
+//  * Gated-Vdd saves aggressively but destroys state block by block;
+//  * PCS combines voltage scaling with gating of only the blocks that are
+//    faulty anyway, reaching lower power at comparable usefulness.
+#include <iostream>
+
+#include "baselines/drowsy.hpp"
+#include "cachemodel/cache_power_model.hpp"
+#include "fault/yield_model.hpp"
+#include "util/table.hpp"
+
+using namespace pcs;
+
+int main() {
+  const auto tech = Technology::soi45();
+  const CacheOrg org{2 * 1024 * 1024, 8, 64, 31};  // L2 Config A
+  BerModel ber(tech);
+  YieldModel ym(ber, org);
+  DrowsyCacheModel drowsy(tech, org, ber);
+  GatedVddModel gated(tech, org);
+  CachePowerModel pcs_model(tech, org, MechanismSpec::pcs(3));
+
+  const Watt base = pcs_model.baseline_static_power();
+
+  std::cout << "== EXT-LEAK: static power of the leakage schemes "
+               "(L2 Config A, 2 MB) ==\n\n";
+
+  const Volt v_safe = drowsy.safe_retention_vdd();
+  std::cout << "drowsy safe retention voltage (variation-limited, <0.01 "
+               "corrupted cells expected): "
+            << fmt_fixed(v_safe, 2) << " V\n\n";
+
+  TextTable t({"scheme", "operating point", "static power", "vs baseline",
+               "state", "capacity"});
+  t.add_row({"baseline", "1.00 V", fmt_watts(base), "100.0%", "kept",
+             "100%"});
+  for (double f : {0.5, 0.9}) {
+    t.add_row({"drowsy", fmt_pct(f, 0) + " lines @ " + fmt_fixed(v_safe, 2) +
+                             " V",
+               fmt_watts(drowsy.static_power(f, v_safe)),
+               fmt_pct(drowsy.static_power(f, v_safe) / base, 1), "kept",
+               "100%"});
+  }
+  for (double f : {0.25, 0.5}) {
+    t.add_row({"gated-vdd", fmt_pct(f, 0) + " blocks off",
+               fmt_watts(gated.static_power(f)),
+               fmt_pct(gated.static_power(f) / base, 1), "lost on gated",
+               fmt_pct(1.0 - f, 0)});
+  }
+  {
+    const Volt v2 = ym.min_vdd_for_capacity(0.99, 0.99, tech.vdd_floor,
+                                            tech.vdd_nominal, tech.vdd_step);
+    const double g2 = ym.block_fail_prob(v2);
+    t.add_row({"PCS (SPCS point)", fmt_fixed(v2, 2) + " V + gate faulty",
+               fmt_watts(pcs_model.static_power(v2, g2).total()),
+               fmt_pct(pcs_model.static_power(v2, g2).total() / base, 1),
+               "kept on live blocks", fmt_pct(1.0 - g2, 1)});
+    const Volt v1 = ym.min_vdd_for_capacity(0.90, 0.99, tech.vdd_floor,
+                                            tech.vdd_nominal, tech.vdd_step);
+    const double g1 = ym.block_fail_prob(v1);
+    t.add_row({"PCS (VDD1)", fmt_fixed(v1, 2) + " V + gate faulty",
+               fmt_watts(pcs_model.static_power(v1, g1).total()),
+               fmt_pct(pcs_model.static_power(v1, g1).total() / base, 1),
+               "kept on live blocks", fmt_pct(1.0 - g1, 1)});
+  }
+  t.print(std::cout);
+
+  std::cout << "\nsensitivity: the drowsy retention floor under wider "
+               "variation --\n\n";
+  TextTable v({"sigma multiplier", "safe retention VDD",
+               "drowsy power (90% lines)"});
+  for (double mult : {0.5, 1.0, 1.15, 1.3}) {
+    BerModel wider(ber.mu(), ber.sigma() * mult);
+    DrowsyCacheModel d(tech, org, wider);
+    const Volt vr = d.safe_retention_vdd();
+    v.add_row({fmt_fixed(mult, 2), fmt_fixed(vr, 2) + " V",
+               fmt_watts(d.static_power(0.9, vr))});
+  }
+  v.print(std::cout);
+
+  std::cout << "\nreading: variation pushes the drowsy floor up (the paper's "
+               "critique of [9]); PCS keeps\nscaling because its fault map "
+               "makes low-voltage failures explicit instead of silent.\n";
+  return 0;
+}

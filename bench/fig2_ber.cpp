@@ -1,0 +1,36 @@
+// FIG2: SRAM bit error rate vs data-array VDD (paper Fig. 2).
+//
+// Regenerates the BER curve from the Wang-Calhoun-style noise-margin model,
+// in the paper's 10 mV grid. Paper shape: ~1e-9 near 1.0 V rising
+// exponentially toward ~1e-4 at the minimum voltages of interest.
+#include <iostream>
+
+#include "fault/ber_model.hpp"
+#include "tech/technology.hpp"
+#include "util/table.hpp"
+
+using namespace pcs;
+
+int main() {
+  const auto tech = Technology::soi45();
+  const BerModel ber(tech);
+
+  std::cout << "== FIG2: SRAM bit error rates (BER) vs VDD ==\n"
+            << "model: P[cell faulty at V] = Q((V - mu)/sigma), mu = "
+            << fmt_fixed(ber.mu(), 4) << " V, sigma = "
+            << fmt_fixed(ber.sigma(), 4) << " V\n\n";
+
+  TextTable t({"VDD (V)", "BER", "BER (worst corner)"});
+  const BerModel worst(Technology::soi45_worst_corner());
+  for (Volt v = 1.0; v >= 0.499; v -= 0.02) {
+    t.add_row({fmt_fixed(v, 2), fmt_sci(ber.ber(v), 3),
+               fmt_sci(worst.ber(v), 3)});
+  }
+  t.print(std::cout);
+
+  std::cout << "\npaper anchor points: BER(1.0 V) ~ 1e-9, BER at min-VDD "
+               "range (0.5-0.6 V) ~ 1e-4..1e-3\n"
+            << "measured: BER(1.0 V) = " << fmt_sci(ber.ber(1.0), 2)
+            << ", BER(0.55 V) = " << fmt_sci(ber.ber(0.55), 2) << "\n";
+  return 0;
+}

@@ -1,0 +1,116 @@
+// Micro-benchmarks of the simulator substrate (google-benchmark): raw cache
+// access throughput, trace generation, fault-field sampling, fault-map
+// construction, and the transition procedure. These guard the fig4 sweep's
+// wall-clock budget against regressions.
+#include <benchmark/benchmark.h>
+
+#include "cache/cache_level.hpp"
+#include "cache/hierarchy.hpp"
+#include "core/mechanism.hpp"
+#include "core/vdd_levels.hpp"
+#include "fault/bist.hpp"
+#include "fault/cell_fault_field.hpp"
+#include "fault/fault_map.hpp"
+#include "tech/technology.hpp"
+#include "util/rng.hpp"
+#include "workload/spec_profiles.hpp"
+
+namespace {
+
+using namespace pcs;
+
+void BM_CacheLevelAccess(benchmark::State& state) {
+  CacheLevel cache("l1", CacheOrg{64 * 1024, 4, 64, 31}, 2);
+  Rng rng(1);
+  for (auto _ : state) {
+    const u64 addr = rng.uniform_int(256 * 1024) & ~63ULL;
+    benchmark::DoNotOptimize(cache.access(addr, (addr & 64) != 0));
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_CacheLevelAccess);
+
+void BM_HierarchyAccess(benchmark::State& state) {
+  HierarchyConfig cfg;
+  cfg.l1d = {64 * 1024, 4, 64, 31};
+  cfg.l1i = {64 * 1024, 4, 64, 31};
+  cfg.l2 = {2 * 1024 * 1024, 8, 64, 31};
+  Hierarchy hier(cfg);
+  Rng rng(2);
+  for (auto _ : state) {
+    const MemRef ref{rng.uniform_int(8 * 1024 * 1024), false, false};
+    benchmark::DoNotOptimize(hier.access(ref));
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_HierarchyAccess);
+
+void BM_TraceGeneration(benchmark::State& state) {
+  auto trace = make_spec_trace("gcc", 7);
+  TraceEvent e;
+  for (auto _ : state) {
+    trace->next(e);
+    benchmark::DoNotOptimize(e);
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_TraceGeneration);
+
+void BM_FaultFieldSampling(benchmark::State& state) {
+  const BerModel ber(Technology::soi45());
+  const u64 blocks = static_cast<u64>(state.range(0));
+  Rng rng(3);
+  for (auto _ : state) {
+    auto field = CellFaultField::sample_fast(ber, blocks, 512, rng);
+    benchmark::DoNotOptimize(field);
+  }
+  state.SetItemsProcessed(state.iterations() * static_cast<i64>(blocks));
+}
+BENCHMARK(BM_FaultFieldSampling)->Arg(1024)->Arg(32768);
+
+void BM_FaultMapBuild(benchmark::State& state) {
+  const BerModel ber(Technology::soi45());
+  Rng rng(4);
+  const auto field = CellFaultField::sample_fast(ber, 32768, 512, rng);
+  for (auto _ : state) {
+    FaultMap map({0.58, 0.71, 1.0}, field);
+    benchmark::DoNotOptimize(map);
+  }
+}
+BENCHMARK(BM_FaultMapBuild);
+
+void BM_TransitionProcedure(benchmark::State& state) {
+  const auto tech = Technology::soi45();
+  const CacheOrg org{2 * 1024 * 1024, 8, 64, 31};
+  BerModel ber(tech);
+  VddSelector sel(tech, ber, org);
+  const auto ladder = sel.select({});
+  Rng rng(5);
+  const auto field = CellFaultField::sample_fast(ber, org.num_blocks(),
+                                                 org.bits_per_block(), rng);
+  CacheLevel cache("l2", org, 4);
+  PcsMechanism mech(cache, FaultMap(ladder.levels, field), ladder,
+                    ladder.spcs_level, 40);
+  u32 target = 1;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(mech.transition(target));
+    target = target == 1 ? ladder.spcs_level : 1;
+  }
+}
+BENCHMARK(BM_TransitionProcedure);
+
+void BM_MarchSsBist(benchmark::State& state) {
+  const BerModel ber(Technology::soi45());
+  Rng rng(6);
+  SramArraySim sram(ber, 64 * 1024, rng);
+  sram.set_vdd(0.6);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(march_ss(sram));
+  }
+  state.SetItemsProcessed(state.iterations() * 64 * 1024);
+}
+BENCHMARK(BM_MarchSsBist);
+
+}  // namespace
+
+BENCHMARK_MAIN();

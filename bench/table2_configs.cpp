@@ -1,0 +1,89 @@
+// TAB2: system configurations A and B (paper Table 2), including the VDD
+// levels DERIVED by the selection procedure (the OCR of the paper garbled
+// several of these; the legible ones read VDD2 ~ 0.7 V, which the
+// procedure reproduces).
+#include <iostream>
+
+#include "core/system.hpp"
+#include "core/vdd_levels.hpp"
+#include "util/table.hpp"
+
+using namespace pcs;
+
+namespace {
+
+std::string org_str(const CacheOrg& o, u32 lat) {
+  const u64 kb = o.size_bytes / 1024;
+  std::string size = kb >= 1024 ? std::to_string(kb / 1024) + " MB"
+                                : std::to_string(kb) + " KB";
+  return size + " x" + std::to_string(o.assoc) + ", " + std::to_string(lat) +
+         " cyc";
+}
+
+}  // namespace
+
+int main() {
+  std::cout << "== TABLE 2: system configurations (VDD rows derived at "
+               "99% yield / 99% capacity) ==\n\n";
+
+  TextTable t({"parameter", "Config A", "Config B"});
+  const auto a = SystemConfig::config_a();
+  const auto b = SystemConfig::config_b();
+  t.add_row({"clock", fmt_fixed(a.clock_ghz, 1) + " GHz",
+             fmt_fixed(b.clock_ghz, 1) + " GHz"});
+  t.add_row({"L1 (each of I/D)", org_str(a.l1d.org, a.l1d.hit_latency),
+             org_str(b.l1d.org, b.l1d.hit_latency)});
+  t.add_row({"L2", org_str(a.l2.org, a.l2.hit_latency),
+             org_str(b.l2.org, b.l2.hit_latency)});
+  t.add_row({"VDD levels / FM bits+Faulty", "3 / 2+1", "3 / 2+1"});
+
+  // Derive the ladders exactly as PcsSystem does.
+  auto ladder_of = [](const SystemConfig& cfg, const CacheLevelConfig& lc) {
+    BerModel ber(cfg.tech);
+    VddSelector sel(cfg.tech, ber, lc.org);
+    VddSelectionParams p;
+    p.yield_target = cfg.yield_target;
+    p.capacity_target = cfg.capacity_target;
+    p.vdd1_capacity_floor = cfg.vdd1_capacity_floor;
+    p.num_levels = cfg.num_vdd_levels;
+    return sel.select(p);
+  };
+  const auto la1 = ladder_of(a, a.l1d), la2 = ladder_of(a, a.l2);
+  const auto lb1 = ladder_of(b, b.l1d), lb2 = ladder_of(b, b.l2);
+
+  auto vrow = [&](const char* name, Volt va, Volt vb) {
+    t.add_row({name, fmt_fixed(va, 2) + " V", fmt_fixed(vb, 2) + " V"});
+  };
+  vrow("L1 VDD3 (baseline)", la1.nominal(), lb1.nominal());
+  vrow("L1 VDD2 (SPCS & DPCS)", la1.spcs_vdd(), lb1.spcs_vdd());
+  vrow("L1 VDD1 (DPCS only)", la1.min_vdd(), lb1.min_vdd());
+  vrow("L2 VDD3 (baseline)", la2.nominal(), lb2.nominal());
+  vrow("L2 VDD2 (SPCS & DPCS)", la2.spcs_vdd(), lb2.spcs_vdd());
+  vrow("L2 VDD1 (DPCS only)", la2.min_vdd(), lb2.min_vdd());
+
+  t.add_row({"L1 Interval (accesses)", fmt_count(a.l1d.dpcs_interval),
+             fmt_count(b.l1d.dpcs_interval)});
+  t.add_row({"L2 Interval (accesses)", fmt_count(a.l2.dpcs_interval),
+             fmt_count(b.l2.dpcs_interval)});
+  t.add_row({"SuperInterval (L1 / L2)",
+             std::to_string(a.l1d.super_interval) + " / " +
+                 std::to_string(a.l2.super_interval),
+             std::to_string(b.l1d.super_interval) + " / " +
+                 std::to_string(b.l2.super_interval)});
+  t.add_row({"TransitionPenalty",
+             "2*sets + " + std::to_string(a.settle_penalty) + " cyc",
+             "2*sets + " + std::to_string(b.settle_penalty) + " cyc"});
+  t.add_row({"thresholds (LT/HT)",
+             fmt_fixed(a.low_threshold, 2) + " / " +
+                 fmt_fixed(a.high_threshold, 2),
+             fmt_fixed(b.low_threshold, 2) + " / " +
+                 fmt_fixed(b.high_threshold, 2)});
+  t.add_row({"memory latency", std::to_string(a.mem_latency) + " cyc",
+             std::to_string(b.mem_latency) + " cyc"});
+  t.print(std::cout);
+
+  std::cout << "\npaper-legible anchors: VDD2 = 0.7 V for both configs, L2 "
+               "VDD1 ~ 0.6 V.\nVDD1 = lowest voltage with >= 99% yield AND "
+               ">= 90% expected capacity (see VddSelectionParams).\n";
+  return 0;
+}

@@ -1,0 +1,185 @@
+// pcs_sim: the command-line front end to the simulator.
+//
+//   ./build/examples/pcs_sim [options]
+//
+//   --config A|B          system configuration (default A)
+//   --policy baseline|spcs|dpcs|all   (default all)
+//   --workload NAME       one of the 16 SPEC-like profiles, or a path to a
+//                         trace file recorded with --record (default hmmer)
+//   --refs N              measured references (default 1000000)
+//   --warmup N            warm-up references (default refs/4)
+//   --chip-seed N         manufactured die (default 1)
+//   --trace-seed N        workload randomness (default 42)
+//   --levels N            allowed VDD levels (default 3)
+//   --csv                 emit one CSV row per run instead of tables
+//   --record PATH N       record N events of --workload into PATH and exit
+//
+// Examples:
+//   pcs_sim --config B --policy dpcs --workload mcf --refs 2000000
+//   pcs_sim --workload gcc --csv
+//   pcs_sim --record /tmp/gcc.trace 100000 --workload gcc
+//   pcs_sim --workload /tmp/gcc.trace
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <iostream>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/system.hpp"
+#include "core/system_energy.hpp"
+#include "util/table.hpp"
+#include "workload/spec_profiles.hpp"
+#include "workload/trace_file.hpp"
+
+using namespace pcs;
+
+namespace {
+
+struct Options {
+  std::string config = "A";
+  std::string policy = "all";
+  std::string workload = "hmmer";
+  u64 refs = 1'000'000;
+  u64 warmup = 0;  // 0 = refs/4
+  u64 chip_seed = 1;
+  u64 trace_seed = 42;
+  u32 levels = 3;
+  bool csv = false;
+  std::string record_path;
+  u64 record_count = 0;
+};
+
+[[noreturn]] void usage(const char* argv0) {
+  std::fprintf(stderr,
+               "usage: %s [--config A|B] [--policy baseline|spcs|dpcs|all]\n"
+               "          [--workload NAME|trace-file] [--refs N] [--warmup N]\n"
+               "          [--chip-seed N] [--trace-seed N] [--levels N]\n"
+               "          [--csv] [--record PATH N]\n",
+               argv0);
+  std::exit(2);
+}
+
+Options parse(int argc, char** argv) {
+  Options o;
+  for (int i = 1; i < argc; ++i) {
+    const std::string a = argv[i];
+    auto need = [&](int more) {
+      if (i + more >= argc) usage(argv[0]);
+    };
+    if (a == "--config") {
+      need(1);
+      o.config = argv[++i];
+    } else if (a == "--policy") {
+      need(1);
+      o.policy = argv[++i];
+    } else if (a == "--workload") {
+      need(1);
+      o.workload = argv[++i];
+    } else if (a == "--refs") {
+      need(1);
+      o.refs = std::strtoull(argv[++i], nullptr, 10);
+    } else if (a == "--warmup") {
+      need(1);
+      o.warmup = std::strtoull(argv[++i], nullptr, 10);
+    } else if (a == "--chip-seed") {
+      need(1);
+      o.chip_seed = std::strtoull(argv[++i], nullptr, 10);
+    } else if (a == "--trace-seed") {
+      need(1);
+      o.trace_seed = std::strtoull(argv[++i], nullptr, 10);
+    } else if (a == "--levels") {
+      need(1);
+      o.levels = static_cast<u32>(std::strtoul(argv[++i], nullptr, 10));
+    } else if (a == "--csv") {
+      o.csv = true;
+    } else if (a == "--record") {
+      need(2);
+      o.record_path = argv[++i];
+      o.record_count = std::strtoull(argv[++i], nullptr, 10);
+    } else {
+      usage(argv[0]);
+    }
+  }
+  return o;
+}
+
+std::unique_ptr<TraceSource> make_trace(const Options& o) {
+  // A '/' or '.' suggests a filesystem path; otherwise a profile name.
+  if (o.workload.find('/') != std::string::npos ||
+      o.workload.find('.') != std::string::npos) {
+    return std::make_unique<FileTrace>(o.workload);
+  }
+  return make_spec_trace(o.workload, o.trace_seed);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const Options o = parse(argc, argv);
+
+  if (!o.record_path.empty()) {
+    auto trace = make_trace(o);
+    const u64 n = record_trace(*trace, o.record_path, o.record_count);
+    std::printf("recorded %llu events of '%s' into %s\n",
+                static_cast<unsigned long long>(n), trace->name(),
+                o.record_path.c_str());
+    return 0;
+  }
+
+  SystemConfig cfg =
+      o.config == "B" ? SystemConfig::config_b() : SystemConfig::config_a();
+  cfg.num_vdd_levels = o.levels;
+  RunParams rp;
+  rp.max_refs = o.refs;
+  rp.warmup_refs = o.warmup ? o.warmup : o.refs / 4;
+
+  std::vector<PolicyKind> kinds;
+  if (o.policy == "baseline" || o.policy == "all") {
+    kinds.push_back(PolicyKind::kBaseline);
+  }
+  if (o.policy == "spcs" || o.policy == "all") {
+    kinds.push_back(PolicyKind::kStatic);
+  }
+  if (o.policy == "dpcs" || o.policy == "all") {
+    kinds.push_back(PolicyKind::kDynamic);
+  }
+  if (kinds.empty()) usage(argv[0]);
+
+  const SystemEnergyModel sys_energy({}, cfg.clock_ghz * 1e9);
+  TextTable t({"policy", "cycles", "IPC", "L1D miss", "L2 miss",
+               "cache energy", "system energy", "L2 avg VDD", "transitions"});
+  if (o.csv) {
+    std::cout << "config,workload,policy,refs,cycles,ipc,l1d_missrate,"
+                 "l2_missrate,cache_energy_j,system_energy_j,l2_avg_vdd,"
+                 "transitions\n";
+  }
+  for (PolicyKind kind : kinds) {
+    auto trace = make_trace(o);
+    PcsSystem sys(cfg, kind, o.chip_seed);
+    const SimReport r = sys.run(*trace, rp);
+    const auto se = sys_energy.evaluate(r);
+    const u32 trans = r.l1i.transitions + r.l1d.transitions + r.l2.transitions;
+    if (o.csv) {
+      std::printf("%s,%s,%s,%llu,%llu,%.4f,%.6f,%.6f,%.6e,%.6e,%.3f,%u\n",
+                  r.config_name.c_str(), r.workload.c_str(),
+                  r.policy.c_str(), static_cast<unsigned long long>(r.refs),
+                  static_cast<unsigned long long>(r.cycles), r.ipc,
+                  r.l1d.miss_rate, r.l2.miss_rate, r.total_cache_energy(),
+                  se.total(), r.l2.avg_vdd, trans);
+    } else {
+      t.add_row({r.policy, fmt_count(r.cycles), fmt_fixed(r.ipc, 3),
+                 fmt_pct(r.l1d.miss_rate, 2), fmt_pct(r.l2.miss_rate, 2),
+                 fmt_joules(r.total_cache_energy()), fmt_joules(se.total()),
+                 fmt_fixed(r.l2.avg_vdd, 3) + " V", std::to_string(trans)});
+    }
+  }
+  if (!o.csv) {
+    std::printf("config %s, workload %s, %llu measured refs\n\n",
+                cfg.name.c_str(), o.workload.c_str(),
+                static_cast<unsigned long long>(o.refs));
+    t.print(std::cout);
+  }
+  return 0;
+}

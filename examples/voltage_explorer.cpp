@@ -1,0 +1,55 @@
+// Voltage explorer: sweep the data-array VDD for a cache organisation and
+// print BER, block-failure probability, expected capacity, yield, leakage,
+// and access-time inflation -- then show where the selection procedure
+// places VDD1 (min-VDD) and VDD2 (the SPCS point).
+//
+//   ./build/examples/voltage_explorer [size_kb] [assoc]
+#include <cstdio>
+#include <cstdlib>
+#include <iostream>
+
+#include "cachemodel/cache_power_model.hpp"
+#include "core/vdd_levels.hpp"
+#include "fault/yield_model.hpp"
+#include "util/table.hpp"
+
+using namespace pcs;
+
+int main(int argc, char** argv) {
+  const u64 size_kb = argc > 1 ? std::strtoull(argv[1], nullptr, 10) : 2048;
+  const u32 assoc =
+      argc > 2 ? static_cast<u32>(std::strtoul(argv[2], nullptr, 10)) : 8;
+
+  const CacheOrg org{size_kb * 1024, assoc, 64, 31};
+  org.validate();
+  const auto tech = Technology::soi45();
+  BerModel ber(tech);
+  YieldModel ym(ber, org);
+  CachePowerModel pm(tech, org, MechanismSpec::pcs(3));
+
+  std::printf("cache: %llu KB, %u-way, 64 B blocks (%llu sets)\n\n",
+              static_cast<unsigned long long>(size_kb), assoc,
+              static_cast<unsigned long long>(org.num_sets()));
+
+  TextTable t({"VDD (V)", "BER", "P[block faulty]", "capacity", "yield",
+               "leakage", "delay x"});
+  for (Volt v = 1.0; v >= 0.49; v -= 0.05) {
+    t.add_row({fmt_fixed(v, 2), fmt_sci(ber.ber(v), 2),
+               fmt_sci(ym.block_fail_prob(v), 2),
+               fmt_pct(ym.expected_capacity(v), 2), fmt_pct(ym.yield(v), 2),
+               fmt_watts(pm.static_power(v, ym.block_fail_prob(v)).total()),
+               fmt_fixed(pm.access_time_factor(v), 3)});
+  }
+  t.print(std::cout);
+
+  VddSelector sel(tech, ber, org);
+  const auto ladder = sel.select({});
+  std::printf("\nselection (99%% yield, 99%% capacity):\n");
+  for (u32 l = 1; l <= ladder.num_levels(); ++l) {
+    std::printf("  VDD%u = %.2f V%s\n", l, ladder.vdd(l),
+                l == ladder.spcs_level ? "  <- SPCS operating point" : "");
+  }
+  std::printf("  fault map: %u FM bits + 1 Faulty bit per block\n",
+              ladder.fm_bits());
+  return 0;
+}

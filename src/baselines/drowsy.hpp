@@ -1,0 +1,73 @@
+// Drowsy-cache and Gated-Vdd analytical comparators (paper section 2).
+//
+// The two classic leakage techniques PCS builds on:
+//  * Drowsy Cache [Flautner et al., ISCA'02]: idle lines drop to a
+//    *retention* voltage that preserves state; accesses pay a wake-up
+//    penalty. No capacity loss -- but the paper's critique is that process
+//    variation "greatly exacerbates" noise-margin faults at low voltage,
+//    "particularly limiting" drowsy operation: the safe retention voltage
+//    must stay above the point where hold failures appear, which rises with
+//    variation.
+//  * Gated-Vdd [Powell et al., ISLPED'00]: unused blocks are power-gated
+//    outright (state lost). Full leakage savings on gated blocks, but a
+//    re-access pays a full miss.
+//
+// This model quantifies both against the PCS mechanism on the static-power
+// axis, including the variation-limited drowsy retention voltage.
+#pragma once
+
+#include "cachemodel/cache_org.hpp"
+#include "fault/ber_model.hpp"
+#include "tech/technology.hpp"
+#include "util/types.hpp"
+
+namespace pcs {
+
+/// Drowsy-cache analytical model.
+class DrowsyCacheModel {
+ public:
+  /// `hold_margin` shifts the fault distribution downward for the hold
+  /// (retention) operation: holding state is easier than reading it, so a
+  /// cell retains data some tens of millivolts below its read-failure
+  /// voltage. The paper's BER model uses the worst case (read); drowsy
+  /// lines are not accessed while drowsy, so they get this credit.
+  DrowsyCacheModel(const Technology& tech, const CacheOrg& org,
+                   const BerModel& read_ber, Volt hold_margin = 0.10);
+
+  /// Probability a cell loses its state held at `vdd`.
+  double hold_failure_ber(Volt vdd) const noexcept;
+
+  /// Lowest retention voltage keeping the expected number of corrupted
+  /// cells in the whole cache below `max_corrupted_cells` (drowsy corrupts
+  /// silently -- there is no fault map -- so the budget must be tiny).
+  Volt safe_retention_vdd(double max_corrupted_cells = 0.01) const noexcept;
+
+  /// Total static power with `drowsy_fraction` of lines at the retention
+  /// voltage `v_retention` and the rest at nominal. Peripheries/tags stay
+  /// at nominal (as in PCS).
+  Watt static_power(double drowsy_fraction, Volt v_retention) const noexcept;
+
+  const CacheOrg& org() const noexcept { return org_; }
+
+ private:
+  Technology tech_;  // by value: callers may pass temporaries
+  CacheOrg org_;
+  BerModel read_ber_;
+  Volt hold_margin_;
+};
+
+/// Gated-Vdd (cache-decay style) analytical model.
+class GatedVddModel {
+ public:
+  GatedVddModel(const Technology& tech, const CacheOrg& org);
+
+  /// Total static power with `gated_fraction` of blocks turned off; the
+  /// live blocks run at nominal VDD (the scheme has no voltage scaling).
+  Watt static_power(double gated_fraction) const noexcept;
+
+ private:
+  Technology tech_;  // by value: callers may pass temporaries
+  CacheOrg org_;
+};
+
+}  // namespace pcs

@@ -1,0 +1,70 @@
+// SECDED / DECTED ECC yield comparators (Fig. 3 "Yield" pane).
+//
+// Applied at the paper's sub-block granularity of two bytes (Table 1):
+// a sub-block survives if its faulty-cell count (data + check bits, all
+// SRAM) stays within the code's correction capability; the chip survives if
+// every sub-block does. ECC burns its correction budget on hard
+// voltage-induced faults -- the paper's caveat about losing soft-error
+// protection -- and pays large storage overheads at this granularity, which
+// the area bench reports.
+#pragma once
+
+#include "cachemodel/cache_org.hpp"
+#include "fault/ber_model.hpp"
+#include "util/types.hpp"
+
+namespace pcs {
+
+/// One ECC configuration over a data sub-block.
+struct EccScheme {
+  const char* name = "SECDED";
+  u32 data_bits = 16;
+  u32 check_bits = 6;
+  u32 correctable = 1;
+
+  /// Hamming+parity SECDED over 16-bit sub-blocks.
+  static EccScheme secded16() noexcept { return {"SECDED", 16, 6, 1}; }
+  /// Double-error-correct, triple-detect over 16-bit sub-blocks.
+  static EccScheme dected16() noexcept { return {"DECTED", 16, 11, 2}; }
+
+  double storage_overhead() const noexcept {
+    return static_cast<double>(check_bits) / static_cast<double>(data_bits);
+  }
+};
+
+/// Yield of an ECC-protected cache as a function of the data-array VDD.
+class EccYieldModel {
+ public:
+  EccYieldModel(const BerModel& ber, const CacheOrg& org,
+                const EccScheme& scheme) noexcept;
+
+  /// P[one protected sub-block is correctable at vdd].
+  double subblock_ok(Volt vdd) const noexcept;
+
+  /// P[every sub-block of one block is correctable].
+  double block_ok(Volt vdd) const noexcept;
+
+  /// P[the whole cache is correctable] -- the Fig. 3 yield curve.
+  double yield(Volt vdd) const noexcept;
+
+  /// Smallest grid voltage with yield >= target.
+  Volt min_vdd(double yield_target, Volt v_floor, Volt v_nominal,
+               Volt step) const noexcept;
+
+  /// P[a sub-block's correction budget is already consumed by hard
+  /// voltage-induced faults at vdd] -- i.e. the fraction of sub-blocks for
+  /// which one additional transient (soft) error becomes uncorrectable.
+  /// This quantifies the paper's caveat that "as voltage is reduced,
+  /// tolerating bit cell failures reduces the ability of these ECC schemes
+  /// to tolerate transient faults".
+  double correction_consumed(Volt vdd) const noexcept;
+
+  const EccScheme& scheme() const noexcept { return scheme_; }
+
+ private:
+  BerModel ber_;
+  CacheOrg org_;
+  EccScheme scheme_;
+};
+
+}  // namespace pcs

@@ -1,0 +1,77 @@
+// Analytical model of FFT-Cache [BanaiyanMofrad et al., CASES'11] -- the
+// "recent complex FTVS work" the paper compares against in Fig. 3.
+//
+// FFT-Cache redundantly maps faulty sub-blocks onto sacrificial blocks via a
+// flexible defect map, reaching very low min-VDD and high effective capacity
+// at every voltage -- but pays for it: a full fault map per low-VDD level at
+// sub-block granularity plus remap pointers (vs PCS's ~3 bits/block total),
+// reported overheads up to 13% area and 16% power, and no power gating of
+// the remapped regions. The paper's Fig. 3 point is that despite the *worse*
+// capacity/voltage curve, the simple PCS mechanism wins on total static
+// power at every effective capacity; this model reproduces that comparison
+// using the same closed-form leakage substrate as CachePowerModel.
+#pragma once
+
+#include "cachemodel/cache_org.hpp"
+#include "fault/ber_model.hpp"
+#include "tech/technology.hpp"
+#include "util/types.hpp"
+
+namespace pcs {
+
+/// FFT-Cache configuration knobs (defaults follow the CASES'11 design).
+struct FftCacheParams {
+  u32 subblocks_per_block = 8;  ///< remap granularity
+  u32 num_low_vdds = 2;         ///< low-voltage levels, one fault map each
+  u32 remap_bits_per_block = 10;  ///< defect-map pointer storage
+  /// Extra always-on logic (muxing networks, remap comparators) as a
+  /// fraction of the baseline cache's static power; the rest of FFT-Cache's
+  /// reported up-to-16% power overhead is carried by the defect-map storage
+  /// term (see kFftMetaLeakFactor in the .cpp).
+  double logic_power_frac = 0.06;
+  /// Area overhead reported by the FFT-Cache paper (for the area bench).
+  double reported_area_overhead = 0.13;
+};
+
+/// Static power / capacity / yield curves for FFT-Cache.
+class FftCacheModel {
+ public:
+  FftCacheModel(const Technology& tech, const CacheOrg& org,
+                const BerModel& ber, FftCacheParams params = {});
+
+  /// P[one sub-block contains >= 1 faulty bit] at vdd.
+  double subblock_fail_prob(Volt vdd) const noexcept;
+
+  /// Expected usable fraction of blocks: faulty blocks are patched through
+  /// sacrificial blocks (one sacrifice amortized over subblocks_per_block
+  /// patchable blocks), so capacity degrades ~S-times slower than PCS.
+  double effective_capacity(Volt vdd) const noexcept;
+
+  /// Chip yield: a set fails when more than half of its blocks are
+  /// unpatchable (> S/2 faulty sub-blocks each).
+  double yield(Volt vdd) const noexcept;
+
+  /// Total static power with the data array at vdd (no power gating; all
+  /// blocks, including sacrificial ones, stay powered).
+  Watt static_power(Volt vdd) const noexcept;
+
+  /// Fault-map + remap metadata bits per block (vs ~3 for PCS).
+  u32 metadata_bits_per_block() const noexcept;
+
+  /// Lowest grid voltage with yield >= target.
+  Volt min_vdd(double yield_target) const noexcept;
+
+  /// Lowest grid voltage with effective_capacity >= target and
+  /// yield >= yield_target.
+  Volt vdd_for_capacity(double cap_target, double yield_target) const noexcept;
+
+  const FftCacheParams& params() const noexcept { return params_; }
+
+ private:
+  Technology tech_;  // by value: callers may pass temporaries
+  CacheOrg org_;
+  BerModel ber_;
+  FftCacheParams params_;
+};
+
+}  // namespace pcs

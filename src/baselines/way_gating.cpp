@@ -1,0 +1,30 @@
+#include "baselines/way_gating.hpp"
+
+#include <algorithm>
+
+namespace pcs {
+
+WayGatingModel::WayGatingModel(const Technology& tech, const CacheOrg& org)
+    : tech_(tech), org_(org) {}
+
+double WayGatingModel::capacity(u32 ways_off) const noexcept {
+  const u32 off = std::min(ways_off, org_.assoc);
+  return 1.0 - static_cast<double>(off) / static_cast<double>(org_.assoc);
+}
+
+Watt WayGatingModel::static_power(u32 ways_off) const noexcept {
+  const double live = capacity(ways_off);
+  const double data_bits = static_cast<double>(org_.data_bits());
+  const double tag_bits =
+      static_cast<double>(org_.num_blocks()) * (org_.tag_bits() + 3.0);
+  // Gated ways drop their data-cell leakage; periphery and tags stay on
+  // (tags are still probed for coherence/correctness in typical designs).
+  const Watt data = data_bits * live * tech_.cell_leak_nominal;
+  const Watt periph =
+      data_bits * tech_.cell_leak_nominal * tech_.data_periphery_leak_frac;
+  const Watt tag = tag_bits * tech_.cell_leak_nominal *
+                   tech_.tag_leak_frac_per_bit_ratio;
+  return data + periph + tag;
+}
+
+}  // namespace pcs

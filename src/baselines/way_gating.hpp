@@ -1,0 +1,33 @@
+// Generic way-granularity power gating -- the second Fig. 3 comparator.
+//
+// Turning off k of A ways trades capacity for leakage *linearly*: the gated
+// data cells stop leaking but everything runs at nominal VDD, so there is no
+// exponential leverage. The paper plots this as the straight power/capacity
+// line both FTVS schemes beat.
+#pragma once
+
+#include "cachemodel/cache_org.hpp"
+#include "tech/technology.hpp"
+#include "util/types.hpp"
+
+namespace pcs {
+
+/// Static power / capacity of a cache with whole ways gated off.
+class WayGatingModel {
+ public:
+  WayGatingModel(const Technology& tech, const CacheOrg& org);
+
+  /// Usable capacity fraction with `ways_off` ways disabled.
+  double capacity(u32 ways_off) const noexcept;
+
+  /// Total static power with `ways_off` ways disabled (data at nominal).
+  Watt static_power(u32 ways_off) const noexcept;
+
+  u32 assoc() const noexcept { return org_.assoc; }
+
+ private:
+  Technology tech_;  // by value: callers may pass temporaries
+  CacheOrg org_;
+};
+
+}  // namespace pcs

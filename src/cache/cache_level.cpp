@@ -1,0 +1,209 @@
+#include "cache/cache_level.hpp"
+
+#include <stdexcept>
+
+namespace pcs {
+
+CacheLevel::CacheLevel(std::string name, const CacheOrg& org,
+                       u32 hit_latency_cycles, const char* replacement)
+    : name_(std::move(name)), org_(org), hit_latency_(hit_latency_cycles) {
+  org_.validate();
+  lines_.resize(org_.num_blocks());
+  repl_ = make_replacement(replacement, org_.num_sets(), org_.assoc);
+}
+
+u64 CacheLevel::set_of(u64 addr) const noexcept {
+  return (addr >> org_.offset_bits()) & (org_.num_sets() - 1);
+}
+
+u64 CacheLevel::tag_of(u64 addr) const noexcept {
+  return addr >> (org_.offset_bits() + org_.index_bits());
+}
+
+u32 CacheLevel::allowed_mask(u64 set) const noexcept {
+  u32 mask = 0;
+  for (u32 w = 0; w < org_.assoc; ++w) {
+    if (!line(set, w).faulty) mask |= 1u << w;
+  }
+  return mask;
+}
+
+bool CacheLevel::probe(u64 addr) const noexcept {
+  const u64 set = set_of(addr);
+  const u64 tag = tag_of(addr);
+  for (u32 w = 0; w < org_.assoc; ++w) {
+    const Line& l = line(set, w);
+    if (l.valid && l.tag == tag) return true;
+  }
+  return false;
+}
+
+CacheLevel::AccessResult CacheLevel::access(u64 addr, bool write) {
+  ++stats_.accesses;
+  if (write) {
+    ++stats_.writes;
+  } else {
+    ++stats_.reads;
+  }
+
+  const u64 set = set_of(addr);
+  const u64 tag = tag_of(addr);
+
+  AccessResult res;
+  for (u32 w = 0; w < org_.assoc; ++w) {
+    Line& l = line(set, w);
+    if (l.valid && l.tag == tag) {
+      ++stats_.hits;
+      // Record the pre-promotion recency rank (per-access stack distance at
+      // way granularity) for the DPCS utility monitor.
+      ++stats_.hits_by_rank[repl_->rank_of(set, w)];
+      res.hit = true;
+      if (write) l.dirty = true;
+      repl_->touch(set, w);
+      return res;
+    }
+  }
+
+  ++stats_.misses;
+
+  const u32 mask = allowed_mask(set);
+  const u32 victim = repl_->victim(set, mask);
+  if (victim >= org_.assoc) {
+    // Every way in the set is faulty: serve from below without caching.
+    ++stats_.bypasses;
+    res.bypassed = true;
+    return res;
+  }
+
+  Line& v = line(set, victim);
+  if (v.valid) {
+    ++stats_.evictions;
+    if (v.dirty) {
+      res.writeback = true;
+      res.writeback_addr =
+          (v.tag << (org_.offset_bits() + org_.index_bits())) |
+          (set << org_.offset_bits());
+      ++stats_.writebacks_out;
+    }
+  }
+  v.valid = true;
+  v.dirty = write;
+  v.tag = tag;
+  ++stats_.fills;
+  res.filled = true;
+  repl_->touch(set, victim);
+  return res;
+}
+
+CacheLevel::AccessResult CacheLevel::receive_writeback(u64 addr) {
+  ++stats_.writebacks_in;
+  const u64 set = set_of(addr);
+  const u64 tag = tag_of(addr);
+
+  AccessResult res;
+  for (u32 w = 0; w < org_.assoc; ++w) {
+    Line& l = line(set, w);
+    if (l.valid && l.tag == tag) {
+      res.hit = true;
+      l.dirty = true;
+      repl_->touch(set, w);
+      return res;
+    }
+  }
+
+  // Write-allocate the incoming block.
+  const u32 mask = allowed_mask(set);
+  const u32 victim = repl_->victim(set, mask);
+  if (victim >= org_.assoc) {
+    res.bypassed = true;  // falls through to the level below
+    return res;
+  }
+  Line& v = line(set, victim);
+  if (v.valid) {
+    ++stats_.evictions;
+    if (v.dirty) {
+      res.writeback = true;
+      res.writeback_addr =
+          (v.tag << (org_.offset_bits() + org_.index_bits())) |
+          (set << org_.offset_bits());
+      ++stats_.writebacks_out;
+    }
+  }
+  v.valid = true;
+  v.dirty = true;
+  v.tag = tag;
+  ++stats_.fills;
+  res.filled = true;
+  repl_->touch(set, victim);
+  return res;
+}
+
+bool CacheLevel::set_block_faulty(u64 set, u32 way, bool faulty) {
+  Line& l = line(set, way);
+  bool needs_writeback = false;
+  if (faulty && !l.faulty) {
+    needs_writeback = l.valid && l.dirty;
+    if (l.valid) ++stats_.invalidations;
+    l.valid = false;
+    l.dirty = false;
+    l.faulty = true;
+    ++faulty_count_;
+  } else if (!faulty && l.faulty) {
+    l.faulty = false;
+    --faulty_count_;
+  }
+  return needs_writeback;
+}
+
+bool CacheLevel::is_faulty(u64 set, u32 way) const noexcept {
+  return line(set, way).faulty;
+}
+bool CacheLevel::is_valid(u64 set, u32 way) const noexcept {
+  return line(set, way).valid;
+}
+bool CacheLevel::is_dirty(u64 set, u32 way) const noexcept {
+  return line(set, way).dirty;
+}
+
+u64 CacheLevel::block_addr(u64 set, u32 way) const noexcept {
+  const Line& l = line(set, way);
+  return (l.tag << (org_.offset_bits() + org_.index_bits())) |
+         (set << org_.offset_bits());
+}
+
+int CacheLevel::find_way(u64 addr) const noexcept {
+  const u64 set = set_of(addr);
+  const u64 tag = tag_of(addr);
+  for (u32 w = 0; w < org_.assoc; ++w) {
+    const Line& l = line(set, w);
+    if (l.valid && l.tag == tag) return static_cast<int>(w);
+  }
+  return -1;
+}
+
+void CacheLevel::clean_line(u64 set, u32 way) noexcept {
+  line(set, way).dirty = false;
+}
+
+bool CacheLevel::invalidate(u64 set, u32 way) {
+  Line& l = line(set, way);
+  const bool dirty = l.valid && l.dirty;
+  if (l.valid) ++stats_.invalidations;
+  l.valid = false;
+  l.dirty = false;
+  return dirty;
+}
+
+void CacheLevel::reset() {
+  for (auto& l : lines_) {
+    l.valid = false;
+    l.dirty = false;
+  }
+}
+
+double CacheLevel::effective_capacity() const noexcept {
+  return 1.0 - static_cast<double>(faulty_count_) /
+                   static_cast<double>(org_.num_blocks());
+}
+
+}  // namespace pcs

@@ -1,0 +1,159 @@
+// One cache level (gem5-classic-style): set-associative, write-back,
+// write-allocate, with PCS faulty-block support.
+//
+// Faulty blocks hold no valid data, can never hit, and are skipped by the
+// replacement policy (paper section 3.1). The PCS mechanism drives the
+// per-block Faulty bits through set_block_faulty()/the transition procedure
+// in core/mechanism.
+#pragma once
+
+#include <array>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "cache/replacement.hpp"
+#include "cachemodel/cache_org.hpp"
+#include "util/types.hpp"
+
+namespace pcs {
+
+/// Event counters for one cache level.
+///
+/// "Demand" accesses come from the CPU side; writebacks arriving from an
+/// upper level are counted separately (they consume energy but are not
+/// demand misses).
+struct CacheLevelStats {
+  u64 accesses = 0;
+  u64 hits = 0;
+  u64 misses = 0;
+  u64 reads = 0;
+  u64 writes = 0;
+  u64 fills = 0;
+  u64 evictions = 0;
+  u64 writebacks_out = 0;     ///< dirty victims pushed to the level below
+  u64 writebacks_in = 0;      ///< writebacks received from the level above
+  u64 invalidations = 0;
+  u64 bypasses = 0;           ///< misses that could not allocate (all ways faulty)
+  u64 transition_writebacks = 0;  ///< dirty blocks flushed by VDD transitions
+  /// Utility-monitor counters: demand hits by recency rank at lookup time
+  /// (0 = MRU). Hits at the deepest ranks are the hits a capacity
+  /// reduction would forfeit -- the DPCS descend gate reads these.
+  std::array<u64, 32> hits_by_rank{};
+
+  double miss_rate() const noexcept {
+    return accesses ? static_cast<double>(misses) / static_cast<double>(accesses)
+                    : 0.0;
+  }
+  /// Accesses that toggle the arrays, for dynamic-energy accounting.
+  u64 energy_accesses() const noexcept {
+    return accesses + fills + writebacks_in + transition_writebacks;
+  }
+
+  /// Component-wise difference (for excluding a warm-up window).
+  CacheLevelStats operator-(const CacheLevelStats& rhs) const noexcept {
+    CacheLevelStats d;
+    d.accesses = accesses - rhs.accesses;
+    d.hits = hits - rhs.hits;
+    d.misses = misses - rhs.misses;
+    d.reads = reads - rhs.reads;
+    d.writes = writes - rhs.writes;
+    d.fills = fills - rhs.fills;
+    d.evictions = evictions - rhs.evictions;
+    d.writebacks_out = writebacks_out - rhs.writebacks_out;
+    d.writebacks_in = writebacks_in - rhs.writebacks_in;
+    d.invalidations = invalidations - rhs.invalidations;
+    d.bypasses = bypasses - rhs.bypasses;
+    d.transition_writebacks = transition_writebacks - rhs.transition_writebacks;
+    for (std::size_t r = 0; r < hits_by_rank.size(); ++r) {
+      d.hits_by_rank[r] = hits_by_rank[r] - rhs.hits_by_rank[r];
+    }
+    return d;
+  }
+};
+
+/// A single set-associative cache level.
+class CacheLevel {
+ public:
+  /// `replacement` is "lru" (paper default) or "tree-plru".
+  CacheLevel(std::string name, const CacheOrg& org, u32 hit_latency_cycles,
+             const char* replacement = "lru");
+
+  /// Outcome of one demand access (lookup + allocate-on-miss).
+  struct AccessResult {
+    bool hit = false;
+    bool filled = false;
+    bool writeback = false;  ///< a dirty victim was evicted
+    u64 writeback_addr = 0;
+    bool bypassed = false;   ///< no usable way in the set; not cached
+  };
+
+  /// Performs a demand read/write of the block containing `addr`.
+  AccessResult access(u64 addr, bool write);
+
+  /// Receives a writeback from the level above (write-allocates).
+  AccessResult receive_writeback(u64 addr);
+
+  // ---- PCS mechanism interface -------------------------------------------
+
+  /// Marks (set, way) faulty/non-faulty. Marking faulty invalidates the
+  /// block; the return value is true if the block was valid AND dirty, i.e.
+  /// the caller must write its contents back before the voltage changes.
+  bool set_block_faulty(u64 set, u32 way, bool faulty);
+
+  bool is_faulty(u64 set, u32 way) const noexcept;
+  bool is_valid(u64 set, u32 way) const noexcept;
+  bool is_dirty(u64 set, u32 way) const noexcept;
+  /// Full block-aligned address of a valid block.
+  u64 block_addr(u64 set, u32 way) const noexcept;
+
+  /// Invalidates one block; returns true if it was valid and dirty.
+  bool invalidate(u64 set, u32 way);
+
+  /// Invalidates the whole cache (testing / reset); dirty data is dropped.
+  void reset();
+
+  // ---- Introspection ------------------------------------------------------
+
+  const std::string& name() const noexcept { return name_; }
+  const CacheOrg& org() const noexcept { return org_; }
+  u32 hit_latency() const noexcept { return hit_latency_; }
+  const CacheLevelStats& stats() const noexcept { return stats_; }
+  CacheLevelStats& stats() noexcept { return stats_; }
+  u64 faulty_block_count() const noexcept { return faulty_count_; }
+  /// Fraction of blocks currently usable.
+  double effective_capacity() const noexcept;
+  u64 set_of(u64 addr) const noexcept;
+  /// True if some way of `addr`'s set holds the block (valid match).
+  bool probe(u64 addr) const noexcept;
+  /// Way currently holding `addr`'s block, or -1 (coherence snooping).
+  int find_way(u64 addr) const noexcept;
+  /// Clears the dirty bit of a valid line (coherence downgrade M -> S
+  /// after its data has been written back by an intervention).
+  void clean_line(u64 set, u32 way) noexcept;
+
+ private:
+  struct Line {
+    u64 tag = 0;
+    bool valid = false;
+    bool dirty = false;
+    bool faulty = false;
+  };
+
+  u64 tag_of(u64 addr) const noexcept;
+  Line& line(u64 set, u32 way) noexcept { return lines_[set * org_.assoc + way]; }
+  const Line& line(u64 set, u32 way) const noexcept {
+    return lines_[set * org_.assoc + way];
+  }
+  u32 allowed_mask(u64 set) const noexcept;
+
+  std::string name_;
+  CacheOrg org_;
+  u32 hit_latency_;
+  std::vector<Line> lines_;
+  std::unique_ptr<ReplacementPolicy> repl_;
+  CacheLevelStats stats_;
+  u64 faulty_count_ = 0;
+};
+
+}  // namespace pcs

@@ -1,0 +1,26 @@
+#include "cache/cpu_model.hpp"
+
+namespace pcs {
+
+bool CpuModel::step(TraceSource& trace, AccessOutcome& out) {
+  TraceEvent ev;
+  if (!trace.next(ev)) return false;
+  out = hier_->access(ev.ref);
+  stats_.instructions += ev.gap_instructions + 1;
+  stats_.refs += 1;
+  stats_.cycles += ev.gap_instructions + out.latency;
+  return true;
+}
+
+void CpuModel::run(TraceSource& trace, u64 max_refs) {
+  AccessOutcome out;
+  while ((max_refs == 0 || stats_.refs < max_refs) && step(trace, out)) {
+  }
+}
+
+void CpuModel::add_stall(Cycle penalty) noexcept {
+  stats_.cycles += penalty;
+  stats_.stall_cycles += penalty;
+}
+
+}  // namespace pcs

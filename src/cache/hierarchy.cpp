@@ -1,0 +1,64 @@
+#include "cache/hierarchy.hpp"
+
+namespace pcs {
+
+Hierarchy::Hierarchy(const HierarchyConfig& cfg) : cfg_(cfg) {
+  l1i_ = std::make_unique<CacheLevel>("L1I", cfg.l1i, cfg.l1_hit_latency,
+                                      cfg.replacement);
+  l1d_ = std::make_unique<CacheLevel>("L1D", cfg.l1d, cfg.l1_hit_latency,
+                                      cfg.replacement);
+  l2_ = std::make_unique<CacheLevel>("L2", cfg.l2, cfg.l2_hit_latency,
+                                     cfg.replacement);
+}
+
+void Hierarchy::l2_access(u64 addr, bool write, AccessOutcome& out) {
+  out.latency += cfg_.l2_hit_latency;
+  const auto r2 = l2_->access(addr, write);
+  out.l2_hit = r2.hit;
+  if (!r2.hit) {
+    out.latency += cfg_.mem_latency;
+    out.mem_access = true;
+    ++mem_reads_;  // block fetch from DRAM
+  }
+  if (r2.writeback) ++mem_writes_;
+  if (r2.bypassed && write) ++mem_writes_;  // uncacheable dirty data
+}
+
+AccessOutcome Hierarchy::access(const MemRef& ref) {
+  AccessOutcome out;
+  CacheLevel& l1 = ref.ifetch ? *l1i_ : *l1d_;
+
+  out.latency += cfg_.l1_hit_latency;
+  const auto r1 = l1.access(ref.addr, ref.write);
+  out.l1_hit = r1.hit;
+
+  if (r1.writeback) {
+    // Victim writeback drains to L2 off the critical path (no latency).
+    const auto wb = l2_->receive_writeback(r1.writeback_addr);
+    if (wb.writeback) ++mem_writes_;
+    if (wb.bypassed) ++mem_writes_;
+  }
+
+  if (!r1.hit) {
+    // Demand fill from L2 (and DRAM beyond it on an L2 miss).
+    l2_access(ref.addr, false, out);
+    if (r1.bypassed && ref.write) {
+      // The store could not allocate in L1; its data is captured by L2
+      // via a write access instead.
+      l2_->access(ref.addr, true);
+    }
+  }
+  return out;
+}
+
+void Hierarchy::writeback_from(CacheLevel& from, u64 addr) {
+  if (&from == l2_.get()) {
+    ++mem_writes_;
+    return;
+  }
+  const auto wb = l2_->receive_writeback(addr);
+  if (wb.writeback) ++mem_writes_;
+  if (wb.bypassed) ++mem_writes_;
+}
+
+}  // namespace pcs

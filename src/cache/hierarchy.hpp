@@ -1,0 +1,81 @@
+// Two-level cache hierarchy: split L1 (I/D) backed by a unified L2 and a
+// fixed-latency DRAM model -- the memory system of the paper's gem5 runs
+// (Table 1: L1 split + L2, one DDR3 channel), simplified to blocking caches
+// (see DESIGN.md section 4 for the CPU-model substitution).
+#pragma once
+
+#include <memory>
+
+#include "cache/cache_level.hpp"
+#include "cache/mem_ref.hpp"
+#include "util/types.hpp"
+
+namespace pcs {
+
+/// Hierarchy construction parameters.
+struct HierarchyConfig {
+  CacheOrg l1i{32 * 1024, 4, 64, 31};
+  CacheOrg l1d{32 * 1024, 4, 64, 31};
+  CacheOrg l2{2 * 1024 * 1024, 8, 64, 31};
+  u32 l1_hit_latency = 2;
+  u32 l2_hit_latency = 4;
+  u32 mem_latency = 120;
+  const char* replacement = "lru";
+};
+
+/// Timing + routing outcome of one memory reference.
+struct AccessOutcome {
+  Cycle latency = 0;
+  bool l1_hit = false;
+  bool l2_hit = false;
+  bool mem_access = false;
+};
+
+/// Anything that can accept a writeback generated outside the demand path
+/// (the PCS transition procedure flushing dirty blocks). Implemented by
+/// Hierarchy and by the multi-core MultiHierarchy.
+class WritebackSink {
+ public:
+  virtual ~WritebackSink() = default;
+
+  /// Routes a flushed dirty block from `from` into the level below it.
+  virtual void writeback_from(CacheLevel& from, u64 addr) = 0;
+};
+
+/// Non-inclusive, write-back, write-allocate two-level hierarchy.
+class Hierarchy final : public WritebackSink {
+ public:
+  explicit Hierarchy(const HierarchyConfig& cfg);
+
+  /// Performs one demand reference end-to-end (fills, writebacks, DRAM).
+  AccessOutcome access(const MemRef& ref);
+
+  CacheLevel& l1i() noexcept { return *l1i_; }
+  CacheLevel& l1d() noexcept { return *l1d_; }
+  CacheLevel& l2() noexcept { return *l2_; }
+  const CacheLevel& l1i() const noexcept { return *l1i_; }
+  const CacheLevel& l1d() const noexcept { return *l1d_; }
+  const CacheLevel& l2() const noexcept { return *l2_; }
+
+  /// DRAM traffic counters.
+  u64 mem_reads() const noexcept { return mem_reads_; }
+  u64 mem_writes() const noexcept { return mem_writes_; }
+
+  u32 mem_latency() const noexcept { return cfg_.mem_latency; }
+  const HierarchyConfig& config() const noexcept { return cfg_; }
+
+  /// L1 flushes land in L2; L2 flushes go to DRAM.
+  void writeback_from(CacheLevel& from, u64 addr) override;
+
+ private:
+  void l2_access(u64 addr, bool write, AccessOutcome& out);
+
+  HierarchyConfig cfg_;
+  std::unique_ptr<CacheLevel> l1i_;
+  std::unique_ptr<CacheLevel> l1d_;
+  std::unique_ptr<CacheLevel> l2_;
+  u64 mem_reads_ = 0;
+  u64 mem_writes_ = 0;
+};
+
+}  // namespace pcs

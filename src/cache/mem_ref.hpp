@@ -1,0 +1,15 @@
+// A single memory reference flowing from the CPU model into the hierarchy.
+#pragma once
+
+#include "util/types.hpp"
+
+namespace pcs {
+
+/// One memory operation as seen by the cache hierarchy.
+struct MemRef {
+  u64 addr = 0;
+  bool write = false;
+  bool ifetch = false;
+};
+
+}  // namespace pcs

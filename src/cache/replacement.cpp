@@ -1,0 +1,110 @@
+#include "cache/replacement.hpp"
+
+#include <cstring>
+#include <stdexcept>
+#include <string>
+
+namespace pcs {
+
+LruReplacement::LruReplacement(u64 sets, u32 assoc)
+    : sets_(sets), assoc_(assoc), rank_(sets * assoc) {
+  if (assoc == 0 || assoc > 32) throw std::invalid_argument("assoc 1..32");
+  for (u64 s = 0; s < sets; ++s) {
+    for (u32 w = 0; w < assoc; ++w) rank_[s * assoc + w] = static_cast<u8>(w);
+  }
+}
+
+void LruReplacement::touch(u64 set, u32 way) {
+  u8* r = &rank_[set * assoc_];
+  const u8 old = r[way];
+  for (u32 w = 0; w < assoc_; ++w) {
+    if (r[w] < old) ++r[w];
+  }
+  r[way] = 0;
+}
+
+u32 LruReplacement::victim(u64 set, u32 allowed_mask) const {
+  const u8* r = &rank_[set * assoc_];
+  u32 best = assoc_;
+  u32 best_rank = 0;
+  for (u32 w = 0; w < assoc_; ++w) {
+    if (!(allowed_mask & (1u << w))) continue;
+    if (best == assoc_ || r[w] > best_rank) {
+      best = w;
+      best_rank = r[w];
+    }
+  }
+  return best;
+}
+
+u32 LruReplacement::rank_of(u64 set, u32 way) const {
+  return rank_[set * assoc_ + way];
+}
+
+TreePlruReplacement::TreePlruReplacement(u64 sets, u32 assoc)
+    : sets_(sets), assoc_(assoc), nodes_per_set_(assoc > 1 ? assoc - 1 : 1),
+      bits_(sets * (assoc > 1 ? assoc - 1 : 1), 0) {
+  if (assoc == 0 || assoc > 32 || (assoc & (assoc - 1)) != 0) {
+    throw std::invalid_argument("tree-plru assoc must be a power of two <= 32");
+  }
+}
+
+void TreePlruReplacement::touch(u64 set, u32 way) {
+  if (assoc_ == 1) return;
+  u8* bits = &bits_[set * nodes_per_set_];
+  u32 node = 0;
+  u32 lo = 0, hi = assoc_;
+  while (hi - lo > 1) {
+    const u32 mid = (lo + hi) / 2;
+    const bool right = way >= mid;
+    // Point the bit *away* from the touched way.
+    bits[node] = right ? 0 : 1;
+    node = 2 * node + (right ? 2 : 1);
+    if (right) {
+      lo = mid;
+    } else {
+      hi = mid;
+    }
+  }
+}
+
+u32 TreePlruReplacement::victim(u64 set, u32 allowed_mask) const {
+  if (allowed_mask == 0) return assoc_;
+  if (assoc_ == 1) return (allowed_mask & 1u) ? 0 : assoc_;
+  const u8* bits = &bits_[set * nodes_per_set_];
+  // Walk the tree following the PLRU bits, but never descend into a subtree
+  // with no allowed way.
+  u32 node = 0;
+  u32 lo = 0, hi = assoc_;
+  auto subtree_allowed = [&](u32 a, u32 b) {
+    for (u32 w = a; w < b; ++w) {
+      if (allowed_mask & (1u << w)) return true;
+    }
+    return false;
+  };
+  while (hi - lo > 1) {
+    const u32 mid = (lo + hi) / 2;
+    bool go_right = bits[node] != 0;
+    if (go_right && !subtree_allowed(mid, hi)) go_right = false;
+    if (!go_right && !subtree_allowed(lo, mid)) go_right = true;
+    node = 2 * node + (go_right ? 2 : 1);
+    if (go_right) {
+      lo = mid;
+    } else {
+      hi = mid;
+    }
+  }
+  return (allowed_mask & (1u << lo)) ? lo : assoc_;
+}
+
+std::unique_ptr<ReplacementPolicy> make_replacement(const char* name, u64 sets,
+                                                    u32 assoc) {
+  const std::string n = name;
+  if (n == "lru") return std::make_unique<LruReplacement>(sets, assoc);
+  if (n == "tree-plru") {
+    return std::make_unique<TreePlruReplacement>(sets, assoc);
+  }
+  throw std::invalid_argument("unknown replacement policy: " + n);
+}
+
+}  // namespace pcs

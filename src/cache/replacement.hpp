@@ -1,0 +1,82 @@
+// Block replacement policies.
+//
+// The paper's gem5 runs use true LRU (Table 1). Tree-PLRU is provided as a
+// cheaper alternative exercised by the ablation benches. Both honour the PCS
+// rule that Faulty blocks "must not be used for data placement after a cache
+// miss": victims are chosen only among the allowed (non-faulty) ways.
+#pragma once
+
+#include <memory>
+#include <vector>
+
+#include "util/types.hpp"
+
+namespace pcs {
+
+/// Interface for per-set replacement state.
+class ReplacementPolicy {
+ public:
+  virtual ~ReplacementPolicy() = default;
+
+  /// Records a hit/fill touch of (set, way).
+  virtual void touch(u64 set, u32 way) = 0;
+
+  /// Picks a victim way among those with `allowed_mask` bit set.
+  /// Returns the associativity if no way is allowed (all faulty).
+  virtual u32 victim(u64 set, u32 allowed_mask) const = 0;
+
+  /// Recency rank of a way: 0 = most recently used, assoc-1 = least.
+  /// Used by the DPCS utility monitor (hits at deep ranks are the hits a
+  /// capacity reduction would lose). Policies without exact recency state
+  /// may return 0; that disables the monitor conservatively.
+  virtual u32 rank_of(u64 set, u32 way) const = 0;
+
+  virtual u32 assoc() const = 0;
+  virtual u64 sets() const = 0;
+};
+
+/// True LRU via per-set recency ranks (supports assoc <= 32).
+class LruReplacement final : public ReplacementPolicy {
+ public:
+  LruReplacement(u64 sets, u32 assoc);
+
+  void touch(u64 set, u32 way) override;
+  u32 victim(u64 set, u32 allowed_mask) const override;
+  u32 rank_of(u64 set, u32 way) const override;
+  u32 assoc() const override { return assoc_; }
+  u64 sets() const override { return sets_; }
+
+  /// Alias of rank_of (kept for the property tests' vocabulary).
+  u32 rank(u64 set, u32 way) const { return rank_of(set, way); }
+
+ private:
+  u64 sets_;
+  u32 assoc_;
+  // rank_[set*assoc + way] = recency rank of that way.
+  std::vector<u8> rank_;
+};
+
+/// Tree pseudo-LRU (assoc must be a power of two, <= 32).
+class TreePlruReplacement final : public ReplacementPolicy {
+ public:
+  TreePlruReplacement(u64 sets, u32 assoc);
+
+  void touch(u64 set, u32 way) override;
+  u32 victim(u64 set, u32 allowed_mask) const override;
+  /// Tree-PLRU has no exact recency order; reports rank 0 (see base class).
+  u32 rank_of(u64, u32) const override { return 0; }
+  u32 assoc() const override { return assoc_; }
+  u64 sets() const override { return sets_; }
+
+ private:
+  u64 sets_;
+  u32 assoc_;
+  u32 nodes_per_set_;
+  std::vector<u8> bits_;
+};
+
+/// Factory by name ("lru" | "tree-plru"); throws on unknown names.
+std::unique_ptr<ReplacementPolicy> make_replacement(const char* name, u64 sets,
+                                                    u32 assoc);
+
+}  // namespace pcs

@@ -1,0 +1,29 @@
+// Interface between workload generators and the CPU timing model.
+#pragma once
+
+#include "cache/mem_ref.hpp"
+#include "util/types.hpp"
+
+namespace pcs {
+
+/// One element of an instruction/data trace: a memory reference preceded by
+/// `gap_instructions` non-memory instructions (each retiring in one cycle on
+/// the modelled core).
+struct TraceEvent {
+  MemRef ref;
+  u32 gap_instructions = 0;
+};
+
+/// Pull-based trace producer implemented by the workload generators.
+class TraceSource {
+ public:
+  virtual ~TraceSource() = default;
+
+  /// Produces the next event; returns false when the trace is exhausted.
+  virtual bool next(TraceEvent& out) = 0;
+
+  /// Human-readable workload name (for reports).
+  virtual const char* name() const = 0;
+};
+
+}  // namespace pcs

@@ -1,0 +1,68 @@
+#include "cachemodel/cache_geometry.hpp"
+
+#include <cmath>
+#include <limits>
+
+namespace pcs {
+
+double CacheGeometry::edp_cost(u64 rows, u64 cols, u32 ndwl,
+                               u32 ndbl) noexcept {
+  // First-order RC proxies: bitline delay ~ rows (quadratic RC tamed by
+  // sense-amp swing, keep linear), wordline delay ~ cols, H-tree routing ~
+  // perimeter of the subarray grid. Energy grows with total wire length per
+  // access: one subarray activated per division along the wordline.
+  const double bitline = static_cast<double>(rows);
+  const double wordline = static_cast<double>(cols);
+  const double htree =
+      64.0 * std::sqrt(static_cast<double>(ndwl) * static_cast<double>(ndbl));
+  const double delay = bitline + 0.6 * wordline + htree;
+  const double energy = 0.4 * wordline * ndwl + 0.2 * bitline + 2.0 * htree;
+  return delay * energy;
+}
+
+SubarrayGeometry CacheGeometry::optimize(const CacheOrg& org) {
+  org.validate();
+  const u64 total_rows = org.num_blocks();  // one block per subarray row
+  const u64 row_bits = org.bits_per_block();
+
+  SubarrayGeometry best;
+  double best_cost = std::numeric_limits<double>::max();
+  for (u32 ndwl = 1; ndwl <= kMaxDivisions; ndwl *= 2) {
+    if (row_bits % ndwl != 0) continue;
+    const u64 cols = row_bits / ndwl;
+    if (cols < 32) break;  // don't shred a block below a sense-amp stripe
+    for (u32 ndbl = 1; ndbl <= kMaxDivisions; ndbl *= 2) {
+      if (total_rows % ndbl != 0) continue;
+      const u64 rows = total_rows / ndbl;
+      if (rows < org.assoc) break;  // keep a whole set per subarray column
+      const double cost = edp_cost(rows, cols, ndwl, ndbl);
+      if (cost < best_cost) {
+        best_cost = cost;
+        best.ndwl = ndwl;
+        best.ndbl = ndbl;
+        best.rows_per_subarray = rows;
+        best.cols_per_subarray = cols;
+      }
+    }
+  }
+
+  // Reference organisation: the paper's Config A L1 (64 KB, 4-way, 64 B).
+  const CacheOrg ref{64 * 1024, 4, 64, 31};
+  const double ref_rows = 256.0, ref_cols = 512.0;  // optimum for ref
+  const double htree = std::sqrt(static_cast<double>(best.ndwl) *
+                                 static_cast<double>(best.ndbl));
+  const double ref_htree = std::sqrt(4.0);
+  best.wire_energy_scale =
+      org == ref ? 1.0
+                 : std::max(0.5, htree / ref_htree *
+                                     std::sqrt(static_cast<double>(
+                                                   best.rows_per_subarray) /
+                                               ref_rows));
+  best.delay_scale =
+      (static_cast<double>(best.rows_per_subarray) +
+       0.6 * static_cast<double>(best.cols_per_subarray) + 64.0 * htree) /
+      (ref_rows + 0.6 * ref_cols + 64.0 * ref_htree);
+  return best;
+}
+
+}  // namespace pcs

@@ -1,0 +1,45 @@
+// CACTI-lite array partitioning.
+//
+// CACTI explores wordline/bitline divisions of the data array and picks the
+// organisation optimizing an energy-delay metric; the paper runs CACTI 6.5
+// per cache configuration. We reproduce the same search over (Ndwl, Ndbl)
+// subarray splits with first-order wire models, producing relative delay and
+// wire-energy scale factors consumed by CachePowerModel. The PCS layout
+// constraint from the paper (one data subarray row <-> one cache block, tag
+// subarray adjacent) is honoured: rows are always block-granular.
+#pragma once
+
+#include "cachemodel/cache_org.hpp"
+#include "util/types.hpp"
+
+namespace pcs {
+
+/// Result of the array-partitioning search.
+struct SubarrayGeometry {
+  u32 ndwl = 1;  ///< number of wordline divisions (columns of subarrays)
+  u32 ndbl = 1;  ///< number of bitline divisions (rows of subarrays)
+  u64 rows_per_subarray = 0;
+  u64 cols_per_subarray = 0;
+  /// Relative dynamic wire energy vs the 64 KB reference organisation.
+  double wire_energy_scale = 1.0;
+  /// Relative access delay vs the 64 KB reference organisation.
+  double delay_scale = 1.0;
+};
+
+/// Exhaustive power-of-two (Ndwl, Ndbl) search minimizing an energy-delay
+/// product proxy, as CACTI does.
+class CacheGeometry {
+ public:
+  /// Search bounds: subarray divisions up to 64 each way.
+  static constexpr u32 kMaxDivisions = 64;
+
+  /// Returns the optimized geometry for `org`. Throws on invalid org.
+  static SubarrayGeometry optimize(const CacheOrg& org);
+
+  /// Cost proxy used by the search (exposed for tests): wordline RC grows
+  /// with subarray columns, bitline RC with subarray rows, and the H-tree
+  /// with the division count.
+  static double edp_cost(u64 rows, u64 cols, u32 ndwl, u32 ndbl) noexcept;
+};
+
+}  // namespace pcs

@@ -1,0 +1,61 @@
+// Cache organisation parameters shared by the fault, power, and simulator
+// layers. Header-only and dependency-free so lower layers (pcs_fault) may
+// include it without linking against pcs_cachemodel.
+#pragma once
+
+#include <stdexcept>
+
+#include "util/types.hpp"
+
+namespace pcs {
+
+/// Size / associativity / block geometry of one cache level.
+struct CacheOrg {
+  u64 size_bytes = 64 * 1024;
+  u32 assoc = 4;
+  u32 block_bytes = 64;
+  /// Physical address width used for tag sizing (paper: 2 GB => 31 bits).
+  u32 phys_addr_bits = 31;
+
+  constexpr u64 num_blocks() const noexcept {
+    return size_bytes / block_bytes;
+  }
+  constexpr u64 num_sets() const noexcept { return num_blocks() / assoc; }
+  constexpr u32 bits_per_block() const noexcept { return block_bytes * 8; }
+  constexpr u64 data_bits() const noexcept {
+    return num_blocks() * bits_per_block();
+  }
+
+  constexpr u32 offset_bits() const noexcept {
+    u32 b = 0;
+    for (u32 x = block_bytes; x > 1; x >>= 1) ++b;
+    return b;
+  }
+  constexpr u32 index_bits() const noexcept {
+    u32 b = 0;
+    for (u64 x = num_sets(); x > 1; x >>= 1) ++b;
+    return b;
+  }
+  constexpr u32 tag_bits() const noexcept {
+    return phys_addr_bits - offset_bits() - index_bits();
+  }
+
+  /// Throws if any field is zero or not a power of two, or if the block
+  /// count is not divisible by the associativity.
+  void validate() const {
+    auto pow2 = [](u64 x) { return x != 0 && (x & (x - 1)) == 0; };
+    if (!pow2(size_bytes) || !pow2(assoc) || !pow2(block_bytes)) {
+      throw std::invalid_argument("CacheOrg fields must be powers of two");
+    }
+    if (size_bytes < static_cast<u64>(assoc) * block_bytes) {
+      throw std::invalid_argument("cache smaller than one set");
+    }
+    if (phys_addr_bits <= offset_bits() + index_bits()) {
+      throw std::invalid_argument("address width too small for organisation");
+    }
+  }
+
+  bool operator==(const CacheOrg&) const = default;
+};
+
+}  // namespace pcs

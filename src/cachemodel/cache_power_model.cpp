@@ -1,0 +1,100 @@
+#include "cachemodel/cache_power_model.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "fault/fault_map.hpp"
+
+namespace pcs {
+namespace {
+
+// Fault-map bits live in the tag subarrays but carry comparison logic and
+// routing to the gating controls, so each costs more leakage than a plain
+// storage cell (mirrors kFaultMapCellFactor in the area model, smaller here
+// because the compare logic is idle most cycles).
+constexpr double kFaultMapLeakFactor = 3.0;
+
+// Fraction of the data-array dynamic energy spent settling the rail per
+// 100 mV of transition, integrated over the whole array (C * V * dV).
+constexpr double kRailChargeFactor = 0.5;
+
+}  // namespace
+
+MechanismSpec MechanismSpec::pcs(u32 num_vdd_levels) noexcept {
+  MechanismSpec m;
+  m.fault_map_bits = FaultMap::fm_bits_for_levels(num_vdd_levels);
+  m.faulty_bit = true;
+  m.power_gating = true;
+  return m;
+}
+
+CachePowerModel::CachePowerModel(const Technology& tech, const CacheOrg& org,
+                                 const MechanismSpec& mech)
+    : tech_(tech),
+      org_(org),
+      mech_(mech),
+      geom_(CacheGeometry::optimize(org)),
+      leak_(tech),
+      delay_(tech) {}
+
+StaticPowerBreakdown CachePowerModel::static_power(
+    Volt data_vdd, double gated_fraction) const noexcept {
+  const Volt vnom = tech_.vdd_nominal;
+  const double data_bits = static_cast<double>(org_.data_bits());
+  const double tag_bits = static_cast<double>(org_.num_blocks()) *
+                          (org_.tag_bits() + 3.0);  // valid+dirty+LRU state
+  const double fm_bits =
+      static_cast<double>(org_.num_blocks()) * mech_.metadata_bits();
+
+  StaticPowerBreakdown p;
+  p.data_cells = leak_.array_leakage(data_bits, data_vdd, gated_fraction);
+  p.data_periphery = data_bits * tech_.cell_leak_nominal *
+                     tech_.data_periphery_leak_frac;
+  p.tag_array = tag_bits * tech_.cell_leak_nominal *
+                tech_.tag_leak_frac_per_bit_ratio * leak_.scale_factor(vnom);
+  p.fault_map = fm_bits * tech_.cell_leak_nominal * kFaultMapLeakFactor;
+  return p;
+}
+
+Watt CachePowerModel::baseline_static_power() const noexcept {
+  CachePowerModel base(tech_, org_, MechanismSpec::baseline());
+  return base.static_power(tech_.vdd_nominal, 0.0).total();
+}
+
+Joule CachePowerModel::dynamic_access_energy(Volt data_vdd) const noexcept {
+  const double block_bits = static_cast<double>(org_.bits_per_block());
+  const Volt vnom = tech_.vdd_nominal;
+  const double v_ratio2 = (data_vdd / vnom) * (data_vdd / vnom);
+  // Data-array portion (scales with the data VDD squared) ...
+  const Joule data = block_bits * tech_.dyn_energy_per_bit *
+                     geom_.wire_energy_scale * v_ratio2;
+  // ... plus the fixed-voltage remainder (periphery, tag match, FM read).
+  const double fixed_frac = (1.0 - tech_.dyn_data_frac) / tech_.dyn_data_frac;
+  const Joule fixed = block_bits * tech_.dyn_energy_per_bit *
+                      geom_.wire_energy_scale * fixed_frac;
+  const Joule fm = mech_.metadata_bits() * tech_.dyn_energy_per_bit;
+  return data + fixed + fm;
+}
+
+Joule CachePowerModel::baseline_access_energy() const noexcept {
+  CachePowerModel base(tech_, org_, MechanismSpec::baseline());
+  return base.dynamic_access_energy(tech_.vdd_nominal);
+}
+
+Joule CachePowerModel::transition_energy(Volt delta_v) const noexcept {
+  // Metadata sweep: read + write of the per-block metadata for every block.
+  const double meta_bits = static_cast<double>(org_.num_blocks()) *
+                           (org_.tag_bits() + 3.0 + mech_.metadata_bits());
+  const Joule sweep = 2.0 * meta_bits * tech_.dyn_energy_per_bit;
+  // Rail recharge: proportional to array capacitance and |dV|.
+  const Joule rail = static_cast<double>(org_.data_bits()) *
+                     tech_.dyn_energy_per_bit * kRailChargeFactor *
+                     std::abs(delta_v) / tech_.vdd_nominal;
+  return sweep + rail;
+}
+
+double CachePowerModel::access_time_factor(Volt data_vdd) const noexcept {
+  return delay_.access_time_factor(data_vdd);
+}
+
+}  // namespace pcs

@@ -1,0 +1,90 @@
+// Static power, dynamic energy, and delay for one cache level (CACTI-lite).
+//
+// Reproduces the quantities the paper takes from its modified CACTI 6.5 run:
+// per-component leakage vs the data-array VDD (Fig. 3 "Leakage" pane),
+// dynamic access energy, worst-case access-time inflation, and the
+// PCS-mechanism overheads (fault-map storage, Faulty bit, gating devices).
+// The tag array, both peripheries, and the fault map sit on the full-VDD
+// domain and never scale; only the data cells ride the scalable rail, and
+// power-gated (faulty) blocks leak nothing.
+#pragma once
+
+#include "cachemodel/cache_geometry.hpp"
+#include "cachemodel/cache_org.hpp"
+#include "tech/delay_model.hpp"
+#include "tech/leakage_model.hpp"
+#include "tech/technology.hpp"
+#include "util/types.hpp"
+
+namespace pcs {
+
+/// PCS-mechanism metadata attached to a cache (zeroed for the baseline).
+struct MechanismSpec {
+  u32 fault_map_bits = 0;  ///< FM bits per block (0 = no fault map)
+  bool faulty_bit = false; ///< one Faulty bit per block
+  bool power_gating = false;
+
+  static MechanismSpec baseline() noexcept { return {}; }
+  /// Spec for N allowed data VDD levels (paper: N=3 -> 2 FM bits + Faulty).
+  static MechanismSpec pcs(u32 num_vdd_levels) noexcept;
+
+  u32 metadata_bits() const noexcept {
+    return fault_map_bits + (faulty_bit ? 1 : 0);
+  }
+};
+
+/// Leakage split by voltage domain (all values in watts).
+struct StaticPowerBreakdown {
+  Watt data_cells = 0.0;      ///< scalable domain, reduced by gating
+  Watt data_periphery = 0.0;  ///< full-VDD domain
+  Watt tag_array = 0.0;       ///< tags + state bits + periphery, full VDD
+  Watt fault_map = 0.0;       ///< FM + Faulty bits + compare logic, full VDD
+  Watt total() const noexcept {
+    return data_cells + data_periphery + tag_array + fault_map;
+  }
+};
+
+/// Full CACTI-lite model for one cache level.
+class CachePowerModel {
+ public:
+  CachePowerModel(const Technology& tech, const CacheOrg& org,
+                  const MechanismSpec& mech);
+
+  /// Leakage with the data array at `data_vdd` and `gated_fraction` of the
+  /// blocks power-gated.
+  StaticPowerBreakdown static_power(Volt data_vdd,
+                                    double gated_fraction = 0.0) const noexcept;
+
+  /// Leakage of the fault-free baseline cache (no mechanism, nominal VDD).
+  Watt baseline_static_power() const noexcept;
+
+  /// Dynamic energy of one access (block read/write incl. tag lookup) with
+  /// the data array at `data_vdd`. PCS does not boost the data VDD for
+  /// accesses, so this scales ~V^2 in the data portion.
+  Joule dynamic_access_energy(Volt data_vdd) const noexcept;
+
+  /// Dynamic energy of one access for the baseline (nominal VDD, no FM read).
+  Joule baseline_access_energy() const noexcept;
+
+  /// Energy to execute the transition procedure once: a metadata read+write
+  /// sweep of every set plus recharging the data rail by `delta_v`.
+  Joule transition_energy(Volt delta_v) const noexcept;
+
+  /// Relative access time at `data_vdd` vs nominal (>= 1).
+  double access_time_factor(Volt data_vdd) const noexcept;
+
+  const CacheOrg& org() const noexcept { return org_; }
+  const MechanismSpec& mechanism() const noexcept { return mech_; }
+  const SubarrayGeometry& geometry() const noexcept { return geom_; }
+  const Technology& tech() const noexcept { return tech_; }
+
+ private:
+  Technology tech_;  // by value: callers may pass temporaries
+  CacheOrg org_;
+  MechanismSpec mech_;
+  SubarrayGeometry geom_;
+  LeakageModel leak_;
+  DelayModel delay_;
+};
+
+}  // namespace pcs

@@ -1,0 +1,45 @@
+#include "core/config.hpp"
+
+namespace pcs {
+namespace {
+constexpr u64 KB = 1024;
+constexpr u64 MB = 1024 * 1024;
+}  // namespace
+
+SystemConfig SystemConfig::config_a() {
+  SystemConfig c;
+  c.name = "A";
+  c.clock_ghz = 2.0;
+  c.l1i = {{64 * KB, 4, 64, 31}, 2, 20'000, 34.0, 10};
+  c.l1d = {{64 * KB, 4, 64, 31}, 2, 20'000, 34.0, 10};
+  c.l2 = {{2 * MB, 8, 64, 31}, 4, 2'000, 120.0, 25};
+  c.mem_latency = 120;
+  c.settle_penalty = 40;
+  return c;
+}
+
+SystemConfig SystemConfig::config_b() {
+  SystemConfig c;
+  c.name = "B";
+  c.clock_ghz = 3.0;
+  c.l1i = {{256 * KB, 8, 64, 31}, 3, 20'000, 53.0, 10};
+  c.l1d = {{256 * KB, 8, 64, 31}, 3, 20'000, 53.0, 10};
+  c.l2 = {{8 * MB, 16, 64, 31}, 8, 2'000, 180.0, 25};
+  c.mem_latency = 180;
+  c.settle_penalty = 40;
+  return c;
+}
+
+HierarchyConfig SystemConfig::hierarchy_config() const {
+  HierarchyConfig h;
+  h.l1i = l1i.org;
+  h.l1d = l1d.org;
+  h.l2 = l2.org;
+  h.l1_hit_latency = l1i.hit_latency;
+  h.l2_hit_latency = l2.hit_latency;
+  h.mem_latency = mem_latency;
+  h.replacement = replacement;
+  return h;
+}
+
+}  // namespace pcs

@@ -1,0 +1,153 @@
+#include "core/controller.hpp"
+
+#include <cmath>
+
+#include "util/mathx.hpp"
+
+namespace pcs {
+
+PcsController::PcsController(CacheLevel& cache, WritebackSink& sink,
+                             CycleClock& cpu,
+                             std::unique_ptr<PcsMechanism> mechanism,
+                             std::unique_ptr<PcsPolicy> policy,
+                             EnergyMeter meter, u64 interval_accesses)
+    : cache_(&cache),
+      sink_(&sink),
+      cpu_(&cpu),
+      mech_(std::move(mechanism)),
+      policy_(std::move(policy)),
+      meter_(std::move(meter)),
+      interval_accesses_(interval_accesses) {}
+
+PcsController::PcsController(CacheLevel& cache, CycleClock& cpu,
+                             EnergyMeter meter)
+    : cache_(&cache), cpu_(&cpu), meter_(std::move(meter)) {}
+
+Volt PcsController::current_vdd() const noexcept {
+  return mech_ ? mech_->current_vdd() : meter_.current_vdd();
+}
+
+void PcsController::tick() {
+  const CacheLevelStats& s = cache_->stats();
+
+  // Dynamic energy for everything that toggled the arrays since last tick,
+  // at the voltage in force now (transitions sync the meter, so per-window
+  // attribution is exact).
+  const u64 ea = s.energy_accesses();
+  if (ea != seen_energy_accesses_) {
+    meter_.add_accesses(ea - seen_energy_accesses_);
+    seen_energy_accesses_ = ea;
+  }
+
+  if (!policy_ || interval_accesses_ == 0) return;
+
+  const u64 delta = s.accesses - seen_accesses_;
+  if (delta == 0) return;
+  window_accesses_ += delta;
+  window_misses_ += s.misses - seen_misses_;
+  seen_accesses_ = s.accesses;
+  seen_misses_ = s.misses;
+
+  if (window_accesses_ >= interval_accesses_) {
+    if (refill_fills_needed_ > 0 &&
+        s.fills - fills_at_transition_ < refill_fills_needed_ &&
+        deferred_windows_ < kMaxDeferredWindows) {
+      // Still refilling restored blocks: this window's miss rate reflects
+      // the transition churn, not the workload. Discard it.
+      ++deferred_windows_;
+    } else {
+      refill_fills_needed_ = 0;
+      evaluate_policy();
+    }
+    window_accesses_ = 0;
+    window_misses_ = 0;
+    rank_snapshot_ = cache_->stats().hits_by_rank;
+  }
+}
+
+void PcsController::evaluate_policy() {
+  PolicyInput in;
+  in.window_accesses = window_accesses_;
+  in.window_misses = window_misses_;
+  in.window_deep_hits = window_deep_hits();
+  in.now = cpu_->cycles();
+  in.current_level = mech_->current_level();
+  const u32 want = policy_->on_interval(in);
+  if (want != mech_->current_level()) do_transition(want);
+}
+
+u64 PcsController::window_deep_hits() const {
+  // Hits at the recency ranks one more VDD step down would forfeit: the
+  // additional gated-block fraction at level-1, expressed in ways.
+  const u32 level = mech_->current_level();
+  if (level <= 1) return 0;
+  const FaultMap& map = mech_->fault_map();
+  const double blocks = static_cast<double>(map.num_blocks());
+  const double dg =
+      (static_cast<double>(map.faulty_count(level - 1)) -
+       static_cast<double>(map.faulty_count(level))) /
+      blocks;
+  const u32 assoc = cache_->org().assoc;
+  // Each set loses K ~ Binomial(assoc, dg) ways; a hit at recency rank r is
+  // forfeited when r >= assoc - K, i.e. with probability P[K >= assoc - r].
+  // Using the full distribution (not just the mean) matters: the loss is
+  // convex in K, so unlucky sets dominate when dg*assoc is large.
+  const auto& cur = cache_->stats().hits_by_rank;
+  double deep = 0.0;
+  for (u32 r = 0; r < assoc; ++r) {
+    const u64 h = cur[r] - rank_snapshot_[r];
+    if (h == 0) continue;
+    const double p_keep = binomial_cdf(assoc, assoc - r - 1, dg);
+    deep += (1.0 - p_keep) * static_cast<double>(h);
+  }
+  return static_cast<u64>(deep);
+}
+
+void PcsController::do_transition(u32 want) {
+  const Volt from_vdd = mech_->current_vdd();
+  // Leakage and level residency up to the start of the transition accrue at
+  // the old state.
+  meter_.advance(cpu_->cycles());
+  account_level_cycles(cpu_->cycles());
+
+  TransitionResult res = mech_->transition(want);
+  for (u64 addr : res.writeback_addrs) sink_->writeback_from(*cache_, addr);
+
+  cpu_->add_stall(res.penalty_cycles);
+  meter_.set_state(cpu_->cycles(), mech_->current_vdd(),
+                   mech_->gated_fraction());
+  meter_.add_transition(from_vdd, mech_->current_vdd());
+
+  ++stats_.transitions;
+  stats_.transition_writebacks += res.writebacks;
+  stats_.transition_stall_cycles += res.penalty_cycles;
+
+  if (res.blocks_restored > 0) {
+    refill_fills_needed_ = res.blocks_restored / 2;
+    fills_at_transition_ = cache_->stats().fills;
+    deferred_windows_ = 0;
+  }
+}
+
+void PcsController::account_level_cycles(Cycle now) {
+  if (mech_) {
+    const u32 lvl = mech_->current_level();
+    if (lvl < stats_.cycles_at_level.size()) {
+      stats_.cycles_at_level[lvl] += now - level_since_;
+    }
+  }
+  level_since_ = now;
+}
+
+void PcsController::finalize() {
+  meter_.advance(cpu_->cycles());
+  account_level_cycles(cpu_->cycles());
+}
+
+void PcsController::reset_measurement() {
+  meter_.reset(cpu_->cycles());
+  stats_ = ControllerStats{};
+  level_since_ = cpu_->cycles();
+}
+
+}  // namespace pcs

@@ -1,0 +1,76 @@
+// DPCS: the dynamic power/capacity-scaling policy (paper Listing 1).
+//
+// Samples the miss rate over each Interval of accesses and estimates the
+// current average access time (CAAT). Every SuperInterval intervals the
+// voltage is reset to the SPCS level so a fresh nominal average access time
+// (NAAT) can be sampled. In between, CAAT is compared against NAAT (plus the
+// amortized transition penalty) with low/high hysteresis thresholds to step
+// the VDD level down (more savings) or up (recover performance). The policy
+// never raises the voltage above the SPCS level: by construction >= 99% of
+// blocks are already available there, so a higher voltage cannot improve
+// cache performance (paper section 4.3).
+//
+// Three refinements over the paper's Listing 1 (which invites variants:
+// "the proposed policy is only one of many possibilities"):
+//  * the first interval after parking is a warm-up -- blocks restored from
+//    gating come back empty, and sampling NAAT through their refill misses
+//    would make the nominal level look no better than the scaled one;
+//  * after the policy is forced to ascend, it will not re-descend below the
+//    recovered level until the next NAAT resample (anti-oscillation
+//    backoff);
+//  * descends are gated by a *utility monitor* (PolicyInput's
+//    window_deep_hits: hits at the LRU recency ranks the lower level would
+//    forfeit). The policy descends only when the *predicted* AAT at the
+//    lower level -- CAAT plus those forfeited hits priced as misses --
+//    stays inside the LT band, instead of probing blindly and paying a
+//    double transition sweep plus a refill of every re-enabled block to
+//    find out. This matters much more on our blocking CPU model than on
+//    the paper's OoO core, which hides a large share of the probe damage.
+#pragma once
+
+#include "core/policy.hpp"
+#include "util/types.hpp"
+
+namespace pcs {
+
+/// Tuning constants for DPCS (paper Table 2).
+struct DpcsParams {
+  u64 interval_accesses = 100'000;
+  u32 super_interval = 10;
+  double low_threshold = 0.05;   ///< LT: descend band (paper value)
+  double high_threshold = 0.10;  ///< HT: ascend band (paper value)
+  double hit_latency = 2.0;      ///< cycles, for the AAT estimate
+  double miss_penalty = 30.0;    ///< cycles, estimated downstream cost
+  Cycle transition_penalty = 0;  ///< cycles per transition (2*sets + settle)
+};
+
+/// Listing 1, as a reusable object. One instance governs one cache.
+class DpcsPolicy final : public PcsPolicy {
+ public:
+  /// `spcs_level` is the ceiling (and NAAT reference) level; `min_level` is
+  /// the floor, normally 1, raised when the manufactured chip is not viable
+  /// (some set with zero good blocks) at the lowest ladder levels.
+  DpcsPolicy(const DpcsParams& params, u32 spcs_level, u32 min_level = 1);
+
+  u32 on_interval(const PolicyInput& input) override;
+  const char* name() const override { return "DPCS"; }
+
+  /// Average access time estimate for a window (exposed for tests):
+  /// hit_latency + miss_rate * miss_penalty.
+  double estimate_aat(u64 accesses, u64 misses) const noexcept;
+
+  double naat() const noexcept { return naat_; }
+  u32 interval_count() const noexcept { return interval_count_; }
+  const DpcsParams& params() const noexcept { return params_; }
+
+ private:
+  DpcsParams params_;
+  u32 spcs_level_;
+  u32 min_level_;
+  u32 interval_count_ = 0;
+  u32 backoff_floor_ = 1;  ///< raised after an ascend, cleared at each NAAT
+  double naat_ = 0.0;
+  bool have_naat_ = false;
+};
+
+}  // namespace pcs

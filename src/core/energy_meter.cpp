@@ -1,0 +1,62 @@
+#include "core/energy_meter.hpp"
+
+namespace pcs {
+
+EnergyMeter::EnergyMeter(const CachePowerModel& model, double clock_hz,
+                         Volt initial_vdd,
+                         double initial_gated_fraction) noexcept
+    : model_(model),
+      clock_hz_(clock_hz),
+      vdd_(initial_vdd),
+      gated_(initial_gated_fraction),
+      current_static_power_(
+          model.static_power(initial_vdd, initial_gated_fraction).total()),
+      current_access_energy_(model.dynamic_access_energy(initial_vdd)) {}
+
+void EnergyMeter::advance(Cycle now) noexcept {
+  if (now <= last_cycle_) return;
+  const double dt =
+      static_cast<double>(now - last_cycle_) / clock_hz_;
+  static_e_ += current_static_power_ * dt;
+  vdd_cycle_integral_ += vdd_ * static_cast<double>(now - last_cycle_);
+  last_cycle_ = now;
+}
+
+void EnergyMeter::set_state(Cycle now, Volt vdd,
+                            double gated_fraction) noexcept {
+  advance(now);
+  vdd_ = vdd;
+  gated_ = gated_fraction;
+  current_static_power_ = model_.static_power(vdd, gated_fraction).total();
+  current_access_energy_ = model_.dynamic_access_energy(vdd);
+}
+
+void EnergyMeter::add_accesses(u64 n) noexcept {
+  dynamic_e_ += static_cast<double>(n) * current_access_energy_;
+}
+
+void EnergyMeter::add_transition(Volt from_vdd, Volt to_vdd) noexcept {
+  transition_e_ += model_.transition_energy(to_vdd - from_vdd);
+}
+
+void EnergyMeter::reset(Cycle now) noexcept {
+  start_cycle_ = now;
+  last_cycle_ = now;
+  static_e_ = 0.0;
+  dynamic_e_ = 0.0;
+  transition_e_ = 0.0;
+  vdd_cycle_integral_ = 0.0;
+}
+
+Watt EnergyMeter::average_power() const noexcept {
+  if (last_cycle_ <= start_cycle_) return 0.0;
+  const double t = static_cast<double>(last_cycle_ - start_cycle_) / clock_hz_;
+  return total_energy() / t;
+}
+
+Volt EnergyMeter::average_vdd() const noexcept {
+  if (last_cycle_ <= start_cycle_) return vdd_;
+  return vdd_cycle_integral_ / static_cast<double>(last_cycle_ - start_cycle_);
+}
+
+}  // namespace pcs

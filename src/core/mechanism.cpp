@@ -1,0 +1,79 @@
+#include "core/mechanism.hpp"
+
+#include <stdexcept>
+
+namespace pcs {
+
+PcsMechanism::PcsMechanism(CacheLevel& cache, FaultMap fault_map,
+                           VddLadder ladder, u32 initial_level,
+                           Cycle settle_penalty_cycles)
+    : cache_(&cache),
+      map_(std::move(fault_map)),
+      ladder_(std::move(ladder)),
+      level_(initial_level),
+      settle_penalty_(settle_penalty_cycles) {
+  if (map_.num_blocks() != cache_->org().num_blocks()) {
+    throw std::invalid_argument("fault map size != cache block count");
+  }
+  if (initial_level == 0 || initial_level > ladder_.num_levels()) {
+    throw std::invalid_argument("initial level out of range");
+  }
+  apply_faulty_bits(level_, nullptr);
+}
+
+Cycle PcsMechanism::transition_penalty() const noexcept {
+  return 2 * cache_->org().num_sets() + settle_penalty_;
+}
+
+double PcsMechanism::gated_fraction() const noexcept {
+  return static_cast<double>(map_.faulty_count(level_)) /
+         static_cast<double>(map_.num_blocks());
+}
+
+void PcsMechanism::apply_faulty_bits(u32 level, TransitionResult* result) {
+  const CacheOrg& org = cache_->org();
+  for (u64 set = 0; set < org.num_sets(); ++set) {
+    // Listing 2 handles each way of a set in parallel; functionally we just
+    // visit every block.
+    for (u32 way = 0; way < org.assoc; ++way) {
+      const u64 block = set * org.assoc + way;
+      const bool will_be_faulty = map_.faulty_at(block, level);
+      const bool was_faulty = cache_->is_faulty(set, way);
+      if (will_be_faulty && !was_faulty) {
+        const bool was_valid = cache_->is_valid(set, way);
+        const bool dirty = cache_->is_valid(set, way) && cache_->is_dirty(set, way);
+        const u64 addr = cache_->block_addr(set, way);
+        cache_->set_block_faulty(set, way, true);
+        if (result) {
+          ++result->blocks_newly_faulty;
+          if (was_valid) ++result->invalidations;
+          if (dirty) {
+            ++result->writebacks;
+            result->writeback_addrs.push_back(addr);
+          }
+        }
+      } else if (!will_be_faulty && was_faulty) {
+        cache_->set_block_faulty(set, way, false);
+        if (result) ++result->blocks_restored;
+      }
+    }
+  }
+}
+
+TransitionResult PcsMechanism::transition(u32 new_level) {
+  TransitionResult result;
+  result.from_level = level_;
+  result.to_level = new_level;
+  if (new_level == 0 || new_level > ladder_.num_levels()) {
+    throw std::invalid_argument("transition level out of range");
+  }
+  if (new_level == level_) return result;
+
+  apply_faulty_bits(new_level, &result);
+  cache_->stats().transition_writebacks += result.writebacks;
+  level_ = new_level;
+  result.penalty_cycles = transition_penalty();
+  return result;
+}
+
+}  // namespace pcs

@@ -1,0 +1,68 @@
+// The power/capacity-scaling mechanism (paper section 3.1).
+//
+// Binds a cache level to its manufactured fault map and VDD ladder. The
+// mechanism owns the current data-array voltage level and implements the
+// transition procedure of Listing 2: before any VDD change it sweeps every
+// set, writes back dirty blocks that will become faulty, invalidates them,
+// sets/clears the per-block Faulty bits from the FM code, and only then
+// commits the voltage. Faulty blocks are power-gated (zero leakage).
+#pragma once
+
+#include <vector>
+
+#include "cache/cache_level.hpp"
+#include "core/vdd_levels.hpp"
+#include "fault/fault_map.hpp"
+#include "util/types.hpp"
+
+namespace pcs {
+
+/// Outcome of one execution of the transition procedure.
+struct TransitionResult {
+  u32 from_level = 0;
+  u32 to_level = 0;
+  u64 blocks_newly_faulty = 0;
+  u64 blocks_restored = 0;
+  u64 writebacks = 0;     ///< dirty blocks flushed before gating
+  u64 invalidations = 0;  ///< valid blocks dropped (clean) or flushed (dirty)
+  Cycle penalty_cycles = 0;
+  /// Block-aligned addresses the caller must route to the level below.
+  std::vector<u64> writeback_addrs;
+};
+
+/// Per-cache-level PCS mechanism state machine.
+class PcsMechanism {
+ public:
+  /// Applies `initial_level` immediately (fault map sweep, no writebacks
+  /// since the cache starts cold).
+  PcsMechanism(CacheLevel& cache, FaultMap fault_map, VddLadder ladder,
+               u32 initial_level, Cycle settle_penalty_cycles);
+
+  /// Executes Listing 2 toward `new_level`. A no-op (zero-cost) result is
+  /// returned if new_level == current level.
+  TransitionResult transition(u32 new_level);
+
+  u32 current_level() const noexcept { return level_; }
+  Volt current_vdd() const noexcept { return ladder_.vdd(level_); }
+  const VddLadder& ladder() const noexcept { return ladder_; }
+  const FaultMap& fault_map() const noexcept { return map_; }
+  CacheLevel& cache() noexcept { return *cache_; }
+
+  /// Fraction of blocks power-gated at the current level.
+  double gated_fraction() const noexcept;
+
+  /// Cycles one transition costs: 2 cycles per set (metadata read/process/
+  /// write) plus the voltage settle penalty (paper section 3.3).
+  Cycle transition_penalty() const noexcept;
+
+ private:
+  void apply_faulty_bits(u32 level, TransitionResult* result);
+
+  CacheLevel* cache_;
+  FaultMap map_;
+  VddLadder ladder_;
+  u32 level_;
+  Cycle settle_penalty_;
+};
+
+}  // namespace pcs

@@ -1,0 +1,36 @@
+// Power/capacity-scaling policy interface (paper sections 3.2-3.3).
+//
+// A policy is consulted by the cache controller at every Interval boundary
+// (a fixed number of demand accesses) and answers with the VDD level the
+// data array should run at for the next interval.
+#pragma once
+
+#include "util/types.hpp"
+
+namespace pcs {
+
+/// Snapshot handed to the policy at an interval boundary.
+struct PolicyInput {
+  u64 window_accesses = 0;  ///< demand accesses in the closed interval
+  u64 window_misses = 0;    ///< demand misses in the closed interval
+  /// Utility-monitor reading: hits, within the window, at the recency ranks
+  /// that one more VDD step down would forfeit (the deepest ceil(dg*assoc)
+  /// LRU positions, dg = additional gated-block fraction at the lower
+  /// level). These hits become misses if the policy descends.
+  u64 window_deep_hits = 0;
+  Cycle now = 0;            ///< current CPU cycle
+  u32 current_level = 0;    ///< level in force during the interval
+};
+
+/// Decides the data-array VDD level at interval boundaries.
+class PcsPolicy {
+ public:
+  virtual ~PcsPolicy() = default;
+
+  /// Returns the desired level for the next interval (may equal current).
+  virtual u32 on_interval(const PolicyInput& input) = 0;
+
+  virtual const char* name() const = 0;
+};
+
+}  // namespace pcs

@@ -1,0 +1,14 @@
+#include "core/static_policy.hpp"
+
+#include <stdexcept>
+
+namespace pcs {
+
+StaticPolicy::StaticPolicy(u32 spcs_level) noexcept : level_(spcs_level) {}
+
+u32 StaticPolicy::on_interval(const PolicyInput& input) {
+  (void)input;
+  return level_;
+}
+
+}  // namespace pcs

@@ -1,0 +1,27 @@
+// SPCS: the static power/capacity-scaling policy (paper section 3.2).
+//
+// Runs the cache at the lowest VDD level that keeps at least 99% of blocks
+// non-faulty (the ladder's SPCS level) for the whole execution. The only
+// performance cost is the handful of extra misses from the <= 1% of blocks
+// that are disabled.
+#pragma once
+
+#include "core/policy.hpp"
+
+namespace pcs {
+
+/// Always answers the (fixed) SPCS level.
+class StaticPolicy final : public PcsPolicy {
+ public:
+  explicit StaticPolicy(u32 spcs_level) noexcept;
+
+  u32 on_interval(const PolicyInput& input) override;
+  const char* name() const override { return "SPCS"; }
+
+  u32 level() const noexcept { return level_; }
+
+ private:
+  u32 level_;
+};
+
+}  // namespace pcs

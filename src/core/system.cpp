@@ -1,0 +1,186 @@
+#include "core/system.hpp"
+
+#include <stdexcept>
+
+#include "core/static_policy.hpp"
+#include "fault/cell_fault_field.hpp"
+#include "util/rng.hpp"
+
+namespace pcs {
+
+const char* to_string(PolicyKind kind) noexcept {
+  switch (kind) {
+    case PolicyKind::kBaseline:
+      return "baseline";
+    case PolicyKind::kStatic:
+      return "SPCS";
+    case PolicyKind::kDynamic:
+      return "DPCS";
+  }
+  return "?";
+}
+
+PcsSystem::PcsSystem(const SystemConfig& config, PolicyKind kind,
+                     u64 chip_seed)
+    : cfg_(config), kind_(kind) {
+  hier_ = std::make_unique<Hierarchy>(cfg_.hierarchy_config());
+  cpu_ = std::make_unique<CpuModel>(*hier_, cfg_.clock_ghz);
+
+  Rng chip_rng(chip_seed);
+  ctl_l1i_ = make_controller(hier_->l1i(), cfg_.l1i, chip_rng.next_u64(),
+                             &ladder_l1i_);
+  ctl_l1d_ = make_controller(hier_->l1d(), cfg_.l1d, chip_rng.next_u64(),
+                             &ladder_l1d_);
+  ctl_l2_ =
+      make_controller(hier_->l2(), cfg_.l2, chip_rng.next_u64(), &ladder_l2_);
+}
+
+std::unique_ptr<PcsController> PcsSystem::make_controller(
+    CacheLevel& cache, const CacheLevelConfig& lc, u64 seed, VddLadder* out) {
+  const Technology& tech = cfg_.tech;
+  const double clock_hz = cfg_.clock_ghz * 1e9;
+
+  if (kind_ == PolicyKind::kBaseline) {
+    CachePowerModel model(tech, lc.org, MechanismSpec::baseline());
+    EnergyMeter meter(model, clock_hz, tech.vdd_nominal, 0.0);
+    *out = VddLadder{{tech.vdd_nominal}, 1};
+    return std::make_unique<PcsController>(cache, *cpu_, std::move(meter));
+  }
+
+  // Design-time selection for this organisation...
+  BerModel ber(tech);
+  VddSelector selector(tech, ber, lc.org);
+  VddSelectionParams sel;
+  sel.yield_target = cfg_.yield_target;
+  sel.capacity_target = cfg_.capacity_target;
+  sel.vdd1_capacity_floor = cfg_.vdd1_capacity_floor;
+  sel.num_levels = cfg_.num_vdd_levels;
+  VddLadder ladder = selector.select(sel);
+  *out = ladder;
+
+  // ... then manufacture this particular die.
+  Rng rng(seed);
+  CellFaultField field = CellFaultField::sample_fast(
+      ber, lc.org.num_blocks(), lc.org.bits_per_block(), rng);
+  FaultMap map(ladder.levels, field);
+
+  // A 1-in-100 die may violate the set constraint at the lowest levels;
+  // DPCS simply never descends below the lowest viable level on that die.
+  u32 min_viable = ladder.spcs_level;
+  for (u32 lvl = 1; lvl <= ladder.spcs_level; ++lvl) {
+    if (map.viable(lc.org.assoc, lvl)) {
+      min_viable = lvl;
+      break;
+    }
+  }
+
+  auto mech = std::make_unique<PcsMechanism>(cache, std::move(map), ladder,
+                                             ladder.spcs_level,
+                                             cfg_.settle_penalty);
+
+  std::unique_ptr<PcsPolicy> policy;
+  if (kind_ == PolicyKind::kStatic) {
+    policy = std::make_unique<StaticPolicy>(ladder.spcs_level);
+  } else {
+    DpcsParams dp;
+    dp.interval_accesses = lc.dpcs_interval;
+    dp.super_interval = lc.super_interval;
+    dp.low_threshold = cfg_.low_threshold;
+    dp.high_threshold = cfg_.high_threshold;
+    dp.hit_latency = lc.hit_latency;
+    dp.miss_penalty = lc.miss_penalty_estimate;
+    dp.transition_penalty = mech->transition_penalty();
+    policy = std::make_unique<DpcsPolicy>(dp, ladder.spcs_level, min_viable);
+  }
+
+  CachePowerModel model(tech, lc.org,
+                        MechanismSpec::pcs(ladder.num_levels()));
+  EnergyMeter meter(model, clock_hz, mech->current_vdd(),
+                    mech->gated_fraction());
+  return std::make_unique<PcsController>(cache, *hier_, *cpu_,
+                                         std::move(mech), std::move(policy),
+                                         std::move(meter), lc.dpcs_interval);
+}
+
+const VddLadder& PcsSystem::ladder(const std::string& level) const {
+  if (level == "L1I") return ladder_l1i_;
+  if (level == "L1D") return ladder_l1d_;
+  if (level == "L2") return ladder_l2_;
+  throw std::invalid_argument("unknown cache level: " + level);
+}
+
+namespace {
+
+CacheEnergyReport make_cache_report(const PcsController& ctl,
+                                    const CacheLevelStats& window) {
+  CacheEnergyReport r;
+  r.name = ctl.cache().name();
+  r.static_energy = ctl.meter().static_energy();
+  r.dynamic_energy = ctl.meter().dynamic_energy();
+  r.transition_energy = ctl.meter().transition_energy();
+  r.avg_power = ctl.meter().average_power();
+  r.avg_vdd = ctl.meter().average_vdd();
+  r.final_vdd = ctl.current_vdd();
+  r.accesses = window.accesses;
+  r.misses = window.misses;
+  r.miss_rate = window.miss_rate();
+  r.transitions = ctl.pcs_stats().transitions;
+  r.transition_writebacks = ctl.pcs_stats().transition_writebacks;
+  r.effective_capacity = ctl.cache().effective_capacity();
+  return r;
+}
+
+}  // namespace
+
+SimReport PcsSystem::run(TraceSource& trace, const RunParams& params) {
+  // Warm-up window (the analog of the paper's 1B-instruction fast-forward).
+  AccessOutcome out;
+  u64 warm = 0;
+  while (warm < params.warmup_refs && cpu_->step(trace, out)) {
+    ctl_l1i_->tick();
+    ctl_l1d_->tick();
+    ctl_l2_->tick();
+    ++warm;
+  }
+  ctl_l1i_->reset_measurement();
+  ctl_l1d_->reset_measurement();
+  ctl_l2_->reset_measurement();
+
+  const CacheLevelStats s1i = hier_->l1i().stats();
+  const CacheLevelStats s1d = hier_->l1d().stats();
+  const CacheLevelStats s2 = hier_->l2().stats();
+  const CpuStats cpu0 = cpu_->stats();
+  const u64 mem_r0 = hier_->mem_reads();
+  const u64 mem_w0 = hier_->mem_writes();
+
+  u64 measured = 0;
+  while (measured < params.max_refs && cpu_->step(trace, out)) {
+    ctl_l1i_->tick();
+    ctl_l1d_->tick();
+    ctl_l2_->tick();
+    ++measured;
+  }
+  ctl_l1i_->finalize();
+  ctl_l1d_->finalize();
+  ctl_l2_->finalize();
+
+  SimReport rep;
+  rep.config_name = cfg_.name;
+  rep.workload = trace.name();
+  rep.policy = to_string(kind_);
+  rep.instructions = cpu_->stats().instructions - cpu0.instructions;
+  rep.refs = cpu_->stats().refs - cpu0.refs;
+  rep.cycles = cpu_->stats().cycles - cpu0.cycles;
+  rep.seconds = static_cast<double>(rep.cycles) / (cfg_.clock_ghz * 1e9);
+  rep.ipc = rep.cycles ? static_cast<double>(rep.instructions) /
+                             static_cast<double>(rep.cycles)
+                       : 0.0;
+  rep.mem_reads = hier_->mem_reads() - mem_r0;
+  rep.mem_writes = hier_->mem_writes() - mem_w0;
+  rep.l1i = make_cache_report(*ctl_l1i_, hier_->l1i().stats() - s1i);
+  rep.l1d = make_cache_report(*ctl_l1d_, hier_->l1d().stats() - s1d);
+  rep.l2 = make_cache_report(*ctl_l2_, hier_->l2().stats() - s2);
+  return rep;
+}
+
+}  // namespace pcs

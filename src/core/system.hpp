@@ -1,0 +1,117 @@
+// Whole-system assembly: manufactured chip, hierarchy, CPU, controllers.
+//
+// PcsSystem is what the benches and examples instantiate: it "manufactures"
+// a chip (samples fault fields for every cache from the chip seed), selects
+// the VDD ladders, wires PCS controllers around each cache level per the
+// chosen policy, runs a workload with a warm-up window, and reports the
+// power / performance / energy quantities of the paper's Fig. 4.
+#pragma once
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "cache/cpu_model.hpp"
+#include "cache/hierarchy.hpp"
+#include "cache/trace_source.hpp"
+#include "core/config.hpp"
+#include "core/controller.hpp"
+#include "core/vdd_levels.hpp"
+#include "util/types.hpp"
+
+namespace pcs {
+
+/// Which architecture a PcsSystem models.
+enum class PolicyKind {
+  kBaseline,  ///< fault-intolerant cache at nominal VDD (the 1 V reference)
+  kStatic,    ///< SPCS
+  kDynamic,   ///< DPCS
+};
+
+const char* to_string(PolicyKind kind) noexcept;
+
+/// Simulation knobs.
+struct RunParams {
+  u64 max_refs = 2'000'000;    ///< measured references after warm-up
+  u64 warmup_refs = 300'000;   ///< references discarded before measuring
+};
+
+/// Per-cache results over the measured window.
+struct CacheEnergyReport {
+  std::string name;
+  Joule static_energy = 0.0;
+  Joule dynamic_energy = 0.0;
+  Joule transition_energy = 0.0;
+  Watt avg_power = 0.0;
+  Volt avg_vdd = 0.0;
+  Volt final_vdd = 0.0;
+  double miss_rate = 0.0;
+  u64 accesses = 0;
+  u64 misses = 0;
+  u32 transitions = 0;
+  u64 transition_writebacks = 0;
+  double effective_capacity = 1.0;  ///< at the final level
+
+  Joule total_energy() const noexcept {
+    return static_energy + dynamic_energy + transition_energy;
+  }
+};
+
+/// Whole-run results over the measured window.
+struct SimReport {
+  std::string config_name;
+  std::string workload;
+  std::string policy;
+  u64 instructions = 0;
+  u64 refs = 0;
+  Cycle cycles = 0;
+  Second seconds = 0.0;
+  double ipc = 0.0;
+  u64 mem_reads = 0;   ///< DRAM block fetches in the measured window
+  u64 mem_writes = 0;  ///< DRAM writebacks in the measured window
+  CacheEnergyReport l1i, l1d, l2;
+
+  Joule total_cache_energy() const noexcept {
+    return l1i.total_energy() + l1d.total_energy() + l2.total_energy();
+  }
+  Watt l1_power() const noexcept { return l1i.avg_power + l1d.avg_power; }
+  Watt l2_power() const noexcept { return l2.avg_power; }
+};
+
+/// A manufactured, policy-equipped simulated system.
+class PcsSystem {
+ public:
+  /// `chip_seed` fixes the manufactured fault maps (one die); reruns with
+  /// the same seed land on the same chip.
+  PcsSystem(const SystemConfig& config, PolicyKind kind, u64 chip_seed);
+
+  /// Runs `trace` (warm-up + measured window) and reports.
+  SimReport run(TraceSource& trace, const RunParams& params);
+
+  // Introspection for tests and examples.
+  Hierarchy& hierarchy() noexcept { return *hier_; }
+  CpuModel& cpu() noexcept { return *cpu_; }
+  PcsController& l1i_controller() noexcept { return *ctl_l1i_; }
+  PcsController& l1d_controller() noexcept { return *ctl_l1d_; }
+  PcsController& l2_controller() noexcept { return *ctl_l2_; }
+  PolicyKind kind() const noexcept { return kind_; }
+  const SystemConfig& config() const noexcept { return cfg_; }
+  /// The selected ladder for a cache level name ("L1I", "L1D", "L2").
+  const VddLadder& ladder(const std::string& level) const;
+
+ private:
+  std::unique_ptr<PcsController> make_controller(CacheLevel& cache,
+                                                 const CacheLevelConfig& lc,
+                                                 u64 seed, VddLadder* out);
+
+  SystemConfig cfg_;
+  PolicyKind kind_;
+  std::unique_ptr<Hierarchy> hier_;
+  std::unique_ptr<CpuModel> cpu_;
+  std::unique_ptr<PcsController> ctl_l1i_;
+  std::unique_ptr<PcsController> ctl_l1d_;
+  std::unique_ptr<PcsController> ctl_l2_;
+  VddLadder ladder_l1i_, ladder_l1d_, ladder_l2_;
+};
+
+}  // namespace pcs

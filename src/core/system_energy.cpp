@@ -1,0 +1,20 @@
+#include "core/system_energy.hpp"
+
+namespace pcs {
+
+SystemEnergyReport SystemEnergyModel::evaluate(
+    const SimReport& r) const noexcept {
+  SystemEnergyReport out;
+  const double active_s = static_cast<double>(r.instructions) / clock_hz_;
+  const double total_s = static_cast<double>(r.cycles) / clock_hz_;
+  const double stall_s = total_s > active_s ? total_s - active_s : 0.0;
+  out.core = params_.core_active_power * active_s +
+             params_.core_idle_power * stall_s;
+  out.dram = params_.dram_energy_per_access *
+                 static_cast<double>(r.mem_reads + r.mem_writes) +
+             params_.dram_background_power * total_s;
+  out.cache = r.total_cache_energy();
+  return out;
+}
+
+}  // namespace pcs

@@ -1,0 +1,56 @@
+// System-wide energy accounting (the paper's future-work item "an
+// evaluation of system-wide power and energy impacts").
+//
+// Wraps a SimReport with first-order CPU-core and DRAM energy models so the
+// cache-level savings can be put in whole-system context: the cache is a
+// large but not dominant consumer, so a 60% cache-energy saving dilutes to
+// a smaller system-level figure -- and any execution-time overhead charges
+// core+DRAM background energy against the savings (Amdahl in joules).
+#pragma once
+
+#include "core/system.hpp"
+#include "util/types.hpp"
+
+namespace pcs {
+
+/// First-order power constants for the non-cache system components
+/// (45 nm-class single core; DDR3-class memory).
+struct SystemPowerParams {
+  /// Core power while retiring instructions.
+  Watt core_active_power = 1.6;
+  /// Core power while stalled on memory (clock-gated pipeline, leaky core).
+  Watt core_idle_power = 0.5;
+  /// DRAM energy per 64 B transfer (activate + burst, DDR3-class).
+  Joule dram_energy_per_access = 20e-9;
+  /// DRAM background + refresh power for the modelled channel.
+  Watt dram_background_power = 0.35;
+};
+
+/// Per-component system energy for one run.
+struct SystemEnergyReport {
+  Joule core = 0.0;
+  Joule dram = 0.0;
+  Joule cache = 0.0;
+  Joule total() const noexcept { return core + dram + cache; }
+};
+
+/// Evaluates whole-system energy from a simulation report.
+class SystemEnergyModel {
+ public:
+  explicit SystemEnergyModel(const SystemPowerParams& params = {},
+                             double clock_hz = 2e9) noexcept
+      : params_(params), clock_hz_(clock_hz) {}
+
+  /// Splits core time into active (one cycle per retired instruction on the
+  /// blocking core) and stalled (everything else), prices DRAM traffic and
+  /// background, and adds the measured cache energy.
+  SystemEnergyReport evaluate(const SimReport& r) const noexcept;
+
+  const SystemPowerParams& params() const noexcept { return params_; }
+
+ private:
+  SystemPowerParams params_;
+  double clock_hz_;
+};
+
+}  // namespace pcs

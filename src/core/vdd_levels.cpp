@@ -1,0 +1,64 @@
+#include "core/vdd_levels.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+#include "fault/fault_map.hpp"
+
+namespace pcs {
+
+u32 VddLadder::fm_bits() const noexcept {
+  return FaultMap::fm_bits_for_levels(num_levels());
+}
+
+VddLadder VddSelector::select(const VddSelectionParams& params) const {
+  if (params.num_levels < 2) {
+    throw std::invalid_argument("need >= 2 VDD levels (nominal + scaled)");
+  }
+  const Volt vnom = tech_->vdd_nominal;
+  const Volt floor = tech_->vdd_floor;
+  const Volt step = tech_->vdd_step;
+
+  const Volt v_spcs = yield_.min_vdd_for_capacity(
+      params.capacity_target, params.yield_target, floor, vnom, step);
+  const Volt v_min = yield_.min_vdd_for_capacity(
+      params.vdd1_capacity_floor, params.yield_target, floor, vnom, step);
+
+  if (v_spcs >= vnom) {
+    throw std::invalid_argument(
+        "capacity/yield targets unmeetable below nominal VDD");
+  }
+
+  VddLadder ladder;
+  const u32 n = params.num_levels;
+  ladder.levels.resize(n);
+  ladder.levels[n - 1] = vnom;
+  ladder.levels[n - 2] = v_spcs;
+  ladder.spcs_level = n - 1;
+  if (n > 2) {
+    // Spread the remaining levels evenly over [v_min, v_spcs), snapping to
+    // the voltage grid. n == 3 reduces to the paper's {VDD1, VDD2, VDD3}.
+    const u32 extra = n - 2;
+    for (u32 i = 0; i < extra; ++i) {
+      const double f = static_cast<double>(i) / static_cast<double>(extra);
+      const Volt v = v_min + f * (v_spcs - v_min);
+      ladder.levels[i] = std::round(v / step) * step;
+    }
+  }
+  // Deduplicate pathological cases (v_min == v_spcs on a coarse grid) by
+  // nudging equal neighbours one grid step apart, preserving ascent.
+  for (u32 i = 1; i < n; ++i) {
+    if (ladder.levels[i] <= ladder.levels[i - 1]) {
+      ladder.levels[i - 1] = ladder.levels[i] - step;
+    }
+  }
+  for (u32 i = n - 1; i > 0; --i) {
+    if (ladder.levels[i] <= ladder.levels[i - 1]) {
+      ladder.levels[i - 1] = ladder.levels[i] - step;
+    }
+  }
+  return ladder;
+}
+
+}  // namespace pcs

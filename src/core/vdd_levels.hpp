@@ -1,0 +1,70 @@
+// Design-time selection of the allowed data-array VDD levels.
+//
+// The paper fixes N = 3 levels per cache: VDD3 = nominal (baseline), VDD2 =
+// the SPCS operating point (lowest voltage with >= 99% expected capacity and
+// >= 99% yield), and VDD1 = the minimum voltage meeting the 99% yield
+// (every-set-has-a-good-block) constraint, used only by DPCS. The fault map
+// scales to more levels at log2(N+1) bits per block; extra levels are spread
+// between VDD1 and VDD2, which is the only range a policy ever exploits.
+#pragma once
+
+#include <vector>
+
+#include "cachemodel/cache_org.hpp"
+#include "fault/ber_model.hpp"
+#include "fault/yield_model.hpp"
+#include "tech/technology.hpp"
+#include "util/types.hpp"
+
+namespace pcs {
+
+/// Targets for the selection procedure (paper defaults).
+struct VddSelectionParams {
+  double yield_target = 0.99;
+  double capacity_target = 0.99;  ///< at the SPCS level (VDD2)
+  /// Expected-capacity floor at the lowest DPCS level (VDD1). The paper
+  /// bounds VDD1 by the 99%-yield set constraint and notes that going lower
+  /// "is not likely to be useful, as the yield quickly drops off and the
+  /// power savings have diminishing returns" (section 4.3); for highly
+  /// associative caches the set constraint alone admits catastrophic
+  /// capacity loss (e.g. 39% of blocks gated in a 16-way 8 MB L2), so the
+  /// selection also demands this much expected capacity at VDD1. 0.90
+  /// reproduces the paper's legible Table 2 values (L2 VDD1 ~ 0.6 V).
+  double vdd1_capacity_floor = 0.90;
+  u32 num_levels = 3;  ///< >= 2 (nominal + at least one scaled level)
+};
+
+/// The chosen ladder. levels[0] = VDD1 (lowest) ... levels[N-1] = nominal.
+struct VddLadder {
+  std::vector<Volt> levels;
+  u32 spcs_level = 0;  ///< 1-based level index SPCS runs at
+
+  u32 num_levels() const noexcept { return static_cast<u32>(levels.size()); }
+  Volt vdd(u32 level) const noexcept { return levels[level - 1]; }
+  Volt nominal() const noexcept { return levels.back(); }
+  Volt spcs_vdd() const noexcept { return levels[spcs_level - 1]; }
+  Volt min_vdd() const noexcept { return levels.front(); }
+  /// FM bits per block for this ladder.
+  u32 fm_bits() const noexcept;
+};
+
+/// Runs the selection for one cache organisation.
+class VddSelector {
+ public:
+  VddSelector(const Technology& tech, const BerModel& ber,
+              const CacheOrg& org) noexcept
+      : tech_(&tech), yield_(ber, org) {}
+
+  /// Throws std::invalid_argument for num_levels < 2 or unmeetable targets
+  /// (no voltage at/below nominal satisfies the constraints: the returned
+  /// ladder would degenerate to all-nominal).
+  VddLadder select(const VddSelectionParams& params) const;
+
+  const YieldModel& yield_model() const noexcept { return yield_; }
+
+ private:
+  const Technology* tech_;
+  YieldModel yield_;
+};
+
+}  // namespace pcs

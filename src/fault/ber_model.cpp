@@ -1,0 +1,36 @@
+#include "fault/ber_model.hpp"
+
+#include <stdexcept>
+
+#include "util/mathx.hpp"
+
+namespace pcs {
+
+BerModel BerModel::calibrate(Volt v1, double ber1, Volt v2, double ber2) {
+  if (v1 == v2 || ber1 == ber2) {
+    throw std::invalid_argument("calibration anchors must be distinct");
+  }
+  // Q((v - mu)/sigma) = ber  =>  (v - mu)/sigma = Qinv(ber), two unknowns.
+  const double z1 = inv_q_function(ber1);
+  const double z2 = inv_q_function(ber2);
+  const double sigma = (v1 - v2) / (z1 - z2);
+  if (sigma <= 0.0) {
+    throw std::invalid_argument("anchors imply non-physical sigma <= 0");
+  }
+  const double mu = v1 - sigma * z1;
+  return BerModel(mu, sigma);
+}
+
+double BerModel::ber(Volt vdd) const noexcept {
+  return q_function((vdd - mu_) / sigma_);
+}
+
+Volt BerModel::vdd_for_ber(double target_ber) const noexcept {
+  return mu_ + sigma_ * inv_q_function(target_ber);
+}
+
+double BerModel::block_fail_prob(Volt vdd, u32 bits) const noexcept {
+  return one_minus_pow(ber(vdd), static_cast<double>(bits));
+}
+
+}  // namespace pcs

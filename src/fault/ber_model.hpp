@@ -1,0 +1,47 @@
+// SRAM bit-error-rate vs supply voltage (paper Fig. 2).
+//
+// Follows the Wang & Calhoun noise-margin formulation used by the paper: a
+// cell's worst-case (read) static noise margin is Gaussian across the die due
+// to random dopant fluctuation, so the probability that a cell is faulty at
+// supply voltage V is the Gaussian tail Q((V - mu) / sigma). Equivalently,
+// every cell has a *failure voltage* Vf ~ N(mu, sigma) and is faulty at all
+// V <= Vf -- which is exactly the fault-inclusion property the paper observed
+// on its 45 nm SOI test chip.
+#pragma once
+
+#include "tech/technology.hpp"
+#include "util/types.hpp"
+
+namespace pcs {
+
+/// Analytical bit-error-rate model.
+class BerModel {
+ public:
+  /// Uses the calibration constants embedded in `tech`.
+  explicit BerModel(const Technology& tech) noexcept
+      : mu_(tech.ber_mu), sigma_(tech.ber_sigma) {}
+
+  /// Direct construction from distribution parameters.
+  BerModel(Volt mu, Volt sigma) noexcept : mu_(mu), sigma_(sigma) {}
+
+  /// Calibrates (mu, sigma) from two anchor points (v1, ber1), (v2, ber2).
+  static BerModel calibrate(Volt v1, double ber1, Volt v2, double ber2);
+
+  /// Probability that a single cell is faulty at supply voltage `vdd`.
+  double ber(Volt vdd) const noexcept;
+
+  /// Smallest voltage with ber(v) <= target (inverse of ber()).
+  Volt vdd_for_ber(double target_ber) const noexcept;
+
+  /// Probability that a block of `bits` cells contains >= 1 faulty cell.
+  double block_fail_prob(Volt vdd, u32 bits) const noexcept;
+
+  Volt mu() const noexcept { return mu_; }
+  Volt sigma() const noexcept { return sigma_; }
+
+ private:
+  Volt mu_;
+  Volt sigma_;
+};
+
+}  // namespace pcs

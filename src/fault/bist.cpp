@@ -1,0 +1,101 @@
+#include "fault/bist.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+namespace pcs {
+
+SramArraySim::SramArraySim(const BerModel& ber, u64 num_cells, Rng& rng)
+    : fail_voltage_(num_cells), stored_(num_cells, 0) {
+  for (u64 i = 0; i < num_cells; ++i) {
+    fail_voltage_[i] = static_cast<float>(rng.gaussian(ber.mu(), ber.sigma()));
+  }
+}
+
+bool SramArraySim::truly_faulty(u64 cell) const noexcept {
+  return vdd_ <= fail_voltage_[cell];
+}
+
+bool SramArraySim::stuck_value(u64 cell) const noexcept {
+  // Deterministic per-cell stuck polarity (cheap integer hash).
+  u64 x = cell * 0x9e3779b97f4a7c15ULL;
+  x ^= x >> 32;
+  return (x & 1) != 0;
+}
+
+void SramArraySim::write(u64 cell, bool value) noexcept {
+  if (!truly_faulty(cell)) stored_[cell] = value ? 1 : 0;
+}
+
+bool SramArraySim::read(u64 cell) const noexcept {
+  if (truly_faulty(cell)) return stuck_value(cell);
+  return stored_[cell] != 0;
+}
+
+namespace {
+
+struct MarchOp {
+  bool is_read;
+  bool value;  // expected (read) or written (write)
+};
+
+// One March SS element: an address order and an operation string.
+struct MarchElement {
+  int dir;  // +1 ascending, -1 descending
+  std::vector<MarchOp> ops;
+};
+
+}  // namespace
+
+BistResult march_ss(SramArraySim& sram) {
+  const std::vector<MarchElement> elements = {
+      {+1, {{false, false}}},
+      {+1, {{true, false}, {true, false}, {false, false}, {true, false}, {false, true}}},
+      {+1, {{true, true}, {true, true}, {false, true}, {true, true}, {false, false}}},
+      {-1, {{true, false}, {true, false}, {false, false}, {true, false}, {false, true}}},
+      {-1, {{true, true}, {true, true}, {false, true}, {true, true}, {false, false}}},
+      {+1, {{true, false}}},
+  };
+
+  BistResult result;
+  std::vector<u8> flagged(sram.num_cells(), 0);
+  const u64 n = sram.num_cells();
+
+  for (const auto& elem : elements) {
+    for (u64 k = 0; k < n; ++k) {
+      const u64 cell = elem.dir > 0 ? k : n - 1 - k;
+      for (const auto& op : elem.ops) {
+        if (op.is_read) {
+          ++result.reads;
+          if (sram.read(cell) != op.value) flagged[cell] = 1;
+        } else {
+          ++result.writes;
+          sram.write(cell, op.value);
+        }
+      }
+    }
+  }
+
+  for (u64 i = 0; i < n; ++i) {
+    if (flagged[i]) result.faulty_cells.push_back(i);
+  }
+  return result;
+}
+
+std::vector<float> characterize_blocks(SramArraySim& sram, u32 bits_per_block,
+                                       const std::vector<Volt>& vdds) {
+  const u64 num_blocks = sram.num_cells() / bits_per_block;
+  std::vector<float> vf(num_blocks, -std::numeric_limits<float>::infinity());
+  for (Volt v : vdds) {
+    sram.set_vdd(v);
+    const BistResult r = march_ss(sram);
+    for (u64 cell : r.faulty_cells) {
+      const u64 block = cell / bits_per_block;
+      vf[block] = std::max(vf[block], static_cast<float>(v));
+    }
+  }
+  return vf;
+}
+
+}  // namespace pcs

@@ -1,0 +1,73 @@
+// March SS built-in self-test over a simulated SRAM array.
+//
+// The paper populates its fault map with a BIST routine and characterized its
+// test chips with March SS [Hamdioui et al., MTDT'02]. We reproduce that
+// path: a cell-level SRAM simulator whose cells misbehave below their failure
+// voltage, and a March SS engine that walks the canonical six-element
+// sequence and reports every cell that produced a wrong read. Voltage-induced
+// noise-margin failures are modelled as stuck-at faults (value deterministic
+// per cell), which March SS detects completely.
+#pragma once
+
+#include <vector>
+
+#include "fault/cell_fault_field.hpp"
+#include "util/rng.hpp"
+#include "util/types.hpp"
+
+namespace pcs {
+
+/// Cell-accurate SRAM array with per-cell failure voltages.
+///
+/// Intended for BIST validation and small arrays; production-size caches use
+/// the block-level CellFaultField directly.
+class SramArraySim {
+ public:
+  /// Samples `num_cells` failure voltages from `ber`.
+  SramArraySim(const BerModel& ber, u64 num_cells, Rng& rng);
+
+  /// Sets the array supply; faulty cells (vdd <= Vf) become stuck.
+  void set_vdd(Volt vdd) noexcept { vdd_ = vdd; }
+  Volt vdd() const noexcept { return vdd_; }
+
+  u64 num_cells() const noexcept { return fail_voltage_.size(); }
+
+  /// Writes a bit; silently ineffective on a stuck cell.
+  void write(u64 cell, bool value) noexcept;
+
+  /// Reads a bit; a stuck cell returns its stuck value.
+  bool read(u64 cell) const noexcept;
+
+  /// Ground truth for tests: is the cell faulty at the current supply?
+  bool truly_faulty(u64 cell) const noexcept;
+
+  Volt fail_voltage(u64 cell) const noexcept { return fail_voltage_[cell]; }
+
+ private:
+  bool stuck_value(u64 cell) const noexcept;
+
+  std::vector<float> fail_voltage_;
+  std::vector<u8> stored_;
+  Volt vdd_ = 1.0;
+};
+
+/// Result of one March SS pass.
+struct BistResult {
+  std::vector<u64> faulty_cells;  ///< ascending cell indices
+  u64 reads = 0;
+  u64 writes = 0;
+};
+
+/// Runs March SS {up(w0); up(r0,r0,w0,r0,w1); up(r1,r1,w1,r1,w0);
+/// down(r0,r0,w0,r0,w1); down(r1,r1,w1,r1,w0); updown(r0)} at the array's
+/// current supply voltage and returns every cell with a miscompare.
+BistResult march_ss(SramArraySim& sram);
+
+/// Convenience: characterizes a whole data array block-by-block. Runs March
+/// SS at each voltage in `vdds` and returns, per block, the highest voltage
+/// at which the block contained a faulty cell (or -inf if always clean) --
+/// i.e. the measured per-block failure voltage consumed by FaultMap.
+std::vector<float> characterize_blocks(SramArraySim& sram, u32 bits_per_block,
+                                       const std::vector<Volt>& vdds);
+
+}  // namespace pcs

@@ -1,0 +1,98 @@
+#include "fault/fault_map.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace pcs {
+
+FaultMap::FaultMap(std::vector<Volt> levels_ascending,
+                   const CellFaultField& field)
+    : levels_(std::move(levels_ascending)) {
+  code_.resize(field.num_blocks());
+  std::vector<float> vf(field.num_blocks());
+  for (u64 b = 0; b < field.num_blocks(); ++b) {
+    vf[b] = static_cast<float>(field.block_fail_voltage(b));
+  }
+  build_from_voltages(vf);
+}
+
+FaultMap::FaultMap(std::vector<Volt> levels_ascending,
+                   std::span<const float> block_fail_voltages)
+    : levels_(std::move(levels_ascending)) {
+  code_.resize(block_fail_voltages.size());
+  build_from_voltages(block_fail_voltages);
+}
+
+void FaultMap::build_from_voltages(std::span<const float> vf) {
+  if (levels_.empty()) throw std::invalid_argument("need >= 1 VDD level");
+  if (!std::is_sorted(levels_.begin(), levels_.end()) ||
+      std::adjacent_find(levels_.begin(), levels_.end()) != levels_.end()) {
+    throw std::invalid_argument("levels must be strictly ascending");
+  }
+  const u32 n = num_levels();
+  faulty_at_level_.assign(n, 0);
+  for (u64 b = 0; b < vf.size(); ++b) {
+    // Code = number of levels whose voltage is <= the block's failure
+    // voltage; by inclusion those are exactly levels 1..code.
+    u8 c = 0;
+    for (u32 l = 0; l < n; ++l) {
+      // Compare in float so a measured failure voltage exactly at a level
+      // voltage counts as faulty there (cells fail at V <= Vf).
+      if (static_cast<float>(levels_[l]) <= vf[b]) {
+        c = static_cast<u8>(l + 1);
+      } else {
+        break;
+      }
+    }
+    code_[b] = c;
+    for (u32 l = 1; l <= c; ++l) ++faulty_at_level_[l - 1];
+  }
+}
+
+u64 FaultMap::faulty_count(u32 level) const noexcept {
+  return faulty_at_level_[level - 1];
+}
+
+double FaultMap::effective_capacity(u32 level) const noexcept {
+  if (code_.empty()) return 1.0;
+  return 1.0 - static_cast<double>(faulty_count(level)) /
+                   static_cast<double>(code_.size());
+}
+
+bool FaultMap::viable(u32 assoc, u32 level) const noexcept {
+  const u64 sets = code_.size() / assoc;
+  for (u64 s = 0; s < sets; ++s) {
+    bool any_good = false;
+    for (u32 w = 0; w < assoc; ++w) {
+      if (!faulty_at(s * assoc + w, level)) {
+        any_good = true;
+        break;
+      }
+    }
+    if (!any_good) return false;
+  }
+  return true;
+}
+
+u32 FaultMap::lowest_level_with_capacity(u32 assoc,
+                                         double min_capacity) const noexcept {
+  for (u32 level = 1; level <= num_levels(); ++level) {
+    if (effective_capacity(level) >= min_capacity && viable(assoc, level)) {
+      return level;
+    }
+  }
+  return 0;
+}
+
+u32 FaultMap::fm_bits_for_levels(u32 num_levels) noexcept {
+  u32 bits = 0;
+  u32 states = num_levels + 1;  // codes 0..N
+  while ((1u << bits) < states) ++bits;
+  return bits;
+}
+
+u64 FaultMap::storage_bits() const noexcept {
+  return num_blocks() * (fm_bits_for_levels(num_levels()) + 1ULL);
+}
+
+}  // namespace pcs

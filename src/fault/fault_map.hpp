@@ -1,0 +1,77 @@
+// The compressed multi-VDD fault map at the heart of the PCS mechanism.
+//
+// Because voltage-induced SRAM faults obey the fault-inclusion property
+// (a bit faulty at some VDD is faulty at all lower VDDs), a single small code
+// per block -- the lowest non-faulty VDD level -- captures the block's fault
+// behaviour at *every* allowed level. For N allowed data VDD levels the code
+// needs only ceil(log2(N+1)) bits per block (paper section 3.1), versus one
+// full bitmap per level for schemes like FFT-Cache.
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "fault/cell_fault_field.hpp"
+#include "util/types.hpp"
+
+namespace pcs {
+
+/// Immutable per-block fault codes for a fixed ladder of VDD levels.
+///
+/// Levels are indexed 1..N from the lowest voltage (VDD1) to the highest
+/// (VDDN = nominal). A block's code f means: the block is faulty at levels
+/// 1..f and non-faulty at levels f+1..N; f = 0 means never faulty.
+class FaultMap {
+ public:
+  /// Builds from a manufactured fault field: block b is faulty at level L
+  /// iff levels[L-1] <= field.block_fail_voltage(b).
+  /// `levels_ascending` must be strictly ascending voltages.
+  FaultMap(std::vector<Volt> levels_ascending, const CellFaultField& field);
+
+  /// Builds from measured per-block failure voltages (e.g. BIST output).
+  FaultMap(std::vector<Volt> levels_ascending,
+           std::span<const float> block_fail_voltages);
+
+  u32 num_levels() const noexcept { return static_cast<u32>(levels_.size()); }
+  u64 num_blocks() const noexcept { return code_.size(); }
+  Volt level_vdd(u32 level) const noexcept { return levels_[level - 1]; }
+  const std::vector<Volt>& levels() const noexcept { return levels_; }
+
+  /// Fault-map code of a block (0..N).
+  u8 code(u64 block) const noexcept { return code_[block]; }
+
+  /// True if `block` must be disabled when the data array runs at `level`.
+  bool faulty_at(u64 block, u32 level) const noexcept {
+    return level <= code_[block];
+  }
+
+  /// Number of faulty blocks at a level.
+  u64 faulty_count(u32 level) const noexcept;
+
+  /// Fraction of usable blocks at a level.
+  double effective_capacity(u32 level) const noexcept;
+
+  /// True if, with blocks laid out set-major (block = set*assoc + way),
+  /// every set keeps at least one non-faulty block at `level` -- the
+  /// viability constraint of the mechanism (section 3.1).
+  bool viable(u32 assoc, u32 level) const noexcept;
+
+  /// Lowest viable level with effective capacity >= `min_capacity`
+  /// (0 if none) -- the SPCS selection applied to one manufactured chip.
+  u32 lowest_level_with_capacity(u32 assoc, double min_capacity) const noexcept;
+
+  /// FM bits per block needed to encode N levels: ceil(log2(N+1)).
+  static u32 fm_bits_for_levels(u32 num_levels) noexcept;
+
+  /// Total metadata storage: FM bits plus the one Faulty bit, per block.
+  u64 storage_bits() const noexcept;
+
+ private:
+  void build_from_voltages(std::span<const float> vf);
+
+  std::vector<Volt> levels_;
+  std::vector<u8> code_;
+  std::vector<u64> faulty_at_level_;  // index L-1 -> count of code >= L
+};
+
+}  // namespace pcs

@@ -1,0 +1,57 @@
+// Analytical yield / effective-capacity model (paper sections 3-4).
+//
+// The PCS mechanism has no set-wise data redundancy, so a chip is usable at
+// a voltage only if *every* cache set keeps at least one non-faulty block
+// there. That constraint -- not the raw BER -- limits the achievable min-VDD
+// at a yield target, and it is exactly what this model computes, alongside
+// expected effective capacity and the conventional (no-fault-tolerance)
+// yield used for Fig. 3.
+#pragma once
+
+#include "cachemodel/cache_org.hpp"
+#include "fault/ber_model.hpp"
+#include "util/types.hpp"
+
+namespace pcs {
+
+/// Closed-form yield quantities for one cache organisation.
+class YieldModel {
+ public:
+  YieldModel(const BerModel& ber, const CacheOrg& org) noexcept
+      : ber_(ber), org_(org) {}
+
+  /// P[a data block has >= 1 faulty cell at vdd].
+  double block_fail_prob(Volt vdd) const noexcept;
+
+  /// Expected fraction of non-faulty blocks at vdd.
+  double expected_capacity(Volt vdd) const noexcept;
+
+  /// P[all blocks of one set are faulty at vdd].
+  double set_fail_prob(Volt vdd) const noexcept;
+
+  /// PCS yield: P[every set keeps >= 1 non-faulty block at vdd].
+  double yield(Volt vdd) const noexcept;
+
+  /// Conventional yield (no fault tolerance): P[no faulty block at vdd].
+  double conventional_yield(Volt vdd) const noexcept;
+
+  /// Smallest voltage on the technology grid with yield(v) >= target.
+  /// Searches [v_floor, v_nominal] in `step` increments.
+  Volt min_vdd(double yield_target, Volt v_floor, Volt v_nominal,
+               Volt step) const noexcept;
+
+  /// Smallest grid voltage with expected_capacity(v) >= cap_target AND
+  /// yield(v) >= yield_target (the SPCS operating-point rule).
+  Volt min_vdd_for_capacity(double cap_target, double yield_target,
+                            Volt v_floor, Volt v_nominal,
+                            Volt step) const noexcept;
+
+  const BerModel& ber() const noexcept { return ber_; }
+  const CacheOrg& org() const noexcept { return org_; }
+
+ private:
+  BerModel ber_;
+  CacheOrg org_;
+};
+
+}  // namespace pcs

@@ -1,0 +1,43 @@
+#include "tech/area_model.hpp"
+
+namespace pcs {
+namespace {
+
+// Fault-map bits sit beside the tags but need per-way comparison logic and
+// routing to the gating control (paper Fig. 1a), so each FM/Faulty bit costs
+// more than a plain storage cell. Calibrated so the fault map alone reaches
+// ~4% in the worst configuration of the paper (small blocks, wide tags) and
+// the gating strip stays below 1%.
+constexpr double kFaultMapCellFactor = 6.0;
+constexpr double kGatingRowFraction = 0.008;
+
+}  // namespace
+
+AreaBreakdown AreaModel::area(const CacheAreaSpec& spec) const noexcept {
+  const double cell = tech_.cell_area / tech_.array_area_efficiency;
+  const double data_bits =
+      static_cast<double>(spec.num_blocks) * spec.block_bytes * 8.0;
+  const double tag_bits =
+      static_cast<double>(spec.num_blocks) * (spec.tag_bits + spec.state_bits);
+  const double fm_bits = static_cast<double>(spec.num_blocks) *
+                         spec.fault_map_bits * kFaultMapCellFactor;
+
+  AreaBreakdown out;
+  out.data_array = data_bits * cell;
+  out.tag_array = (tag_bits + fm_bits) * cell;
+  if (spec.power_gating) {
+    out.gating_overhead = out.data_array * kGatingRowFraction;
+  }
+  return out;
+}
+
+double AreaModel::overhead_vs_baseline(const CacheAreaSpec& spec) const noexcept {
+  CacheAreaSpec base = spec;
+  base.fault_map_bits = 0;
+  base.power_gating = false;
+  const Mm2 a = area(spec).total();
+  const Mm2 b = area(base).total();
+  return a / b - 1.0;
+}
+
+}  // namespace pcs

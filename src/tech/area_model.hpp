@@ -1,0 +1,49 @@
+// Silicon-area accounting, including the PCS mechanism overheads reported in
+// the paper's Sec. 4.2 (fault map <= 4%, gating transistor + inverter < 1%,
+// total 2-5% across configurations).
+#pragma once
+
+#include "tech/technology.hpp"
+#include "util/types.hpp"
+
+namespace pcs {
+
+/// Inputs describing one cache organisation for area purposes.
+struct CacheAreaSpec {
+  u64 num_blocks = 0;
+  u32 block_bytes = 64;
+  u32 tag_bits = 24;       ///< address tag width
+  u32 state_bits = 3;      ///< valid + dirty + replacement state
+  u32 fault_map_bits = 3;  ///< FM bits per block (0 for the baseline cache)
+  bool power_gating = false;
+};
+
+/// Per-component area breakdown in mm^2.
+struct AreaBreakdown {
+  Mm2 data_array = 0.0;
+  Mm2 tag_array = 0.0;       ///< tag + state (+ fault map) cells and periphery
+  Mm2 gating_overhead = 0.0; ///< per-row PMOS gate + level-shifting inverter
+  Mm2 total() const noexcept { return data_array + tag_array + gating_overhead; }
+};
+
+/// Closed-form area model.
+///
+/// Array area = cells * cell_area / array_area_efficiency; fault-map bits
+/// live in the tag subarrays (paper Fig. 1b) and inherit tag-array overhead
+/// factors; the gated-PMOS sleep transistor and its control inverter add a
+/// small per-row strip to the data array.
+class AreaModel {
+ public:
+  explicit AreaModel(const Technology& tech) : tech_(tech) {}
+
+  AreaBreakdown area(const CacheAreaSpec& spec) const noexcept;
+
+  /// Fractional area overhead of `spec` relative to the same organisation
+  /// with fault_map_bits = 0 and power_gating = false.
+  double overhead_vs_baseline(const CacheAreaSpec& spec) const noexcept;
+
+ private:
+  Technology tech_;  // by value: callers may pass temporaries
+};
+
+}  // namespace pcs

@@ -1,0 +1,30 @@
+#include "tech/delay_model.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace pcs {
+
+double DelayModel::cell_delay_factor(Volt vdd) const noexcept {
+  const Volt vnom = tech_.vdd_nominal;
+  const Volt vth = tech_.vth;
+  // Keep a minimum overdrive so the model stays finite if callers probe
+  // voltages at/below threshold (the PCS policies never operate there).
+  const double od = std::max(vdd - vth, 0.05);
+  const double od_nom = std::max(vnom - vth, 0.05);
+  const double a = tech_.alpha_power;
+  const double d = vdd / std::pow(od, a);
+  const double d_nom = vnom / std::pow(od_nom, a);
+  return d / d_nom;
+}
+
+double DelayModel::access_time_factor(Volt vdd) const noexcept {
+  const double k = tech_.delay_data_frac;
+  return (1.0 - k) + k * cell_delay_factor(vdd);
+}
+
+double DelayModel::worst_case_penalty(Volt vdd_lo) const noexcept {
+  return access_time_factor(vdd_lo) - 1.0;
+}
+
+}  // namespace pcs

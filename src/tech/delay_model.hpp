@@ -1,0 +1,37 @@
+// Access-delay dependence on the data-array supply voltage.
+#pragma once
+
+#include "tech/technology.hpp"
+#include "util/types.hpp"
+
+namespace pcs {
+
+/// Alpha-power-law delay model for the voltage-scaled portion of the cache
+/// access path.
+///
+/// Only the bitline development driven by the scaled data cells slows down
+/// when the data-array VDD is reduced; decoders, wordline drivers, sense
+/// amps, tag match, and output muxes stay on the nominal domain. The paper
+/// reports the resulting *total* access-time penalty as "roughly 15% in the
+/// worst case" within the voltage range of interest, which this model
+/// reproduces with the default Technology constants.
+class DelayModel {
+ public:
+  explicit DelayModel(const Technology& tech) : tech_(tech) {}
+
+  /// Relative cell drive delay at `vdd` vs nominal (alpha-power law);
+  /// 1.0 at nominal, grows as vdd approaches vth.
+  double cell_delay_factor(Volt vdd) const noexcept;
+
+  /// Relative total cache access time at `vdd` vs nominal, mixing the scaled
+  /// cell delay with the fixed-voltage remainder of the path.
+  double access_time_factor(Volt vdd) const noexcept;
+
+  /// Convenience: worst-case access-time inflation over [vdd_lo, nominal].
+  double worst_case_penalty(Volt vdd_lo) const noexcept;
+
+ private:
+  Technology tech_;  // by value: callers may pass temporaries
+};
+
+}  // namespace pcs

@@ -1,0 +1,24 @@
+#include "tech/leakage_model.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace pcs {
+
+double LeakageModel::scale_factor(Volt vdd) const noexcept {
+  if (vdd <= 0.0) return 0.0;
+  const Volt vnom = tech_.vdd_nominal;
+  return (vdd / vnom) * std::exp((vdd - vnom) / tech_.leak_v_slope);
+}
+
+Watt LeakageModel::cell_leakage(Volt vdd) const noexcept {
+  return tech_.cell_leak_nominal * scale_factor(vdd);
+}
+
+Watt LeakageModel::array_leakage(double bits, Volt vdd,
+                                 double gated_fraction) const noexcept {
+  const double live = std::clamp(1.0 - gated_fraction, 0.0, 1.0);
+  return bits * live * cell_leakage(vdd);
+}
+
+}  // namespace pcs

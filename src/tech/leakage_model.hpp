@@ -1,0 +1,38 @@
+// Voltage-dependent leakage power (subthreshold + DIBL closed form).
+#pragma once
+
+#include "tech/technology.hpp"
+#include "util/types.hpp"
+
+namespace pcs {
+
+/// Static-power model for SRAM cells on the scalable data-array domain.
+///
+/// P(V) = P_nom * (V / Vnom) * exp((V - Vnom) / slope)
+///
+/// i.e. leakage *current* falls exponentially with VDD (subthreshold slope +
+/// DIBL) and power picks up one more factor of V. Power-gated cells are
+/// modelled as zero leakage, following the paper ("a reasonable approximation
+/// because it would likely be gated at a dramatically reduced voltage").
+class LeakageModel {
+ public:
+  explicit LeakageModel(const Technology& tech) : tech_(tech) {}
+
+  /// Leakage power of one data bit cell at supply voltage `vdd`.
+  Watt cell_leakage(Volt vdd) const noexcept;
+
+  /// Dimensionless scale factor P(vdd)/P(vdd_nominal); 1.0 at nominal.
+  double scale_factor(Volt vdd) const noexcept;
+
+  /// Leakage power of `bits` data cells at `vdd` with `gated_fraction`
+  /// of them power-gated (zero leakage).
+  Watt array_leakage(double bits, Volt vdd, double gated_fraction = 0.0)
+      const noexcept;
+
+  const Technology& tech() const noexcept { return tech_; }
+
+ private:
+  Technology tech_;  // by value: callers may pass temporaries
+};
+
+}  // namespace pcs

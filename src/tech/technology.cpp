@@ -1,0 +1,20 @@
+#include "tech/technology.hpp"
+
+namespace pcs {
+
+Technology Technology::soi45() {
+  Technology t;
+  t.name = "45nm-SOI";
+  return t;
+}
+
+Technology Technology::soi45_worst_corner() {
+  Technology t = soi45();
+  t.name = "45nm-SOI-worst";
+  t.cell_leak_nominal *= 1.8;
+  t.ber_sigma *= 1.15;
+  t.ber_mu += 0.02;
+  return t;
+}
+
+}  // namespace pcs

@@ -1,0 +1,90 @@
+#include "util/rng.hpp"
+
+#include <cmath>
+
+namespace pcs {
+namespace {
+
+u64 splitmix64(u64& x) noexcept {
+  x += 0x9e3779b97f4a7c15ULL;
+  u64 z = x;
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+  return z ^ (z >> 31);
+}
+
+constexpr u64 rotl(u64 x, int k) noexcept { return (x << k) | (x >> (64 - k)); }
+
+}  // namespace
+
+Rng::Rng(u64 seed) noexcept {
+  u64 x = seed;
+  for (auto& lane : s_) lane = splitmix64(x);
+  // All-zero state is the one invalid xoshiro state; splitmix cannot emit
+  // four zeros from any seed, but guard anyway.
+  if ((s_[0] | s_[1] | s_[2] | s_[3]) == 0) s_[0] = 1;
+}
+
+u64 Rng::next_u64() noexcept {
+  const u64 result = rotl(s_[1] * 5, 7) * 9;
+  const u64 t = s_[1] << 17;
+  s_[2] ^= s_[0];
+  s_[3] ^= s_[1];
+  s_[1] ^= s_[2];
+  s_[0] ^= s_[3];
+  s_[2] ^= t;
+  s_[3] = rotl(s_[3], 45);
+  return result;
+}
+
+double Rng::uniform() noexcept {
+  // 53 random mantissa bits -> uniform in [0, 1).
+  return static_cast<double>(next_u64() >> 11) * 0x1.0p-53;
+}
+
+double Rng::uniform(double lo, double hi) noexcept {
+  return lo + (hi - lo) * uniform();
+}
+
+u64 Rng::uniform_int(u64 bound) noexcept {
+  // Lemire's unbiased bounded generation via 128-bit multiply.
+  const u64 threshold = (0 - bound) % bound;
+  for (;;) {
+    const u64 x = next_u64();
+    const auto m = static_cast<unsigned __int128>(x) * bound;
+    if (static_cast<u64>(m) >= threshold) return static_cast<u64>(m >> 64);
+  }
+}
+
+bool Rng::bernoulli(double p) noexcept {
+  if (p <= 0.0) return false;
+  if (p >= 1.0) return true;
+  return uniform() < p;
+}
+
+double Rng::gaussian() noexcept {
+  if (has_cached_gaussian_) {
+    has_cached_gaussian_ = false;
+    return cached_gaussian_;
+  }
+  double u1 = 0.0;
+  do {
+    u1 = uniform();
+  } while (u1 <= 0.0);
+  const double u2 = uniform();
+  const double r = std::sqrt(-2.0 * std::log(u1));
+  const double theta = 2.0 * M_PI * u2;
+  cached_gaussian_ = r * std::sin(theta);
+  has_cached_gaussian_ = true;
+  return r * std::cos(theta);
+}
+
+double Rng::gaussian(double mean, double stddev) noexcept {
+  return mean + stddev * gaussian();
+}
+
+Rng Rng::fork(u64 salt) noexcept {
+  return Rng(next_u64() ^ (salt * 0x9e3779b97f4a7c15ULL) ^ 0xD1B54A32D192ED03ULL);
+}
+
+}  // namespace pcs

@@ -1,0 +1,64 @@
+// Lightweight descriptive statistics used by the simulator and benches.
+#pragma once
+
+#include <cstddef>
+#include <span>
+#include <vector>
+
+#include "util/types.hpp"
+
+namespace pcs {
+
+/// Welford online mean/variance accumulator.
+class RunningStats {
+ public:
+  void add(double x) noexcept;
+  void reset() noexcept;
+
+  u64 count() const noexcept { return n_; }
+  double mean() const noexcept { return n_ ? mean_ : 0.0; }
+  /// Sample variance (n-1 denominator); 0 for fewer than two samples.
+  double variance() const noexcept;
+  double stddev() const noexcept;
+  double min() const noexcept { return n_ ? min_ : 0.0; }
+  double max() const noexcept { return n_ ? max_ : 0.0; }
+  double sum() const noexcept { return sum_; }
+
+ private:
+  u64 n_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+  double min_ = 0.0;
+  double max_ = 0.0;
+  double sum_ = 0.0;
+};
+
+/// Arithmetic mean of a span; 0 for an empty span.
+double mean_of(std::span<const double> xs) noexcept;
+
+/// Geometric mean; all inputs must be > 0. Returns 0 for an empty span.
+double geomean_of(std::span<const double> xs) noexcept;
+
+/// Fixed-width histogram over [lo, hi); out-of-range samples clamp to the
+/// edge bins so every sample is counted.
+class Histogram {
+ public:
+  Histogram(double lo, double hi, std::size_t bins);
+
+  void add(double x) noexcept;
+  u64 total() const noexcept { return total_; }
+  std::size_t bins() const noexcept { return counts_.size(); }
+  u64 count(std::size_t bin) const noexcept { return counts_.at(bin); }
+  /// Lower edge of a bin.
+  double bin_lo(std::size_t bin) const noexcept;
+  /// Smallest x with cumulative fraction >= q (empirical quantile).
+  double quantile(double q) const noexcept;
+
+ private:
+  double lo_;
+  double hi_;
+  std::vector<u64> counts_;
+  u64 total_ = 0;
+};
+
+}  // namespace pcs

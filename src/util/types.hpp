@@ -1,0 +1,28 @@
+// Basic scalar aliases used across the PCS libraries.
+#pragma once
+
+#include <cstdint>
+
+namespace pcs {
+
+using u8 = std::uint8_t;
+using u16 = std::uint16_t;
+using u32 = std::uint32_t;
+using u64 = std::uint64_t;
+using i32 = std::int32_t;
+using i64 = std::int64_t;
+
+/// Supply voltage in volts.
+using Volt = double;
+/// Power in watts.
+using Watt = double;
+/// Energy in joules.
+using Joule = double;
+/// Silicon area in square millimetres.
+using Mm2 = double;
+/// Time in seconds.
+using Second = double;
+/// Clock cycles.
+using Cycle = u64;
+
+}  // namespace pcs

@@ -1,0 +1,156 @@
+#include "workload/spec_profiles.hpp"
+
+#include <stdexcept>
+
+namespace pcs {
+namespace {
+
+constexpr u64 KB = 1024;
+constexpr u64 MB = 1024 * 1024;
+
+PhaseSpec phase(u64 ws, double stream, double write, double hot_prob,
+                double reuse, u64 dur = 400'000, u64 stride = 8,
+                double hot_frac = 0.10) {
+  PhaseSpec p;
+  p.working_set_bytes = ws;
+  p.stream_frac = stream;
+  p.write_frac = write;
+  p.hot_prob = hot_prob;
+  p.hot_frac = hot_frac;
+  p.reuse_prob = reuse;
+  p.stream_stride = stride;
+  p.duration_refs = dur;
+  return p;
+}
+
+WorkloadSpec base(const char* name, double refs_per_inst, u64 code) {
+  WorkloadSpec w;
+  w.name = name;
+  w.refs_per_instruction = refs_per_inst;
+  w.code_footprint_bytes = code;
+  return w;
+}
+
+}  // namespace
+
+const std::vector<std::string>& spec_profile_names() {
+  static const std::vector<std::string> names = {
+      "perlbench", "bzip2",      "gcc",     "mcf",     "gobmk",  "hmmer",
+      "sjeng",     "libquantum", "h264ref", "omnetpp", "astar",  "xalancbmk",
+      "bwaves",    "milc",       "lbm",     "sphinx3"};
+  return names;
+}
+
+WorkloadSpec spec_profile(const std::string& name) {
+  // Integer benchmarks -------------------------------------------------------
+  if (name == "perlbench") {
+    // Interpreter: big code footprint, modest heap, strong locality.
+    auto w = base("perlbench", 0.36, 512 * KB);
+    w.phases = {phase(1 * MB, 0.10, 0.30, 0.85, 0.75)};
+    return w;
+  }
+  if (name == "bzip2") {
+    // Block compressor: alternating compress/expand working sets.
+    auto w = base("bzip2", 0.32, 96 * KB);
+    w.phases = {phase(900 * KB, 0.45, 0.35, 0.60, 0.55),
+                phase(3500 * KB, 0.50, 0.35, 0.50, 0.50)};
+    return w;
+  }
+  if (name == "gcc") {
+    // Compiler: phase-heavy, large code, working set swings widely.
+    auto w = base("gcc", 0.38, 1536 * KB);
+    w.phases = {phase(500 * KB, 0.15, 0.30, 0.80, 0.70),
+                phase(4 * MB, 0.25, 0.35, 0.55, 0.55),
+                phase(1 * MB, 0.20, 0.30, 0.75, 0.65)};
+    return w;
+  }
+  if (name == "mcf") {
+    // Network simplex: enormous random-walk working set, L2-hostile.
+    auto w = base("mcf", 0.40, 48 * KB);
+    w.phases = {phase(48 * MB, 0.05, 0.25, 0.25, 0.35, 400'000, 64, 0.02)};
+    return w;
+  }
+  if (name == "gobmk") {
+    // Go engine: branchy, large code, small hot data.
+    auto w = base("gobmk", 0.34, 1 * MB);
+    w.phases = {phase(768 * KB, 0.10, 0.25, 0.80, 0.70)};
+    return w;
+  }
+  if (name == "hmmer") {
+    // Profile HMM search: tiny hot working set, compute bound.
+    auto w = base("hmmer", 0.45, 64 * KB);
+    w.phases = {phase(192 * KB, 0.30, 0.20, 0.90, 0.80, 400'000, 8, 0.30)};
+    return w;
+  }
+  if (name == "sjeng") {
+    // Chess: hash-table probes over a medium set.
+    auto w = base("sjeng", 0.33, 256 * KB);
+    w.phases = {phase(2500 * KB, 0.05, 0.25, 0.55, 0.55, 400'000, 64, 0.05)};
+    return w;
+  }
+  if (name == "libquantum") {
+    // Quantum register simulation: pure streaming over a large vector.
+    auto w = base("libquantum", 0.30, 32 * KB);
+    w.phases = {phase(16 * MB, 0.95, 0.30, 0.30, 0.20)};
+    return w;
+  }
+  if (name == "h264ref") {
+    // Video encoder: strided motion-estimation windows, high locality.
+    auto w = base("h264ref", 0.42, 384 * KB);
+    w.phases = {phase(600 * KB, 0.55, 0.30, 0.80, 0.75, 400'000, 16)};
+    return w;
+  }
+  if (name == "omnetpp") {
+    // Discrete-event simulation: pointer-chasing heap.
+    auto w = base("omnetpp", 0.37, 512 * KB);
+    w.phases = {phase(12 * MB, 0.05, 0.30, 0.40, 0.45, 400'000, 64, 0.05)};
+    return w;
+  }
+  if (name == "astar") {
+    // Path-finding: map phases of different sizes.
+    auto w = base("astar", 0.35, 128 * KB);
+    w.phases = {phase(1200 * KB, 0.10, 0.25, 0.65, 0.60),
+                phase(6 * MB, 0.10, 0.25, 0.45, 0.50)};
+    return w;
+  }
+  if (name == "xalancbmk") {
+    // XSLT processor: DOM walks, large code, medium heap.
+    auto w = base("xalancbmk", 0.39, 1 * MB);
+    w.phases = {phase(2 * MB, 0.10, 0.30, 0.60, 0.60)};
+    return w;
+  }
+  // Floating point -----------------------------------------------------------
+  if (name == "bwaves") {
+    // Blast-wave CFD: huge streaming grids.
+    auto w = base("bwaves", 0.44, 64 * KB);
+    w.phases = {phase(24 * MB, 0.90, 0.35, 0.30, 0.25)};
+    return w;
+  }
+  if (name == "milc") {
+    // Lattice QCD: streaming plus gather over a large lattice.
+    auto w = base("milc", 0.41, 96 * KB);
+    w.phases = {phase(20 * MB, 0.65, 0.35, 0.30, 0.30)};
+    return w;
+  }
+  if (name == "lbm") {
+    // Lattice-Boltzmann: store-heavy streaming sweeps.
+    auto w = base("lbm", 0.47, 32 * KB);
+    w.phases = {phase(26 * MB, 0.92, 0.45, 0.20, 0.20)};
+    return w;
+  }
+  if (name == "sphinx3") {
+    // Speech recognition: phases alternating acoustic scoring and search.
+    auto w = base("sphinx3", 0.36, 256 * KB);
+    w.phases = {phase(700 * KB, 0.35, 0.20, 0.85, 0.75),
+                phase(3 * MB, 0.40, 0.25, 0.55, 0.55)};
+    return w;
+  }
+  throw std::invalid_argument("unknown SPEC profile: " + name);
+}
+
+std::unique_ptr<SyntheticTrace> make_spec_trace(const std::string& name,
+                                                u64 seed) {
+  return std::make_unique<SyntheticTrace>(spec_profile(name), seed);
+}
+
+}  // namespace pcs

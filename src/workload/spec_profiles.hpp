@@ -1,0 +1,31 @@
+// The sixteen SPEC-CPU2006-like workload profiles used by the evaluation.
+//
+// The paper simulates sixteen SPEC CPU2006 benchmarks (integer and floating
+// point). SPEC inputs are proprietary, so each profile here is a synthetic
+// stand-in named after the benchmark it imitates, with working-set size,
+// streaming/random mix, write fraction, code footprint, and phase behaviour
+// chosen to match that benchmark's published cache characterization
+// (working-set studies and L1/L2 miss-rate rankings). What the PCS policies
+// consume -- miss rates vs effective capacity, and working-set variation
+// over time -- is faithfully exercised; absolute miss rates are approximate.
+#pragma once
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "workload/synthetic.hpp"
+
+namespace pcs {
+
+/// Names of the sixteen profiles, in the order the benches report them.
+const std::vector<std::string>& spec_profile_names();
+
+/// Builds the WorkloadSpec for one named profile; throws on unknown names.
+WorkloadSpec spec_profile(const std::string& name);
+
+/// Convenience: constructs the trace generator for a named profile.
+std::unique_ptr<SyntheticTrace> make_spec_trace(const std::string& name,
+                                                u64 seed);
+
+}  // namespace pcs

@@ -1,0 +1,53 @@
+#include "workload/trace_file.hpp"
+
+#include <cstdio>
+#include <stdexcept>
+
+namespace pcs {
+
+FileTrace::FileTrace(const std::string& path)
+    : in_(path), path_(path) {
+  if (!in_) throw std::runtime_error("cannot open trace file: " + path);
+  const auto slash = path.find_last_of('/');
+  name_ = slash == std::string::npos ? path : path.substr(slash + 1);
+}
+
+bool FileTrace::next(TraceEvent& out) {
+  std::string line;
+  while (std::getline(in_, line)) {
+    ++line_;
+    if (line.empty() || line[0] == '#') continue;
+    char kind = 0;
+    unsigned long long addr = 0;
+    unsigned long gap = 0;
+    if (std::sscanf(line.c_str(), " %c %llx %lu", &kind, &addr, &gap) != 3 ||
+        (kind != 'R' && kind != 'W' && kind != 'I')) {
+      throw std::runtime_error(path_ + ":" + std::to_string(line_) +
+                               ": malformed trace line: " + line);
+    }
+    out.ref.addr = addr;
+    out.ref.write = kind == 'W';
+    out.ref.ifetch = kind == 'I';
+    out.gap_instructions = static_cast<u32>(gap);
+    ++events_;
+    return true;
+  }
+  return false;
+}
+
+u64 record_trace(TraceSource& source, const std::string& path, u64 count) {
+  std::ofstream out(path);
+  if (!out) throw std::runtime_error("cannot create trace file: " + path);
+  out << "# pcs-cache trace recorded from '" << source.name() << "'\n";
+  TraceEvent ev;
+  u64 written = 0;
+  while (written < count && source.next(ev)) {
+    const char kind = ev.ref.ifetch ? 'I' : (ev.ref.write ? 'W' : 'R');
+    out << kind << ' ' << std::hex << ev.ref.addr << std::dec << ' '
+        << ev.gap_instructions << '\n';
+    ++written;
+  }
+  return written;
+}
+
+}  // namespace pcs

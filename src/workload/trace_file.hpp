@@ -1,0 +1,49 @@
+// Trace file I/O: record any TraceSource to a portable text format and play
+// it back later. Lets users drive the simulator with their own traces
+// (e.g. converted from pin/DynamoRIO/gem5 dumps) instead of the synthetic
+// generators.
+//
+// Format: one event per line,
+//   <kind> <hex addr> <gap>
+// where kind is R (data read), W (data write), or I (instruction fetch),
+// and gap is the number of non-memory instructions preceding the event.
+// Lines starting with '#' are comments. Example:
+//   # my trace
+//   I 400000 0
+//   R 7fff0010 3
+//   W 7fff0018 0
+#pragma once
+
+#include <fstream>
+#include <string>
+
+#include "cache/trace_source.hpp"
+#include "util/types.hpp"
+
+namespace pcs {
+
+/// Replays a trace file. Throws std::runtime_error on open failure and on
+/// the first malformed line (with its line number).
+class FileTrace final : public TraceSource {
+ public:
+  explicit FileTrace(const std::string& path);
+
+  bool next(TraceEvent& out) override;
+  const char* name() const override { return name_.c_str(); }
+
+  /// Events delivered so far.
+  u64 events_read() const noexcept { return events_; }
+
+ private:
+  std::ifstream in_;
+  std::string name_;
+  std::string path_;
+  u64 line_ = 0;
+  u64 events_ = 0;
+};
+
+/// Records `count` events from `source` into `path` (text format above).
+/// Returns the number of events written (< count if the source ended).
+u64 record_trace(TraceSource& source, const std::string& path, u64 count);
+
+}  // namespace pcs

@@ -1,0 +1,93 @@
+// Unit tests for the SRAM bit-error-rate model (paper Fig. 2 substrate).
+#include "fault/ber_model.hpp"
+
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+
+#include "tech/technology.hpp"
+
+namespace pcs {
+namespace {
+
+TEST(BerModel, CalibratedSpanMatchesFig2) {
+  // The default technology calibration targets BER ~1e-9 at 1.0 V rising
+  // toward ~1e-4 near the minimum operating voltages -- the span of Fig. 2.
+  BerModel m(Technology::soi45());
+  EXPECT_LT(m.ber(1.0), 5e-9);
+  EXPECT_GT(m.ber(1.0), 1e-11);
+  EXPECT_GT(m.ber(0.55), 1e-4);
+  EXPECT_LT(m.ber(0.55), 1e-2);
+}
+
+class BerMonotone : public ::testing::TestWithParam<double> {};
+
+TEST_P(BerMonotone, LowerVddMeansHigherBer) {
+  BerModel m(Technology::soi45());
+  const Volt v = GetParam();
+  EXPECT_GT(m.ber(v - 0.01), m.ber(v));
+}
+
+INSTANTIATE_TEST_SUITE_P(GridSweep, BerMonotone,
+                         ::testing::Values(0.4, 0.5, 0.6, 0.7, 0.8, 0.9, 1.0));
+
+TEST(BerModel, CalibrateRecoversAnchors) {
+  const BerModel m = BerModel::calibrate(1.0, 1e-9, 0.7, 2e-5);
+  EXPECT_NEAR(m.ber(1.0), 1e-9, 1e-11);
+  EXPECT_NEAR(m.ber(0.7), 2e-5, 2e-7);
+}
+
+TEST(BerModel, CalibrateRejectsDegenerateAnchors) {
+  EXPECT_THROW(BerModel::calibrate(0.7, 1e-5, 0.7, 1e-7),
+               std::invalid_argument);
+  EXPECT_THROW(BerModel::calibrate(0.7, 1e-5, 0.9, 1e-5),
+               std::invalid_argument);
+  // Anchors implying BER *rising* with voltage are non-physical.
+  EXPECT_THROW(BerModel::calibrate(0.7, 1e-9, 1.0, 1e-4),
+               std::invalid_argument);
+}
+
+TEST(BerModel, VddForBerInvertsBer) {
+  BerModel m(Technology::soi45());
+  for (double target : {1e-8, 1e-6, 1e-4}) {
+    const Volt v = m.vdd_for_ber(target);
+    EXPECT_NEAR(m.ber(v), target, target * 1e-6);
+  }
+}
+
+TEST(BerModel, BlockFailProbScalesWithBits) {
+  BerModel m(Technology::soi45());
+  const double p1 = m.block_fail_prob(0.7, 256);
+  const double p2 = m.block_fail_prob(0.7, 512);
+  EXPECT_GT(p2, p1);
+  // For small per-bit probability, doubling bits ~doubles failure prob.
+  EXPECT_NEAR(p2 / p1, 2.0, 0.02);
+}
+
+TEST(BerModel, BlockFailProbIsAProbability) {
+  BerModel m(Technology::soi45());
+  for (Volt v = 0.3; v <= 1.0; v += 0.05) {
+    const double p = m.block_fail_prob(v, 512);
+    EXPECT_GE(p, 0.0);
+    EXPECT_LE(p, 1.0);
+  }
+}
+
+TEST(BerModel, DirectConstruction) {
+  BerModel m(0.05, 0.16);
+  EXPECT_EQ(m.mu(), 0.05);
+  EXPECT_EQ(m.sigma(), 0.16);
+  // At vdd == mu the tail probability is exactly one half.
+  EXPECT_NEAR(m.ber(0.05), 0.5, 1e-12);
+}
+
+TEST(BerModel, WorstCornerHasHigherBer) {
+  BerModel nom(Technology::soi45());
+  BerModel worst(Technology::soi45_worst_corner());
+  for (Volt v : {0.6, 0.7, 0.8}) {
+    EXPECT_GT(worst.ber(v), nom.ber(v));
+  }
+}
+
+}  // namespace
+}  // namespace pcs

@@ -1,0 +1,137 @@
+// Unit tests for the SRAM array simulator and the March SS BIST engine.
+#include "fault/bist.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "tech/technology.hpp"
+
+namespace pcs {
+namespace {
+
+BerModel test_ber() { return BerModel(Technology::soi45()); }
+
+TEST(SramArraySim, HealthyCellsStoreAndRead) {
+  Rng rng(1);
+  SramArraySim s(test_ber(), 4096, rng);
+  s.set_vdd(1.0);
+  for (u64 c = 0; c < s.num_cells(); ++c) {
+    if (s.truly_faulty(c)) continue;
+    s.write(c, (c & 1) != 0);
+    EXPECT_EQ(s.read(c), (c & 1) != 0);
+  }
+}
+
+TEST(SramArraySim, FaultyCellsIgnoreWrites) {
+  Rng rng(2);
+  SramArraySim s(test_ber(), 8192, rng);
+  s.set_vdd(0.45);  // plenty of faults down here
+  u64 checked = 0;
+  for (u64 c = 0; c < s.num_cells(); ++c) {
+    if (!s.truly_faulty(c)) continue;
+    const bool stuck = s.read(c);
+    s.write(c, !stuck);
+    EXPECT_EQ(s.read(c), stuck);
+    ++checked;
+  }
+  EXPECT_GT(checked, 0u);
+}
+
+TEST(SramArraySim, FaultinessTracksVoltage) {
+  Rng rng(3);
+  SramArraySim s(test_ber(), 4096, rng);
+  for (u64 c = 0; c < s.num_cells(); ++c) {
+    const Volt vf = s.fail_voltage(c);
+    s.set_vdd(vf + 0.01);
+    EXPECT_FALSE(s.truly_faulty(c));
+    s.set_vdd(vf);
+    EXPECT_TRUE(s.truly_faulty(c));
+  }
+}
+
+TEST(MarchSS, DetectsExactlyTheFaultyCells) {
+  // March SS detects all static simple faults; our voltage-induced faults
+  // behave as stuck-at, so detection must equal ground truth -- no false
+  // positives, no escapes.
+  Rng rng(4);
+  SramArraySim s(test_ber(), 16384, rng);
+  s.set_vdd(0.5);
+  const BistResult r = march_ss(s);
+  std::vector<u64> truth;
+  for (u64 c = 0; c < s.num_cells(); ++c) {
+    if (s.truly_faulty(c)) truth.push_back(c);
+  }
+  EXPECT_GT(truth.size(), 0u);
+  EXPECT_EQ(r.faulty_cells, truth);
+}
+
+TEST(MarchSS, CleanArrayAtNominal) {
+  // At 1.0 V faults are ~1e-9/bit; a 16k array is essentially always clean.
+  Rng rng(5);
+  SramArraySim s(test_ber(), 16384, rng);
+  s.set_vdd(1.0);
+  const BistResult r = march_ss(s);
+  EXPECT_TRUE(r.faulty_cells.empty());
+}
+
+TEST(MarchSS, OperationCountMatchesMarchSsComplexity) {
+  // March SS is a 22N test: 12 reads + 10 writes per cell... our element
+  // set is {w0; (r,r,w,r,w)x4; r} = 1 + 20 + 1 ops per cell.
+  Rng rng(6);
+  SramArraySim s(test_ber(), 1000, rng);
+  s.set_vdd(1.0);
+  const BistResult r = march_ss(s);
+  EXPECT_EQ(r.reads + r.writes, 22u * 1000u);
+  EXPECT_EQ(r.reads, 13u * 1000u);
+  EXPECT_EQ(r.writes, 9u * 1000u);
+}
+
+TEST(MarchSS, ResultSortedAscending) {
+  Rng rng(7);
+  SramArraySim s(test_ber(), 8192, rng);
+  s.set_vdd(0.45);
+  const BistResult r = march_ss(s);
+  EXPECT_TRUE(std::is_sorted(r.faulty_cells.begin(), r.faulty_cells.end()));
+}
+
+TEST(CharacterizeBlocks, MatchesGroundTruthQuantized) {
+  // BIST at a ladder of voltages must recover each block's failure voltage,
+  // quantized to the tested grid.
+  Rng rng(8);
+  const u32 bits_per_block = 64;
+  SramArraySim s(test_ber(), 256 * bits_per_block, rng);
+  const std::vector<Volt> vdds = {0.5, 0.6, 0.7, 0.8, 0.9, 1.0};
+  const auto measured = characterize_blocks(s, bits_per_block, vdds);
+  ASSERT_EQ(measured.size(), 256u);
+  for (u64 b = 0; b < 256; ++b) {
+    // Ground truth: the max cell failure voltage in the block.
+    float vf = -1e9f;
+    for (u32 i = 0; i < bits_per_block; ++i) {
+      vf = std::max(vf, static_cast<float>(s.fail_voltage(b * bits_per_block + i)));
+    }
+    // Expected measurement: highest tested voltage <= vf.
+    float expect = -std::numeric_limits<float>::infinity();
+    for (Volt v : vdds) {
+      if (static_cast<float>(v) <= vf) expect = static_cast<float>(v);
+    }
+    EXPECT_EQ(measured[b], expect) << "block " << b;
+  }
+}
+
+TEST(CharacterizeBlocks, InclusionAcrossTestedLevels) {
+  Rng rng(9);
+  SramArraySim s(test_ber(), 128 * 64, rng);
+  const std::vector<Volt> vdds = {0.5, 0.7, 0.9};
+  const auto vf = characterize_blocks(s, 64, vdds);
+  // A block flagged at 0.9 must also be flagged at 0.7 and 0.5: its measured
+  // failure voltage is simply >= 0.9.
+  for (float v : vf) {
+    const bool at09 = 0.9f <= v;
+    const bool at07 = 0.7f <= v;
+    if (at09) EXPECT_TRUE(at07);
+  }
+}
+
+}  // namespace
+}  // namespace pcs

@@ -1,0 +1,108 @@
+// Unit tests for the CACTI-lite array-partitioning search.
+#include "cachemodel/cache_geometry.hpp"
+
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+
+namespace pcs {
+namespace {
+
+TEST(CacheOrg, DerivedQuantities) {
+  CacheOrg org{64 * 1024, 4, 64, 31};
+  EXPECT_EQ(org.num_blocks(), 1024u);
+  EXPECT_EQ(org.num_sets(), 256u);
+  EXPECT_EQ(org.bits_per_block(), 512u);
+  EXPECT_EQ(org.data_bits(), 1024u * 512u);
+  EXPECT_EQ(org.offset_bits(), 6u);
+  EXPECT_EQ(org.index_bits(), 8u);
+  EXPECT_EQ(org.tag_bits(), 31u - 6u - 8u);
+}
+
+TEST(CacheOrg, ValidateAcceptsPaperConfigs) {
+  for (CacheOrg org : {CacheOrg{64 * 1024, 4, 64, 31},
+                       CacheOrg{256 * 1024, 8, 64, 31},
+                       CacheOrg{2 * 1024 * 1024, 8, 64, 31},
+                       CacheOrg{8 * 1024 * 1024, 16, 64, 31}}) {
+    EXPECT_NO_THROW(org.validate());
+  }
+}
+
+TEST(CacheOrg, ValidateRejectsNonPowersOfTwo) {
+  EXPECT_THROW((CacheOrg{3000, 4, 64, 31}).validate(), std::invalid_argument);
+  EXPECT_THROW((CacheOrg{64 * 1024, 3, 64, 31}).validate(),
+               std::invalid_argument);
+  EXPECT_THROW((CacheOrg{64 * 1024, 4, 48, 31}).validate(),
+               std::invalid_argument);
+}
+
+TEST(CacheOrg, ValidateRejectsTooSmall) {
+  // One set needs assoc * block_bytes.
+  EXPECT_THROW((CacheOrg{128, 4, 64, 31}).validate(), std::invalid_argument);
+}
+
+TEST(CacheOrg, ValidateRejectsNarrowAddress) {
+  EXPECT_THROW((CacheOrg{2 * 1024 * 1024, 8, 64, 16}).validate(),
+               std::invalid_argument);
+}
+
+TEST(CacheGeometry, PartitionCoversArray) {
+  for (CacheOrg org : {CacheOrg{64 * 1024, 4, 64, 31},
+                       CacheOrg{2 * 1024 * 1024, 8, 64, 31},
+                       CacheOrg{8 * 1024 * 1024, 16, 64, 31}}) {
+    const auto g = CacheGeometry::optimize(org);
+    EXPECT_EQ(g.rows_per_subarray * g.ndbl, org.num_blocks());
+    EXPECT_EQ(g.cols_per_subarray * g.ndwl, org.bits_per_block());
+  }
+}
+
+TEST(CacheGeometry, LargerCachesSlowerAndWireHungrier) {
+  const auto small = CacheGeometry::optimize({64 * 1024, 4, 64, 31});
+  const auto big = CacheGeometry::optimize({8 * 1024 * 1024, 16, 64, 31});
+  EXPECT_GT(big.delay_scale, small.delay_scale);
+  EXPECT_GT(big.wire_energy_scale, small.wire_energy_scale);
+}
+
+TEST(CacheGeometry, ReferenceIsUnity) {
+  const auto ref = CacheGeometry::optimize({64 * 1024, 4, 64, 31});
+  EXPECT_NEAR(ref.wire_energy_scale, 1.0, 1e-9);
+  EXPECT_NEAR(ref.delay_scale, 1.0, 0.35);
+}
+
+TEST(CacheGeometry, ChosenSplitBeatsMonolithic) {
+  // For a 2 MB array, splitting must beat the un-partitioned organisation
+  // under the search's own cost metric.
+  const CacheOrg org{2 * 1024 * 1024, 8, 64, 31};
+  const auto g = CacheGeometry::optimize(org);
+  const double chosen = CacheGeometry::edp_cost(
+      g.rows_per_subarray, g.cols_per_subarray, g.ndwl, g.ndbl);
+  const double mono =
+      CacheGeometry::edp_cost(org.num_blocks(), org.bits_per_block(), 1, 1);
+  EXPECT_LT(chosen, mono);
+  EXPECT_GT(g.ndbl, 1u);
+}
+
+TEST(CacheGeometry, CostIncreasesWithRowsAndCols) {
+  const double base = CacheGeometry::edp_cost(256, 512, 2, 2);
+  EXPECT_GT(CacheGeometry::edp_cost(512, 512, 2, 2), base);
+  EXPECT_GT(CacheGeometry::edp_cost(256, 1024, 2, 2), base);
+}
+
+TEST(CacheGeometry, RejectsInvalidOrg) {
+  EXPECT_THROW(CacheGeometry::optimize({1000, 3, 48, 31}),
+               std::invalid_argument);
+}
+
+TEST(CacheGeometry, RowsStayBlockGranular) {
+  // The PCS layout constraint: one subarray row per (part of a) block, so
+  // rows never drop below a set's worth of blocks.
+  for (CacheOrg org : {CacheOrg{64 * 1024, 4, 64, 31},
+                       CacheOrg{8 * 1024 * 1024, 16, 64, 31}}) {
+    const auto g = CacheGeometry::optimize(org);
+    EXPECT_GE(g.rows_per_subarray, org.assoc);
+    EXPECT_GE(g.cols_per_subarray, 32u);
+  }
+}
+
+}  // namespace
+}  // namespace pcs

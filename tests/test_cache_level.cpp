@@ -1,0 +1,240 @@
+// Unit tests for one cache level, including PCS faulty-block semantics.
+#include "cache/cache_level.hpp"
+
+#include <gtest/gtest.h>
+
+namespace pcs {
+namespace {
+
+CacheLevel small_cache() {
+  // 4 sets x 2 ways x 64 B.
+  return CacheLevel("t", CacheOrg{512, 2, 64, 31}, 1);
+}
+
+TEST(CacheLevel, ColdMissThenHit) {
+  auto c = small_cache();
+  const auto m = c.access(0x1000, false);
+  EXPECT_FALSE(m.hit);
+  EXPECT_TRUE(m.filled);
+  const auto h = c.access(0x1000, false);
+  EXPECT_TRUE(h.hit);
+  EXPECT_EQ(c.stats().accesses, 2u);
+  EXPECT_EQ(c.stats().hits, 1u);
+  EXPECT_EQ(c.stats().misses, 1u);
+}
+
+TEST(CacheLevel, SameSetConflictEvictsLru) {
+  auto c = small_cache();
+  // Set stride: 4 sets * 64 B = 256 B; these three map to set 0.
+  c.access(0x0000, false);
+  c.access(0x0100, false);
+  c.access(0x0200, false);  // evicts 0x0000
+  EXPECT_FALSE(c.access(0x0000, false).hit);
+  EXPECT_TRUE(c.probe(0x0200));
+}
+
+TEST(CacheLevel, DirtyEvictionWritesBack) {
+  auto c = small_cache();
+  c.access(0x0000, true);  // dirty
+  c.access(0x0100, false);
+  const auto r = c.access(0x0200, false);  // evicts dirty 0x0000
+  EXPECT_TRUE(r.writeback);
+  EXPECT_EQ(r.writeback_addr, 0x0000u);
+  EXPECT_EQ(c.stats().writebacks_out, 1u);
+}
+
+TEST(CacheLevel, CleanEvictionSilent) {
+  auto c = small_cache();
+  c.access(0x0000, false);
+  c.access(0x0100, false);
+  const auto r = c.access(0x0200, false);
+  EXPECT_FALSE(r.writeback);
+  EXPECT_EQ(c.stats().evictions, 1u);
+}
+
+TEST(CacheLevel, WriteHitSetsDirty) {
+  auto c = small_cache();
+  c.access(0x0000, false);
+  c.access(0x0000, true);
+  const u64 set = c.set_of(0x0000);
+  bool dirty_somewhere = false;
+  for (u32 w = 0; w < 2; ++w) {
+    if (c.is_valid(set, w) && c.is_dirty(set, w)) dirty_somewhere = true;
+  }
+  EXPECT_TRUE(dirty_somewhere);
+}
+
+TEST(CacheLevel, WritebackAddrReconstruction) {
+  auto c = small_cache();
+  const u64 addr = 0x12340;  // arbitrary block-aligned address
+  c.access(addr, true);
+  const u64 set = c.set_of(addr);
+  for (u32 w = 0; w < 2; ++w) {
+    if (c.is_valid(set, w)) {
+      EXPECT_EQ(c.block_addr(set, w), addr & ~63ULL);
+    }
+  }
+}
+
+TEST(CacheLevel, FaultyBlockNeverHitsAndIsSkipped) {
+  auto c = small_cache();
+  c.access(0x0000, false);
+  const u64 set = c.set_of(0x0000);
+  // Mark way holding 0x0000 faulty.
+  u32 way = c.is_valid(set, 0) ? 0u : 1u;
+  c.set_block_faulty(set, way, true);
+  EXPECT_FALSE(c.access(0x0000, false).hit);  // invalidated
+  // Fill twice more: both fills must land in the one non-faulty way.
+  c.access(0x0100, false);
+  c.access(0x0200, false);
+  EXPECT_FALSE(c.is_valid(set, way));
+  EXPECT_EQ(c.faulty_block_count(), 1u);
+}
+
+TEST(CacheLevel, FaultyDirtyBlockReportsWritebackNeed) {
+  auto c = small_cache();
+  c.access(0x0000, true);
+  const u64 set = c.set_of(0x0000);
+  u32 way = 2;
+  for (u32 w = 0; w < 2; ++w) {
+    if (c.is_valid(set, w)) way = w;
+  }
+  ASSERT_LT(way, 2u);
+  EXPECT_TRUE(c.set_block_faulty(set, way, true));
+  // Clean block: no writeback needed.
+  c.access(0x1000, false);
+  const u64 set2 = c.set_of(0x1000);
+  u32 way2 = 2;
+  for (u32 w = 0; w < 2; ++w) {
+    if (c.is_valid(set2, w)) way2 = w;
+  }
+  ASSERT_LT(way2, 2u);
+  EXPECT_FALSE(c.set_block_faulty(set2, way2, true));
+}
+
+TEST(CacheLevel, AllWaysFaultyBypasses) {
+  auto c = small_cache();
+  const u64 set = c.set_of(0x0000);
+  c.set_block_faulty(set, 0, true);
+  c.set_block_faulty(set, 1, true);
+  const auto r = c.access(0x0000, false);
+  EXPECT_FALSE(r.hit);
+  EXPECT_TRUE(r.bypassed);
+  EXPECT_FALSE(r.filled);
+  EXPECT_EQ(c.stats().bypasses, 1u);
+}
+
+TEST(CacheLevel, RestoreFaultyBlock) {
+  auto c = small_cache();
+  c.set_block_faulty(0, 0, true);
+  EXPECT_EQ(c.faulty_block_count(), 1u);
+  c.set_block_faulty(0, 0, false);
+  EXPECT_EQ(c.faulty_block_count(), 0u);
+  EXPECT_NEAR(c.effective_capacity(), 1.0, 1e-12);
+}
+
+TEST(CacheLevel, SetFaultyIdempotent) {
+  auto c = small_cache();
+  c.set_block_faulty(0, 0, true);
+  c.set_block_faulty(0, 0, true);
+  EXPECT_EQ(c.faulty_block_count(), 1u);
+  c.set_block_faulty(0, 0, false);
+  c.set_block_faulty(0, 0, false);
+  EXPECT_EQ(c.faulty_block_count(), 0u);
+}
+
+TEST(CacheLevel, ReceiveWritebackAllocatesDirty) {
+  auto c = small_cache();
+  const auto r = c.receive_writeback(0x3000);
+  EXPECT_TRUE(r.filled);
+  const u64 set = c.set_of(0x3000);
+  bool found_dirty = false;
+  for (u32 w = 0; w < 2; ++w) {
+    if (c.is_valid(set, w) && c.is_dirty(set, w)) found_dirty = true;
+  }
+  EXPECT_TRUE(found_dirty);
+  EXPECT_EQ(c.stats().writebacks_in, 1u);
+  // Demand-miss counters untouched by writebacks.
+  EXPECT_EQ(c.stats().accesses, 0u);
+}
+
+TEST(CacheLevel, ReceiveWritebackHitMarksDirty) {
+  auto c = small_cache();
+  c.access(0x3000, false);
+  const auto r = c.receive_writeback(0x3000);
+  EXPECT_TRUE(r.hit);
+}
+
+TEST(CacheLevel, InvalidateReturnsDirtiness) {
+  auto c = small_cache();
+  c.access(0x0000, true);
+  const u64 set = c.set_of(0x0000);
+  u32 way = c.is_valid(set, 0) ? 0u : 1u;
+  EXPECT_TRUE(c.invalidate(set, way));
+  EXPECT_FALSE(c.invalidate(set, way));  // now invalid
+}
+
+TEST(CacheLevel, ResetDropsContents) {
+  auto c = small_cache();
+  c.access(0x0000, true);
+  c.reset();
+  EXPECT_FALSE(c.probe(0x0000));
+}
+
+TEST(CacheLevel, EffectiveCapacity) {
+  auto c = small_cache();  // 8 blocks
+  c.set_block_faulty(0, 0, true);
+  c.set_block_faulty(1, 1, true);
+  EXPECT_NEAR(c.effective_capacity(), 0.75, 1e-12);
+}
+
+TEST(CacheLevel, StatsDifference) {
+  auto c = small_cache();
+  c.access(0x0000, false);
+  const auto snap = c.stats();
+  c.access(0x0000, false);
+  c.access(0x0040 * 4, true);
+  const auto d = c.stats() - snap;
+  EXPECT_EQ(d.accesses, 2u);
+  EXPECT_EQ(d.hits, 1u);
+  EXPECT_EQ(d.misses, 1u);
+}
+
+TEST(CacheLevel, HitsByRankTracksRecency) {
+  auto c = small_cache();
+  c.access(0x0000, false);  // fill way A
+  c.access(0x0100, false);  // fill way B (same set)
+  // Re-hit the MRU block: rank 0.
+  c.access(0x0100, false);
+  EXPECT_EQ(c.stats().hits_by_rank[0], 1u);
+  EXPECT_EQ(c.stats().hits_by_rank[1], 0u);
+  // Hit the LRU block: rank 1 (recorded before promotion).
+  c.access(0x0000, false);
+  EXPECT_EQ(c.stats().hits_by_rank[1], 1u);
+  // Totals match the hit counter.
+  EXPECT_EQ(c.stats().hits_by_rank[0] + c.stats().hits_by_rank[1],
+            c.stats().hits);
+}
+
+TEST(CacheLevel, HitsByRankDifferenceWindows) {
+  auto c = small_cache();
+  c.access(0x0000, false);
+  c.access(0x0000, false);  // rank-0 hit
+  const auto snap = c.stats();
+  c.access(0x0100, false);
+  c.access(0x0100, false);  // rank-0 hit in the new window
+  const auto d = c.stats() - snap;
+  EXPECT_EQ(d.hits_by_rank[0], 1u);
+}
+
+TEST(CacheLevel, MissRateComputation) {
+  auto c = small_cache();
+  c.access(0x0000, false);
+  c.access(0x0000, false);
+  c.access(0x0000, false);
+  c.access(0x1000, false);
+  EXPECT_NEAR(c.stats().miss_rate(), 0.5, 1e-12);
+}
+
+}  // namespace
+}  // namespace pcs

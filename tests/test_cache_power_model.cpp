@@ -1,0 +1,124 @@
+// Unit tests for the CACTI-lite cache power model.
+#include "cachemodel/cache_power_model.hpp"
+
+#include <gtest/gtest.h>
+
+namespace pcs {
+namespace {
+
+const CacheOrg kL1{64 * 1024, 4, 64, 31};
+const CacheOrg kL2{2 * 1024 * 1024, 8, 64, 31};
+
+CachePowerModel pcs_model(const CacheOrg& org) {
+  return CachePowerModel(Technology::soi45(), org, MechanismSpec::pcs(3));
+}
+
+TEST(MechanismSpec, PcsBitsForThreeLevels) {
+  const auto m = MechanismSpec::pcs(3);
+  EXPECT_EQ(m.fault_map_bits, 2u);
+  EXPECT_TRUE(m.faulty_bit);
+  EXPECT_TRUE(m.power_gating);
+  EXPECT_EQ(m.metadata_bits(), 3u);
+}
+
+TEST(MechanismSpec, BaselineIsEmpty) {
+  const auto m = MechanismSpec::baseline();
+  EXPECT_EQ(m.metadata_bits(), 0u);
+  EXPECT_FALSE(m.power_gating);
+}
+
+TEST(CachePowerModel, BreakdownComponentsPositive) {
+  const auto m = pcs_model(kL1);
+  const auto p = m.static_power(0.7, 0.01);
+  EXPECT_GT(p.data_cells, 0.0);
+  EXPECT_GT(p.data_periphery, 0.0);
+  EXPECT_GT(p.tag_array, 0.0);
+  EXPECT_GT(p.fault_map, 0.0);
+  EXPECT_NEAR(p.total(),
+              p.data_cells + p.data_periphery + p.tag_array + p.fault_map,
+              1e-15);
+}
+
+TEST(CachePowerModel, DataCellsDominateLeakage) {
+  // Leakage must be data-cell dominated (the premise of voltage scaling the
+  // data array): ~80-90% at nominal in this technology.
+  const auto m = pcs_model(kL2);
+  const auto p = m.static_power(1.0, 0.0);
+  const double frac = p.data_cells / p.total();
+  EXPECT_GT(frac, 0.75);
+  EXPECT_LT(frac, 0.92);
+}
+
+TEST(CachePowerModel, OnlyDataCellsScaleWithVdd) {
+  const auto m = pcs_model(kL1);
+  const auto hi = m.static_power(1.0, 0.0);
+  const auto lo = m.static_power(0.6, 0.0);
+  EXPECT_LT(lo.data_cells, hi.data_cells);
+  EXPECT_EQ(lo.data_periphery, hi.data_periphery);
+  EXPECT_EQ(lo.tag_array, hi.tag_array);
+  EXPECT_EQ(lo.fault_map, hi.fault_map);
+}
+
+TEST(CachePowerModel, GatingRemovesLeakage) {
+  const auto m = pcs_model(kL1);
+  const auto none = m.static_power(0.6, 0.0);
+  const auto some = m.static_power(0.6, 0.2);
+  EXPECT_NEAR(some.data_cells, none.data_cells * 0.8,
+              none.data_cells * 1e-9);
+}
+
+TEST(CachePowerModel, BaselineBelowPcsAtNominal) {
+  // The mechanism's fault map costs a little extra leakage at nominal: the
+  // overhead Amdahl argument the paper makes about complex schemes, in
+  // miniature.
+  const auto m = pcs_model(kL1);
+  const Watt base = m.baseline_static_power();
+  const Watt with_mech = m.static_power(1.0, 0.0).total();
+  EXPECT_GT(with_mech, base);
+  EXPECT_LT(with_mech, base * 1.03);  // ...but under 3%
+}
+
+TEST(CachePowerModel, SpcsPointSavesRoughlyHalf) {
+  // At VDD2 ~ 0.7 V the paper's configs cut total cache leakage to ~45-55%.
+  const auto m = pcs_model(kL2);
+  const double ratio =
+      m.static_power(0.71, 0.008).total() / m.baseline_static_power();
+  EXPECT_GT(ratio, 0.35);
+  EXPECT_LT(ratio, 0.60);
+}
+
+TEST(CachePowerModel, DynamicEnergyScalesQuadratically) {
+  const auto m = pcs_model(kL1);
+  const Joule e_full = m.dynamic_access_energy(1.0);
+  const Joule e_low = m.dynamic_access_energy(0.7);
+  // Only the data fraction scales; bounded by pure-V^2 and no-scaling.
+  EXPECT_LT(e_low, e_full);
+  EXPECT_GT(e_low, e_full * 0.49);
+}
+
+TEST(CachePowerModel, L2AccessCostsMoreThanL1) {
+  EXPECT_GT(pcs_model(kL2).dynamic_access_energy(1.0),
+            pcs_model(kL1).dynamic_access_energy(1.0));
+}
+
+TEST(CachePowerModel, TransitionEnergyGrowsWithSwing) {
+  const auto m = pcs_model(kL2);
+  EXPECT_GT(m.transition_energy(0.4), m.transition_energy(0.1));
+  EXPECT_GT(m.transition_energy(0.1), 0.0);
+  // Sweep cost exists even for a zero-swing transition.
+  EXPECT_GT(m.transition_energy(0.0), 0.0);
+}
+
+TEST(CachePowerModel, AccessTimeFactorConsistentWithDelayModel) {
+  const auto m = pcs_model(kL1);
+  EXPECT_NEAR(m.access_time_factor(1.0), 1.0, 1e-12);
+  EXPECT_GT(m.access_time_factor(0.6), 1.0);
+}
+
+TEST(CachePowerModel, BaselineAccessEnergyExcludesFmRead) {
+  const auto m = pcs_model(kL1);
+  EXPECT_LT(m.baseline_access_energy(), m.dynamic_access_energy(1.0));
+}
+
+}  // namespace
+}  // namespace pcs

@@ -1,0 +1,125 @@
+// Unit tests for the manufactured-chip fault field, including the
+// equivalence of exact per-cell and order-statistic sampling.
+#include "fault/cell_fault_field.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "tech/technology.hpp"
+#include "util/stats.hpp"
+
+namespace pcs {
+namespace {
+
+BerModel test_ber() { return BerModel(Technology::soi45()); }
+
+TEST(CellFaultField, SizesAndAccessors) {
+  Rng rng(1);
+  const auto f = CellFaultField::sample_fast(test_ber(), 128, 512, rng);
+  EXPECT_EQ(f.num_blocks(), 128u);
+  EXPECT_EQ(f.bits_per_block(), 512u);
+}
+
+TEST(CellFaultField, FaultInclusionProperty) {
+  // A block faulty at some voltage is faulty at every lower voltage: this is
+  // definitional for a threshold field, and it is the property the paper
+  // measured on its test chips.
+  Rng rng(2);
+  const auto f = CellFaultField::sample_fast(test_ber(), 1024, 512, rng);
+  for (u64 b = 0; b < f.num_blocks(); ++b) {
+    for (Volt v = 0.4; v < 1.0; v += 0.1) {
+      if (f.is_faulty(b, v + 0.1)) {
+        EXPECT_TRUE(f.is_faulty(b, v));
+      }
+    }
+  }
+}
+
+TEST(CellFaultField, CapacityMonotoneInVdd) {
+  Rng rng(3);
+  const auto f = CellFaultField::sample_fast(test_ber(), 4096, 512, rng);
+  double prev = -1.0;
+  for (Volt v = 1.0; v >= 0.4; v -= 0.05) {
+    const double cap = f.effective_capacity(v);
+    if (prev >= 0.0) EXPECT_LE(cap, prev + 1e-12);
+    prev = cap;
+  }
+}
+
+TEST(CellFaultField, FaultyCountComplementsCapacity) {
+  Rng rng(4);
+  const auto f = CellFaultField::sample_fast(test_ber(), 2048, 512, rng);
+  const Volt v = 0.6;
+  EXPECT_NEAR(f.effective_capacity(v),
+              1.0 - static_cast<double>(f.faulty_count(v)) / 2048.0, 1e-12);
+}
+
+TEST(CellFaultField, ExactAndFastAgreeStatistically) {
+  // Both samplers must produce the same distribution of block failure
+  // voltages; compare failure fractions at several voltages.
+  const auto ber = test_ber();
+  Rng r1(5), r2(6);
+  const u64 blocks = 20000;
+  const auto exact = CellFaultField::sample_exact(ber, blocks, 64, r1);
+  const auto fast = CellFaultField::sample_fast(ber, blocks, 64, r2);
+  for (Volt v : {0.5, 0.6, 0.7}) {
+    const double pe = 1.0 - exact.effective_capacity(v);
+    const double pf = 1.0 - fast.effective_capacity(v);
+    const double se = std::sqrt(pe * (1 - pe) / blocks) + 1e-9;
+    EXPECT_NEAR(pe, pf, 6.0 * se + 0.002) << "at " << v << " V";
+  }
+}
+
+TEST(CellFaultField, MatchesAnalyticBlockFailProb) {
+  const auto ber = test_ber();
+  Rng rng(7);
+  const u64 blocks = 50000;
+  const u32 bits = 512;
+  const auto f = CellFaultField::sample_fast(ber, blocks, bits, rng);
+  for (Volt v : {0.60, 0.65, 0.70}) {
+    const double expected = ber.block_fail_prob(v, bits);
+    const double measured = 1.0 - f.effective_capacity(v);
+    const double se = std::sqrt(expected * (1 - expected) / blocks) + 1e-9;
+    EXPECT_NEAR(measured, expected, 6.0 * se + 0.002) << "at " << v << " V";
+  }
+}
+
+TEST(CellFaultField, DeterministicGivenSeed) {
+  const auto ber = test_ber();
+  Rng r1(42), r2(42);
+  const auto a = CellFaultField::sample_fast(ber, 256, 512, r1);
+  const auto b = CellFaultField::sample_fast(ber, 256, 512, r2);
+  for (u64 i = 0; i < 256; ++i) {
+    EXPECT_EQ(a.block_fail_voltage(i), b.block_fail_voltage(i));
+  }
+}
+
+TEST(CellFaultField, DirectConstruction) {
+  CellFaultField f({0.5f, 0.8f, -1.0f}, 512);
+  EXPECT_EQ(f.num_blocks(), 3u);
+  EXPECT_TRUE(f.is_faulty(0, 0.5));    // boundary: faulty at V <= Vf
+  EXPECT_FALSE(f.is_faulty(0, 0.51));
+  EXPECT_TRUE(f.is_faulty(1, 0.8));
+  EXPECT_FALSE(f.is_faulty(2, 0.3));   // never-faulty block
+  EXPECT_EQ(f.faulty_count(0.6), 1u);
+  EXPECT_NEAR(f.effective_capacity(0.6), 2.0 / 3.0, 1e-12);
+}
+
+TEST(CellFaultField, EmptyFieldFullCapacity) {
+  CellFaultField f({}, 512);
+  EXPECT_EQ(f.num_blocks(), 0u);
+  EXPECT_EQ(f.effective_capacity(0.5), 1.0);
+}
+
+TEST(CellFaultField, MoreBitsPerBlockMeansWeakerBlocks) {
+  const auto ber = test_ber();
+  Rng r1(9), r2(10);
+  const auto small = CellFaultField::sample_fast(ber, 20000, 128, r1);
+  const auto big = CellFaultField::sample_fast(ber, 20000, 1024, r2);
+  // Bigger blocks fail with higher probability at the same voltage.
+  EXPECT_LT(big.effective_capacity(0.65), small.effective_capacity(0.65));
+}
+
+}  // namespace
+}  // namespace pcs

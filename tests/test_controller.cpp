@@ -1,0 +1,167 @@
+// Unit tests for the PCS controller glue (interval detection, transition
+// execution, energy bookkeeping).
+#include "core/controller.hpp"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "core/static_policy.hpp"
+
+namespace pcs {
+namespace {
+
+const CacheOrg kL1{512, 2, 64, 31};  // 4 sets x 2 ways
+const std::vector<Volt> kLevels = {0.6, 0.7, 1.0};
+
+struct Rig {
+  Hierarchy hier;
+  CpuModel cpu;
+
+  explicit Rig()
+      : hier([] {
+          HierarchyConfig c;
+          c.l1i = kL1;
+          c.l1d = kL1;
+          c.l2 = {32 * 1024, 4, 64, 31};
+          return c;
+        }()),
+        cpu(hier, 1.0) {}
+};
+
+/// Policy scripted to request a fixed sequence of levels.
+class ScriptedPolicy final : public PcsPolicy {
+ public:
+  explicit ScriptedPolicy(std::vector<u32> seq) : seq_(std::move(seq)) {}
+  u32 on_interval(const PolicyInput& in) override {
+    if (pos_ >= seq_.size()) return in.current_level;
+    return seq_[pos_++];
+  }
+  const char* name() const override { return "scripted"; }
+
+ private:
+  std::vector<u32> seq_;
+  std::size_t pos_ = 0;
+};
+
+std::unique_ptr<PcsMechanism> make_mech(CacheLevel& cache,
+                                        std::vector<float> vf) {
+  FaultMap map(kLevels, std::span<const float>(vf));
+  return std::make_unique<PcsMechanism>(cache, std::move(map),
+                                        VddLadder{kLevels, 2}, 2, 40);
+}
+
+EnergyMeter make_meter(Volt vdd, double gated) {
+  CachePowerModel model(Technology::soi45(), kL1, MechanismSpec::pcs(3));
+  return EnergyMeter(model, 1e9, vdd, gated);
+}
+
+TEST(Controller, BaselineAccountsDynamicEnergy) {
+  Rig rig;
+  CachePowerModel model(Technology::soi45(), kL1, MechanismSpec::baseline());
+  PcsController ctl(rig.hier.l1d(), rig.cpu, EnergyMeter(model, 1e9, 1.0, 0.0));
+  rig.hier.access({0x0000, false, false});
+  rig.hier.access({0x0000, false, false});
+  ctl.tick();
+  ctl.finalize();
+  // 2 demand accesses + 1 fill.
+  EXPECT_NEAR(ctl.meter().dynamic_energy(),
+              3 * model.dynamic_access_energy(1.0), 1e-15);
+  EXPECT_EQ(ctl.current_level(), 0u);
+  EXPECT_EQ(ctl.mechanism(), nullptr);
+}
+
+TEST(Controller, PolicyEvaluatedAtIntervalBoundary) {
+  Rig rig;
+  auto& cache = rig.hier.l1d();
+  auto mech = make_mech(cache, std::vector<float>(8, 0.f));
+  auto policy = std::make_unique<ScriptedPolicy>(std::vector<u32>{1});
+  PcsController ctl(cache, rig.hier, rig.cpu, std::move(mech),
+                    std::move(policy), make_meter(0.7, 0.0), 10);
+  // 9 accesses: below the interval, no transition yet.
+  for (int i = 0; i < 9; ++i) {
+    rig.hier.access({0x0000, false, false});
+    ctl.tick();
+  }
+  EXPECT_EQ(ctl.current_level(), 2u);
+  rig.hier.access({0x0000, false, false});
+  ctl.tick();
+  EXPECT_EQ(ctl.current_level(), 1u);
+  EXPECT_EQ(ctl.pcs_stats().transitions, 1u);
+}
+
+TEST(Controller, TransitionChargesStallAndEnergy) {
+  Rig rig;
+  auto& cache = rig.hier.l1d();
+  auto mech = make_mech(cache, std::vector<float>(8, 0.f));
+  auto policy = std::make_unique<ScriptedPolicy>(std::vector<u32>{1});
+  PcsController ctl(cache, rig.hier, rig.cpu, std::move(mech),
+                    std::move(policy), make_meter(0.7, 0.0), 5);
+  const Cycle before = rig.cpu.cycles();
+  for (int i = 0; i < 5; ++i) {
+    rig.hier.access({u64(i) * 64, false, false});
+    ctl.tick();
+  }
+  // Penalty = 2*4 sets + 40 settle = 48 cycles.
+  EXPECT_EQ(rig.cpu.stats().stall_cycles, 48u);
+  EXPECT_EQ(rig.cpu.cycles(), before + 48);  // accesses bypass the CPU here
+  EXPECT_GT(ctl.meter().transition_energy(), 0.0);
+}
+
+TEST(Controller, TransitionWritebacksRoutedBelow) {
+  Rig rig;
+  auto& cache = rig.hier.l1d();
+  // Block (set 0, way 1) becomes faulty at level 1.
+  std::vector<float> vf(8, 0.f);
+  vf[1] = 0.65f;
+  auto mech = make_mech(cache, std::move(vf));
+  auto policy = std::make_unique<ScriptedPolicy>(std::vector<u32>{1});
+  PcsController ctl(cache, rig.hier, rig.cpu, std::move(mech),
+                    std::move(policy), make_meter(0.7, 0.0), 2);
+  // Dirty data into both ways of set 0 (stride = 4 sets * 64 = 256).
+  rig.hier.access({0x0000, true, false});
+  ctl.tick();
+  rig.hier.access({0x0100, true, false});
+  ctl.tick();  // interval of 2 -> transition to level 1, flushing way 1
+  EXPECT_EQ(ctl.pcs_stats().transition_writebacks, 1u);
+  EXPECT_EQ(rig.hier.l2().stats().writebacks_in, 1u);
+}
+
+TEST(Controller, ResetMeasurementZeroesMeters) {
+  Rig rig;
+  auto& cache = rig.hier.l1d();
+  auto mech = make_mech(cache, std::vector<float>(8, 0.f));
+  auto policy = std::make_unique<StaticPolicy>(2);
+  PcsController ctl(cache, rig.hier, rig.cpu, std::move(mech),
+                    std::move(policy), make_meter(0.7, 0.0), 100);
+  rig.hier.access({0x0000, false, false});
+  rig.cpu.add_stall(1000);
+  ctl.tick();
+  ctl.finalize();
+  EXPECT_GT(ctl.meter().total_energy(), 0.0);
+  ctl.reset_measurement();
+  EXPECT_EQ(ctl.meter().total_energy(), 0.0);
+  EXPECT_EQ(ctl.pcs_stats().transitions, 0u);
+}
+
+TEST(Controller, LevelResidencyTracked) {
+  Rig rig;
+  auto& cache = rig.hier.l1d();
+  auto mech = make_mech(cache, std::vector<float>(8, 0.f));
+  auto policy = std::make_unique<ScriptedPolicy>(std::vector<u32>{1, 1});
+  PcsController ctl(cache, rig.hier, rig.cpu, std::move(mech),
+                    std::move(policy), make_meter(0.7, 0.0), 3);
+  for (int i = 0; i < 9; ++i) {
+    rig.cpu.add_stall(100);  // advance time so residency accrues
+    rig.hier.access({0x0000, false, false});
+    ctl.tick();
+  }
+  ctl.finalize();
+  const auto& st = ctl.pcs_stats();
+  EXPECT_GT(st.cycles_at_level[2], 0u);
+  EXPECT_GT(st.cycles_at_level[1], 0u);
+  EXPECT_EQ(st.cycles_at_level[2] + st.cycles_at_level[1], rig.cpu.cycles());
+}
+
+}  // namespace
+}  // namespace pcs

@@ -1,0 +1,108 @@
+// Unit tests for the blocking CPU timing model.
+#include "cache/cpu_model.hpp"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+namespace pcs {
+namespace {
+
+/// Fixed scripted trace for deterministic timing checks.
+class ScriptedTrace final : public TraceSource {
+ public:
+  explicit ScriptedTrace(std::vector<TraceEvent> events)
+      : events_(std::move(events)) {}
+  bool next(TraceEvent& out) override {
+    if (pos_ >= events_.size()) return false;
+    out = events_[pos_++];
+    return true;
+  }
+  const char* name() const override { return "scripted"; }
+
+ private:
+  std::vector<TraceEvent> events_;
+  std::size_t pos_ = 0;
+};
+
+HierarchyConfig tiny_config() {
+  HierarchyConfig cfg;
+  cfg.l1i = {4 * 1024, 2, 64, 31};
+  cfg.l1d = {4 * 1024, 2, 64, 31};
+  cfg.l2 = {32 * 1024, 4, 64, 31};
+  cfg.l1_hit_latency = 2;
+  cfg.l2_hit_latency = 6;
+  cfg.mem_latency = 100;
+  return cfg;
+}
+
+TEST(CpuModel, CyclesAreGapPlusLatency) {
+  Hierarchy h(tiny_config());
+  CpuModel cpu(h, 2.0);
+  ScriptedTrace t({{{0x1000, false, false}, 10},
+                   {{0x1000, false, false}, 5}});
+  cpu.run(t);
+  // Event 1: 10 gap + cold miss (108); event 2: 5 gap + L1 hit (2).
+  EXPECT_EQ(cpu.cycles(), 10u + 108u + 5u + 2u);
+  EXPECT_EQ(cpu.stats().instructions, 10u + 1u + 5u + 1u);
+  EXPECT_EQ(cpu.stats().refs, 2u);
+}
+
+TEST(CpuModel, MaxRefsBoundsRun) {
+  Hierarchy h(tiny_config());
+  CpuModel cpu(h, 2.0);
+  std::vector<TraceEvent> ev(100, TraceEvent{{0x0, false, false}, 0});
+  ScriptedTrace t(ev);
+  cpu.run(t, 7);
+  EXPECT_EQ(cpu.stats().refs, 7u);
+}
+
+TEST(CpuModel, StepReturnsFalseAtEnd) {
+  Hierarchy h(tiny_config());
+  CpuModel cpu(h, 2.0);
+  ScriptedTrace t({{{0x0, false, false}, 0}});
+  AccessOutcome out;
+  EXPECT_TRUE(cpu.step(t, out));
+  EXPECT_FALSE(cpu.step(t, out));
+}
+
+TEST(CpuModel, StallsAccumulate) {
+  Hierarchy h(tiny_config());
+  CpuModel cpu(h, 2.0);
+  cpu.add_stall(500);
+  cpu.add_stall(250);
+  EXPECT_EQ(cpu.cycles(), 750u);
+  EXPECT_EQ(cpu.stats().stall_cycles, 750u);
+  EXPECT_EQ(cpu.stats().instructions, 0u);
+}
+
+TEST(CpuModel, ElapsedSecondsUsesClock) {
+  Hierarchy h(tiny_config());
+  CpuModel cpu(h, 2.0);  // 2 GHz
+  cpu.add_stall(2'000'000'000ULL);
+  EXPECT_NEAR(cpu.elapsed_seconds(), 1.0, 1e-9);
+}
+
+TEST(CpuModel, IpcComputation) {
+  Hierarchy h(tiny_config());
+  CpuModel cpu(h, 2.0);
+  ScriptedTrace t({{{0x1000, false, false}, 99}});  // 100 insts
+  cpu.run(t);
+  // 99 + 108 = 207 cycles, 100 instructions.
+  EXPECT_NEAR(cpu.stats().ipc(), 100.0 / 207.0, 1e-9);
+}
+
+TEST(CpuModel, OutcomeExposedPerStep) {
+  Hierarchy h(tiny_config());
+  CpuModel cpu(h, 2.0);
+  ScriptedTrace t({{{0x1000, false, false}, 0},
+                   {{0x1000, false, false}, 0}});
+  AccessOutcome out;
+  cpu.step(t, out);
+  EXPECT_FALSE(out.l1_hit);
+  cpu.step(t, out);
+  EXPECT_TRUE(out.l1_hit);
+}
+
+}  // namespace
+}  // namespace pcs

@@ -1,0 +1,108 @@
+// Unit tests for the energy-integration meter.
+#include "core/energy_meter.hpp"
+
+#include <gtest/gtest.h>
+
+namespace pcs {
+namespace {
+
+const CacheOrg kOrg{64 * 1024, 4, 64, 31};
+
+CachePowerModel model() {
+  return CachePowerModel(Technology::soi45(), kOrg, MechanismSpec::pcs(3));
+}
+
+TEST(EnergyMeter, StaticEnergyIsPowerTimesTime) {
+  const auto m = model();
+  EnergyMeter meter(m, 1e9, 1.0, 0.0);  // 1 GHz
+  meter.advance(1'000'000'000);         // 1 second
+  EXPECT_NEAR(meter.static_energy(), m.static_power(1.0, 0.0).total(), 1e-12);
+}
+
+TEST(EnergyMeter, AdvanceIsIdempotentBackward) {
+  EnergyMeter meter(model(), 1e9, 1.0, 0.0);
+  meter.advance(1000);
+  const Joule e = meter.static_energy();
+  meter.advance(500);  // going backward must be a no-op
+  meter.advance(1000);
+  EXPECT_EQ(meter.static_energy(), e);
+}
+
+TEST(EnergyMeter, StateChangeSplitsIntegration) {
+  const auto m = model();
+  EnergyMeter meter(m, 1e9, 1.0, 0.0);
+  meter.set_state(500'000'000, 0.7, 0.01);  // after 0.5 s at 1.0 V
+  meter.advance(1'000'000'000);             // plus 0.5 s at 0.7 V
+  const Joule expect = 0.5 * m.static_power(1.0, 0.0).total() +
+                       0.5 * m.static_power(0.7, 0.01).total();
+  EXPECT_NEAR(meter.static_energy(), expect, expect * 1e-9);
+}
+
+TEST(EnergyMeter, DynamicEnergyPerAccessAtCurrentVdd) {
+  const auto m = model();
+  EnergyMeter meter(m, 1e9, 0.7, 0.0);
+  meter.add_accesses(1000);
+  EXPECT_NEAR(meter.dynamic_energy(), 1000 * m.dynamic_access_energy(0.7),
+              1e-15);
+}
+
+TEST(EnergyMeter, TransitionEnergyCharged) {
+  const auto m = model();
+  EnergyMeter meter(m, 1e9, 0.7, 0.0);
+  meter.add_transition(0.7, 0.6);
+  EXPECT_DOUBLE_EQ(meter.transition_energy(), m.transition_energy(-0.1));
+}
+
+TEST(EnergyMeter, TotalSumsComponents) {
+  EnergyMeter meter(model(), 1e9, 0.7, 0.0);
+  meter.advance(1000);
+  meter.add_accesses(10);
+  meter.add_transition(0.7, 0.6);
+  EXPECT_NEAR(meter.total_energy(),
+              meter.static_energy() + meter.dynamic_energy() +
+                  meter.transition_energy(),
+              1e-18);
+}
+
+TEST(EnergyMeter, AveragePowerOverWindow) {
+  const auto m = model();
+  EnergyMeter meter(m, 1e9, 1.0, 0.0);
+  meter.advance(2'000'000'000);  // 2 s, static only
+  EXPECT_NEAR(meter.average_power(), m.static_power(1.0, 0.0).total(),
+              1e-12);
+}
+
+TEST(EnergyMeter, ResetDiscardsHistory) {
+  const auto m = model();
+  EnergyMeter meter(m, 1e9, 1.0, 0.0);
+  meter.advance(1'000'000);
+  meter.add_accesses(100);
+  meter.reset(1'000'000);
+  EXPECT_EQ(meter.total_energy(), 0.0);
+  meter.advance(2'000'000);
+  // Only the post-reset megacycle is charged.
+  EXPECT_NEAR(meter.static_energy(),
+              m.static_power(1.0, 0.0).total() * 1e-3, 1e-12);
+  EXPECT_NEAR(meter.average_power(), m.static_power(1.0, 0.0).total(), 1e-9);
+}
+
+TEST(EnergyMeter, AverageVddTimeWeighted) {
+  EnergyMeter meter(model(), 1e9, 1.0, 0.0);
+  meter.set_state(750, 0.6, 0.0);  // 750 cycles at 1.0 V
+  meter.advance(1000);             // 250 cycles at 0.6 V
+  EXPECT_NEAR(meter.average_vdd(), 0.75 * 1.0 + 0.25 * 0.6, 1e-9);
+}
+
+TEST(EnergyMeter, LowerVddLowersBothComponents) {
+  const auto m = model();
+  EnergyMeter hi(m, 1e9, 1.0, 0.0), lo(m, 1e9, 0.7, 0.01);
+  hi.advance(1'000'000);
+  lo.advance(1'000'000);
+  hi.add_accesses(1000);
+  lo.add_accesses(1000);
+  EXPECT_LT(lo.static_energy(), hi.static_energy());
+  EXPECT_LT(lo.dynamic_energy(), hi.dynamic_energy());
+}
+
+}  // namespace
+}  // namespace pcs

@@ -1,0 +1,111 @@
+// Unit tests for the two-level hierarchy plumbing.
+#include "cache/hierarchy.hpp"
+
+#include <gtest/gtest.h>
+
+namespace pcs {
+namespace {
+
+HierarchyConfig tiny_config() {
+  HierarchyConfig cfg;
+  cfg.l1i = {4 * 1024, 2, 64, 31};
+  cfg.l1d = {4 * 1024, 2, 64, 31};
+  cfg.l2 = {32 * 1024, 4, 64, 31};
+  cfg.l1_hit_latency = 2;
+  cfg.l2_hit_latency = 6;
+  cfg.mem_latency = 100;
+  return cfg;
+}
+
+TEST(Hierarchy, LatencyLadder) {
+  Hierarchy h(tiny_config());
+  const MemRef r{0x10000, false, false};
+  // Cold: L1 miss + L2 miss + memory.
+  EXPECT_EQ(h.access(r).latency, 2u + 6u + 100u);
+  // Warm in L1.
+  EXPECT_EQ(h.access(r).latency, 2u);
+}
+
+TEST(Hierarchy, L2HitAfterL1Eviction) {
+  Hierarchy h(tiny_config());
+  // Fill set 0 of L1D (2 ways) with 3 blocks; first one falls to L2 only.
+  // L1D sets = 32 -> stride 32*64 = 2048 = 0x800.
+  h.access({0x0000, false, false});
+  h.access({0x0800, false, false});
+  h.access({0x1000, false, false});
+  const auto out = h.access({0x0000, false, false});
+  EXPECT_FALSE(out.l1_hit);
+  EXPECT_TRUE(out.l2_hit);
+  EXPECT_EQ(out.latency, 2u + 6u);
+}
+
+TEST(Hierarchy, IfetchRoutesToL1I) {
+  Hierarchy h(tiny_config());
+  h.access({0x40, false, true});
+  EXPECT_EQ(h.l1i().stats().accesses, 1u);
+  EXPECT_EQ(h.l1d().stats().accesses, 0u);
+  h.access({0x40, false, false});
+  EXPECT_EQ(h.l1d().stats().accesses, 1u);
+}
+
+TEST(Hierarchy, DirtyL1VictimLandsInL2) {
+  Hierarchy h(tiny_config());
+  h.access({0x0000, true, false});   // dirty in L1D
+  h.access({0x0800, false, false});
+  h.access({0x1000, false, false});  // evicts dirty 0x0000 -> L2 writeback
+  EXPECT_EQ(h.l2().stats().writebacks_in, 1u);
+  // 0x0000 must be dirty somewhere in L2 now; evicting it from L2 should
+  // eventually hit memory, but for now: re-reading hits L2 (not memory).
+  const auto out = h.access({0x0000, false, false});
+  EXPECT_TRUE(out.l2_hit);
+}
+
+TEST(Hierarchy, MemTrafficCounted) {
+  Hierarchy h(tiny_config());
+  h.access({0x0000, false, false});
+  EXPECT_EQ(h.mem_reads(), 1u);
+  h.access({0x0000, false, false});
+  EXPECT_EQ(h.mem_reads(), 1u);  // warm hit: no new traffic
+}
+
+TEST(Hierarchy, WritebackFromL1GoesToL2) {
+  Hierarchy h(tiny_config());
+  h.writeback_from(h.l1d(), 0x2000);
+  EXPECT_EQ(h.l2().stats().writebacks_in, 1u);
+  EXPECT_EQ(h.mem_writes(), 0u);
+}
+
+TEST(Hierarchy, WritebackFromL2GoesToMemory) {
+  Hierarchy h(tiny_config());
+  h.writeback_from(h.l2(), 0x2000);
+  EXPECT_EQ(h.mem_writes(), 1u);
+}
+
+TEST(Hierarchy, BypassedStoreReachesL2) {
+  Hierarchy h(tiny_config());
+  // Poison every way of the L1D set for 0x0000.
+  const u64 set = h.l1d().set_of(0x0000);
+  h.l1d().set_block_faulty(set, 0, true);
+  h.l1d().set_block_faulty(set, 1, true);
+  h.access({0x0000, true, false});
+  // The store data must be captured by L2 (write access).
+  EXPECT_GE(h.l2().stats().writes, 1u);
+}
+
+TEST(Hierarchy, StatsIsolatedPerLevel) {
+  Hierarchy h(tiny_config());
+  for (u64 a = 0; a < 64; ++a) h.access({a * 64, false, false});
+  EXPECT_EQ(h.l1d().stats().accesses, 64u);
+  EXPECT_EQ(h.l2().stats().accesses, h.l1d().stats().misses);
+}
+
+TEST(Hierarchy, L2MissRateReasonableForStreaming) {
+  Hierarchy h(tiny_config());
+  // Stream 4x the L2 size: every block is a compulsory+capacity miss.
+  const u64 blocks = 4 * 32 * 1024 / 64;
+  for (u64 b = 0; b < blocks; ++b) h.access({b * 64, false, false});
+  EXPECT_GT(h.l2().stats().miss_rate(), 0.95);
+}
+
+}  // namespace
+}  // namespace pcs

@@ -1,0 +1,178 @@
+// Cross-cutting integration invariants: counter conservation through the
+// hierarchy, write-back conservation across PCS transitions, energy
+// ordering across policies, and trace-replay equivalence.
+#include <gtest/gtest.h>
+
+#include <cstdio>
+
+#include "core/system.hpp"
+#include "workload/spec_profiles.hpp"
+#include "workload/trace_file.hpp"
+
+namespace pcs {
+namespace {
+
+RunParams quick() {
+  RunParams p;
+  p.max_refs = 120'000;
+  p.warmup_refs = 30'000;
+  return p;
+}
+
+// ---------------------------------------------------------------------------
+// Counter-conservation sweep over every SPEC-like profile.
+class InvariantSweep : public ::testing::TestWithParam<std::string> {};
+
+TEST_P(InvariantSweep, CountersConserveThroughTheHierarchy) {
+  const auto cfg = SystemConfig::config_a();
+  auto trace = make_spec_trace(GetParam(), 11);
+  PcsSystem sys(cfg, PolicyKind::kDynamic, 3);
+  sys.run(*trace, quick());
+
+  auto check_level = [](const CacheLevelStats& s, const char* name) {
+    EXPECT_EQ(s.hits + s.misses, s.accesses) << name;
+    // Every fill comes from a demand miss or an incoming writeback.
+    EXPECT_LE(s.fills, s.misses + s.writebacks_in) << name;
+    // Rank-histogram totals equal the hit count.
+    u64 rank_total = 0;
+    for (u64 h : s.hits_by_rank) rank_total += h;
+    EXPECT_EQ(rank_total, s.hits) << name;
+  };
+  const auto& h = sys.hierarchy();
+  check_level(h.l1i().stats(), "L1I");
+  check_level(h.l1d().stats(), "L1D");
+  check_level(h.l2().stats(), "L2");
+
+  // Write-back conservation: everything the L1s push out (demand evictions
+  // plus PCS transition flushes) must arrive at the L2.
+  const u64 l1_out = h.l1i().stats().writebacks_out +
+                     h.l1d().stats().writebacks_out +
+                     h.l1i().stats().transition_writebacks +
+                     h.l1d().stats().transition_writebacks;
+  EXPECT_EQ(h.l2().stats().writebacks_in, l1_out);
+
+  // DRAM reads track L2 demand misses (bypass corner cases excepted).
+  EXPECT_LE(h.mem_reads(), h.l2().stats().misses);
+  EXPECT_GE(h.mem_reads() + 2 * h.l2().stats().bypasses,
+            h.l2().stats().misses);
+}
+
+INSTANTIATE_TEST_SUITE_P(AllProfiles, InvariantSweep,
+                         ::testing::ValuesIn(spec_profile_names()));
+
+// ---------------------------------------------------------------------------
+
+TEST(Integration, EnergyOrderingAcrossPolicies) {
+  // baseline >= SPCS >= ~DPCS on workloads across the spectrum.
+  const auto cfg = SystemConfig::config_a();
+  for (const char* wl : {"hmmer", "libquantum", "gcc"}) {
+    double prev = 1e30;
+    for (PolicyKind kind :
+         {PolicyKind::kBaseline, PolicyKind::kStatic, PolicyKind::kDynamic}) {
+      auto trace = make_spec_trace(wl, 21);
+      PcsSystem sys(cfg, kind, 1);
+      const auto r = sys.run(*trace, quick());
+      EXPECT_LE(r.total_cache_energy(), prev * 1.02)
+          << wl << " " << to_string(kind);
+      prev = r.total_cache_energy();
+    }
+  }
+}
+
+TEST(Integration, ReplayedTraceReproducesRunExactly) {
+  // Record a trace, then drive two identical systems from the generator and
+  // from the file: cycle counts and miss counters must match exactly.
+  const std::string path =
+      std::string(::testing::TempDir()) + "/replay_integration.trace";
+  {
+    auto src = make_spec_trace("gcc", 33);
+    record_trace(*src, path, 400'000);
+  }
+  const auto cfg = SystemConfig::config_a();
+  RunParams rp;
+  rp.max_refs = 100'000;
+  rp.warmup_refs = 20'000;
+
+  SimReport from_gen, from_file;
+  {
+    auto t = make_spec_trace("gcc", 33);
+    PcsSystem sys(cfg, PolicyKind::kDynamic, 5);
+    from_gen = sys.run(*t, rp);
+  }
+  {
+    FileTrace t(path);
+    PcsSystem sys(cfg, PolicyKind::kDynamic, 5);
+    from_file = sys.run(t, rp);
+  }
+  EXPECT_EQ(from_gen.cycles, from_file.cycles);
+  EXPECT_EQ(from_gen.l1d.misses, from_file.l1d.misses);
+  EXPECT_EQ(from_gen.l2.misses, from_file.l2.misses);
+  EXPECT_DOUBLE_EQ(from_gen.total_cache_energy(),
+                   from_file.total_cache_energy());
+  std::remove(path.c_str());
+}
+
+TEST(Integration, FaultyBlocksNeverHoldValidData) {
+  // After a DPCS run, no cache line may be simultaneously faulty and valid.
+  const auto cfg = SystemConfig::config_a();
+  auto trace = make_spec_trace("sphinx3", 9);
+  PcsSystem sys(cfg, PolicyKind::kDynamic, 2);
+  sys.run(*trace, quick());
+  auto audit = [](const CacheLevel& c) {
+    for (u64 s = 0; s < c.org().num_sets(); ++s) {
+      for (u32 w = 0; w < c.org().assoc; ++w) {
+        if (c.is_faulty(s, w)) {
+          ASSERT_FALSE(c.is_valid(s, w))
+              << c.name() << " set " << s << " way " << w;
+        }
+      }
+    }
+  };
+  audit(sys.hierarchy().l1d());
+  audit(sys.hierarchy().l1i());
+  audit(sys.hierarchy().l2());
+}
+
+TEST(Integration, GatedFractionMatchesCacheFaultyCount) {
+  const auto cfg = SystemConfig::config_a();
+  auto trace = make_spec_trace("astar", 13);
+  PcsSystem sys(cfg, PolicyKind::kDynamic, 4);
+  sys.run(*trace, quick());
+  const auto* mech = sys.l2_controller().mechanism();
+  ASSERT_NE(mech, nullptr);
+  EXPECT_EQ(mech->fault_map().faulty_count(mech->current_level()),
+            sys.hierarchy().l2().faulty_block_count());
+}
+
+TEST(Integration, TransitionEnergyOnlyWithTransitions) {
+  const auto cfg = SystemConfig::config_a();
+  auto t1 = make_spec_trace("hmmer", 17);
+  PcsSystem spcs(cfg, PolicyKind::kStatic, 1);
+  const auto rs = spcs.run(*t1, quick());
+  EXPECT_EQ(rs.l2.transitions, 0u);
+  EXPECT_EQ(rs.l2.transition_energy, 0.0);
+
+  auto t2 = make_spec_trace("hmmer", 17);
+  PcsSystem dpcs(cfg, PolicyKind::kDynamic, 1);
+  const auto rd = dpcs.run(*t2, quick());
+  if (rd.l2.transitions > 0) {
+    EXPECT_GT(rd.l2.transition_energy, 0.0);
+  }
+}
+
+TEST(Integration, StallCyclesAccountedInExecutionTime) {
+  const auto cfg = SystemConfig::config_a();
+  auto trace = make_spec_trace("gcc", 19);
+  PcsSystem sys(cfg, PolicyKind::kDynamic, 1);
+  const auto r = sys.run(*trace, quick());
+  const Cycle stalls = sys.cpu().stats().stall_cycles;
+  const u32 total_transitions =
+      r.l1i.transitions + r.l1d.transitions + r.l2.transitions;
+  if (total_transitions > 0) {
+    EXPECT_GT(stalls, 0u);
+    EXPECT_LT(stalls, r.cycles);
+  }
+}
+
+}  // namespace
+}  // namespace pcs

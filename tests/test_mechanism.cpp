@@ -1,0 +1,142 @@
+// Unit tests for the PCS mechanism (fault map application + Listing 2
+// transition procedure).
+#include "core/mechanism.hpp"
+
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+#include <vector>
+
+namespace pcs {
+namespace {
+
+// 4 sets x 2 ways x 64 B = 8 blocks. Levels: 0.6 / 0.7 / 1.0.
+const CacheOrg kOrg{512, 2, 64, 31};
+const std::vector<Volt> kLevels = {0.6, 0.7, 1.0};
+
+VddLadder ladder() { return VddLadder{kLevels, 2}; }
+
+FaultMap map_from(std::vector<float> vf) {
+  return FaultMap(kLevels, std::span<const float>(vf));
+}
+
+TEST(Mechanism, InitialLevelApplied) {
+  CacheLevel cache("t", kOrg, 1);
+  // Block 0 faulty at levels 1-2, block 3 at level 1 only.
+  auto m = map_from({0.75f, 0.f, 0.f, 0.62f, 0.f, 0.f, 0.f, 0.f});
+  PcsMechanism mech(cache, std::move(m), ladder(), 2, 40);
+  EXPECT_EQ(mech.current_level(), 2u);
+  EXPECT_NEAR(mech.current_vdd(), 0.7, 1e-12);
+  EXPECT_TRUE(cache.is_faulty(0, 0));
+  EXPECT_FALSE(cache.is_faulty(1, 1));  // block 3 = set 1 way 1, fine at L2
+  EXPECT_EQ(cache.faulty_block_count(), 1u);
+}
+
+TEST(Mechanism, TransitionDownGatesMoreBlocks) {
+  CacheLevel cache("t", kOrg, 1);
+  auto m = map_from({0.75f, 0.f, 0.f, 0.62f, 0.f, 0.f, 0.f, 0.f});
+  PcsMechanism mech(cache, std::move(m), ladder(), 2, 40);
+  const auto r = mech.transition(1);
+  EXPECT_EQ(r.blocks_newly_faulty, 1u);
+  EXPECT_EQ(r.blocks_restored, 0u);
+  EXPECT_EQ(cache.faulty_block_count(), 2u);
+  EXPECT_EQ(mech.current_level(), 1u);
+  EXPECT_NEAR(mech.gated_fraction(), 2.0 / 8.0, 1e-12);
+}
+
+TEST(Mechanism, TransitionUpRestoresBlocks) {
+  CacheLevel cache("t", kOrg, 1);
+  auto m = map_from({0.75f, 0.f, 0.f, 0.62f, 0.f, 0.f, 0.f, 0.f});
+  PcsMechanism mech(cache, std::move(m), ladder(), 1, 40);
+  EXPECT_EQ(cache.faulty_block_count(), 2u);
+  const auto r = mech.transition(3);
+  EXPECT_EQ(r.blocks_restored, 2u);
+  EXPECT_EQ(cache.faulty_block_count(), 0u);
+}
+
+TEST(Mechanism, DirtyVictimOfTransitionIsWrittenBack) {
+  CacheLevel cache("t", kOrg, 1);
+  auto m = map_from({0.f, 0.65f, 0.f, 0.f, 0.f, 0.f, 0.f, 0.f});
+  PcsMechanism mech(cache, std::move(m), ladder(), 2, 40);
+  // Make set 0 way 1 hold dirty data (block 1 is faulty only at level 1).
+  // Fill both ways of set 0 with writes.
+  cache.access(0x0000, true);
+  cache.access(0x0100, true);
+  ASSERT_TRUE(cache.is_valid(0, 1));
+  ASSERT_TRUE(cache.is_dirty(0, 1));
+  const u64 addr = cache.block_addr(0, 1);
+  const auto r = mech.transition(1);
+  EXPECT_EQ(r.writebacks, 1u);
+  ASSERT_EQ(r.writeback_addrs.size(), 1u);
+  EXPECT_EQ(r.writeback_addrs[0], addr);
+  EXPECT_EQ(cache.stats().transition_writebacks, 1u);
+  EXPECT_FALSE(cache.is_valid(0, 1));
+}
+
+TEST(Mechanism, CleanVictimJustInvalidated) {
+  CacheLevel cache("t", kOrg, 1);
+  auto m = map_from({0.f, 0.65f, 0.f, 0.f, 0.f, 0.f, 0.f, 0.f});
+  PcsMechanism mech(cache, std::move(m), ladder(), 2, 40);
+  cache.access(0x0000, false);
+  cache.access(0x0100, false);  // clean fill into way 1
+  const auto r = mech.transition(1);
+  EXPECT_EQ(r.writebacks, 0u);
+  EXPECT_EQ(r.invalidations, 1u);
+}
+
+TEST(Mechanism, NoOpTransitionIsFree) {
+  CacheLevel cache("t", kOrg, 1);
+  auto m = map_from(std::vector<float>(8, 0.f));
+  PcsMechanism mech(cache, std::move(m), ladder(), 2, 40);
+  const auto r = mech.transition(2);
+  EXPECT_EQ(r.penalty_cycles, 0u);
+  EXPECT_EQ(r.writebacks, 0u);
+  EXPECT_EQ(r.blocks_newly_faulty, 0u);
+}
+
+TEST(Mechanism, PenaltyIsTwoCyclesPerSetPlusSettle) {
+  CacheLevel cache("t", kOrg, 1);
+  auto m = map_from(std::vector<float>(8, 0.f));
+  PcsMechanism mech(cache, std::move(m), ladder(), 2, 40);
+  EXPECT_EQ(mech.transition_penalty(), 2u * 4u + 40u);
+  const auto r = mech.transition(1);
+  EXPECT_EQ(r.penalty_cycles, 2u * 4u + 40u);
+}
+
+TEST(Mechanism, RejectsBadLevels) {
+  CacheLevel cache("t", kOrg, 1);
+  auto m = map_from(std::vector<float>(8, 0.f));
+  PcsMechanism mech(cache, std::move(m), ladder(), 2, 40);
+  EXPECT_THROW(mech.transition(0), std::invalid_argument);
+  EXPECT_THROW(mech.transition(4), std::invalid_argument);
+}
+
+TEST(Mechanism, RejectsMismatchedMapSize) {
+  CacheLevel cache("t", kOrg, 1);
+  auto m = map_from(std::vector<float>(4, 0.f));  // wrong: 8 blocks needed
+  EXPECT_THROW(PcsMechanism(cache, std::move(m), ladder(), 2, 40),
+               std::invalid_argument);
+}
+
+TEST(Mechanism, RoundTripPreservesFaultyCounts) {
+  CacheLevel cache("t", kOrg, 1);
+  auto m = map_from({0.75f, 0.65f, 0.f, 0.62f, 0.f, 0.95f, 0.f, 0.f});
+  PcsMechanism mech(cache, std::move(m), ladder(), 3, 40);
+  const u64 at3 = cache.faulty_block_count();
+  mech.transition(1);
+  mech.transition(2);
+  mech.transition(3);
+  EXPECT_EQ(cache.faulty_block_count(), at3);
+}
+
+TEST(Mechanism, GatedFractionMatchesFaultMap) {
+  CacheLevel cache("t", kOrg, 1);
+  auto map = map_from({0.75f, 0.65f, 0.f, 0.62f, 0.f, 0.95f, 0.f, 0.f});
+  const u64 expect1 = map.faulty_count(1);
+  PcsMechanism mech(cache, std::move(map), ladder(), 1, 40);
+  EXPECT_NEAR(mech.gated_fraction(), static_cast<double>(expect1) / 8.0,
+              1e-12);
+}
+
+}  // namespace
+}  // namespace pcs

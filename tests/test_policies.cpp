@@ -1,0 +1,176 @@
+// Unit tests for SPCS and the DPCS Listing-1 policy.
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+
+#include "core/dynamic_policy.hpp"
+#include "core/static_policy.hpp"
+
+namespace pcs {
+namespace {
+
+DpcsParams params() {
+  DpcsParams p;
+  p.interval_accesses = 1000;
+  p.super_interval = 4;
+  p.low_threshold = 0.05;
+  p.high_threshold = 0.10;
+  p.hit_latency = 4.0;
+  p.miss_penalty = 100.0;
+  p.transition_penalty = 0;  // keep the arithmetic transparent
+  return p;
+}
+
+PolicyInput window(u64 accesses, u64 misses, u32 level,
+                   u64 deep_hits = 0) {
+  PolicyInput in;
+  in.window_accesses = accesses;
+  in.window_misses = misses;
+  in.window_deep_hits = deep_hits;
+  in.current_level = level;
+  return in;
+}
+
+TEST(StaticPolicy, AlwaysAnswersSpcsLevel) {
+  StaticPolicy p(2);
+  EXPECT_EQ(p.on_interval(window(1000, 10, 2)), 2u);
+  EXPECT_EQ(p.on_interval(window(1000, 999, 2)), 2u);
+  EXPECT_STREQ(p.name(), "SPCS");
+}
+
+TEST(DpcsPolicy, AatEstimate) {
+  DpcsPolicy p(params(), 2);
+  EXPECT_NEAR(p.estimate_aat(1000, 100), 4.0 + 0.1 * 100.0, 1e-12);
+  EXPECT_NEAR(p.estimate_aat(0, 0), 4.0, 1e-12);
+}
+
+TEST(DpcsPolicy, WarmupThenNaatSample) {
+  DpcsPolicy p(params(), 2);
+  // Interval 0 is the post-park warm-up: no NAAT yet, level held.
+  EXPECT_EQ(p.on_interval(window(1000, 900, 2)), 2u);
+  EXPECT_EQ(p.interval_count(), 1u);
+  // Interval 1 samples NAAT cleanly.
+  EXPECT_EQ(p.on_interval(window(1000, 100, 2)), 2u);
+  EXPECT_NEAR(p.naat(), 14.0, 1e-12);
+  EXPECT_EQ(p.interval_count(), 2u);
+}
+
+TEST(DpcsPolicy, DescendsWhenCaatLow) {
+  DpcsPolicy p(params(), 2);
+  p.on_interval(window(1000, 100, 2));  // warm-up
+  p.on_interval(window(1000, 100, 2));  // NAAT = 14
+  // CAAT = 4 + 0.05*100 = 9 < 1.05 * 14: descend.
+  EXPECT_EQ(p.on_interval(window(1000, 50, 2)), 1u);
+}
+
+TEST(DpcsPolicy, AscendsWhenCaatHigh) {
+  DpcsPolicy p(params(), 2);
+  p.on_interval(window(1000, 100, 2));  // warm-up
+  p.on_interval(window(1000, 100, 2));  // NAAT = 14
+  // CAAT = 4 + 0.2*100 = 24 > 1.10 * 14: ascend (clamped at SPCS).
+  EXPECT_EQ(p.on_interval(window(1000, 200, 1)), 2u);
+}
+
+TEST(DpcsPolicy, HoldsInsideHysteresisBand) {
+  DpcsPolicy p(params(), 2);
+  p.on_interval(window(1000, 100, 2));  // warm-up
+  p.on_interval(window(1000, 100, 2));  // NAAT = 14
+  // CAAT = 14.8: between 1.05*14 = 14.7 and 1.10*14 = 15.4 -> hold.
+  EXPECT_EQ(p.on_interval(window(1000, 108, 1)), 1u);
+}
+
+TEST(DpcsPolicy, NeverAboveSpcsLevel) {
+  DpcsPolicy p(params(), 2);
+  p.on_interval(window(1000, 10, 2));
+  p.on_interval(window(1000, 10, 2));
+  EXPECT_LE(p.on_interval(window(1000, 900, 2)), 2u);
+}
+
+TEST(DpcsPolicy, NeverBelowMinLevel) {
+  DpcsPolicy p(params(), 3, 2);  // chip not viable below level 2
+  p.on_interval(window(1000, 100, 3));
+  p.on_interval(window(1000, 100, 3));
+  EXPECT_EQ(p.on_interval(window(1000, 0, 2)), 2u);
+}
+
+TEST(DpcsPolicy, SuperIntervalParksAtSpcs) {
+  DpcsPolicy p(params(), 2);            // super_interval = 4
+  p.on_interval(window(1000, 100, 2));  // count 0 -> 1 (warm-up)
+  p.on_interval(window(1000, 100, 2));  // count 1 -> 2 (NAAT)
+  p.on_interval(window(1000, 50, 2));   // count 2 -> 3 (descend)
+  // count == super_interval - 1: park at SPCS regardless of CAAT.
+  EXPECT_EQ(p.on_interval(window(1000, 0, 1)), 2u);
+  EXPECT_EQ(p.interval_count(), 0u);
+  // After warm-up, the next boundary re-samples NAAT.
+  p.on_interval(window(1000, 999, 2));  // warm-up (polluted window ignored)
+  p.on_interval(window(1000, 80, 2));
+  EXPECT_NEAR(p.naat(), 12.0, 1e-12);
+}
+
+TEST(DpcsPolicy, TransitionPenaltyRaisesTheBar) {
+  auto prm = params();
+  // Amortized over interval * super_interval = 4000 accesses -> 10 cyc/acc.
+  prm.transition_penalty = 40'000;
+  DpcsPolicy p(prm, 2);
+  p.on_interval(window(1000, 100, 2));  // warm-up
+  p.on_interval(window(1000, 100, 2));  // NAAT = 14
+  // CAAT = 24 but threshold is 1.10 * (14 + 10) = 26.4 -> hold, not ascend.
+  EXPECT_EQ(p.on_interval(window(1000, 200, 1)), 1u);
+}
+
+TEST(DpcsPolicy, RejectsBadConstruction) {
+  EXPECT_THROW(DpcsPolicy(params(), 2, 0), std::invalid_argument);
+  EXPECT_THROW(DpcsPolicy(params(), 2, 3), std::invalid_argument);
+  auto prm = params();
+  prm.super_interval = 2;  // no room for warm-up + NAAT + park
+  EXPECT_THROW(DpcsPolicy(prm, 2), std::invalid_argument);
+}
+
+TEST(DpcsPolicy, UtilityGateBlocksCostlyDescend) {
+  DpcsPolicy p(params(), 2);
+  p.on_interval(window(1000, 100, 2));  // warm-up
+  p.on_interval(window(1000, 100, 2));  // NAAT = 14
+  // CAAT is in band, but the deep ranks carry 10% of accesses: predicted =
+  // 14 + 0.10*100 = 24 > 1.05*14 -> hold at SPCS instead of descending.
+  EXPECT_EQ(p.on_interval(window(1000, 100, 2, 100)), 2u);
+}
+
+TEST(DpcsPolicy, UtilityGatePermitsCheapDescend) {
+  DpcsPolicy p(params(), 2);
+  p.on_interval(window(1000, 100, 2));  // warm-up
+  p.on_interval(window(1000, 100, 2));  // NAAT = 14
+  // Negligible deep-rank traffic: predicted ~= CAAT -> descend.
+  EXPECT_EQ(p.on_interval(window(1000, 100, 2, 2)), 1u);
+}
+
+TEST(DpcsPolicy, BackoffFloorBlocksRedescendUntilNaat) {
+  auto prm = params();
+  prm.super_interval = 8;
+  DpcsPolicy p(prm, 2);
+  p.on_interval(window(1000, 100, 2));   // warm-up
+  p.on_interval(window(1000, 100, 2));   // NAAT = 14
+  p.on_interval(window(1000, 100, 2));   // descend (cheap)
+  // Damage shows up at the low level: ascend.
+  EXPECT_EQ(p.on_interval(window(1000, 300, 1)), 2u);
+  // CAAT back in band, but the backoff floor holds until the next NAAT.
+  EXPECT_EQ(p.on_interval(window(1000, 100, 2)), 2u);
+  EXPECT_EQ(p.on_interval(window(1000, 100, 2)), 2u);
+}
+
+TEST(DpcsPolicy, FullSuperIntervalCycleSequence) {
+  // Drive one SuperInterval (length 5) and verify the canonical pattern:
+  // warm-up, NAAT, free-run, free-run, park, warm-up, ...
+  auto prm = params();
+  prm.super_interval = 5;
+  DpcsPolicy p(prm, 2);
+  EXPECT_EQ(p.on_interval(window(1000, 100, 2)), 2u);  // warm-up
+  EXPECT_EQ(p.on_interval(window(1000, 100, 2)), 2u);  // NAAT
+  EXPECT_EQ(p.on_interval(window(1000, 20, 2)), 1u);   // descend
+  EXPECT_EQ(p.on_interval(window(1000, 20, 1)), 1u);   // low CAAT, floor
+  EXPECT_EQ(p.on_interval(window(1000, 20, 1)), 2u);   // park
+  EXPECT_EQ(p.on_interval(window(1000, 100, 2)), 2u);  // warm-up again
+  EXPECT_EQ(p.interval_count(), 1u);
+}
+
+}  // namespace
+}  // namespace pcs

@@ -1,0 +1,175 @@
+// Cross-module property suites (parameterized sweeps over organisations,
+// voltages, and seeds) checking the invariants DESIGN.md calls out.
+#include <gtest/gtest.h>
+
+#include <tuple>
+
+#include "baselines/fft_cache.hpp"
+#include "cachemodel/cache_power_model.hpp"
+#include "core/mechanism.hpp"
+#include "core/vdd_levels.hpp"
+#include "fault/fault_map.hpp"
+#include "fault/yield_model.hpp"
+#include "workload/spec_profiles.hpp"
+
+namespace pcs {
+namespace {
+
+// ---------------------------------------------------------------------------
+// Property: across all paper organisations, the static-power ordering of
+// Fig. 3 holds at the matched-capacity point.
+class OrgSweep : public ::testing::TestWithParam<CacheOrg> {};
+
+TEST_P(OrgSweep, SelectionMeetsTargetsAndOrderingHolds) {
+  const CacheOrg org = GetParam();
+  const auto tech = Technology::soi45();
+  BerModel ber(tech);
+  VddSelector sel(tech, ber, org);
+  const auto ladder = sel.select({});
+  const auto& ym = sel.yield_model();
+
+  // Selection targets.
+  EXPECT_GE(ym.yield(ladder.min_vdd()), 0.99);
+  EXPECT_GE(ym.expected_capacity(ladder.spcs_vdd()), 0.99);
+
+  // Power at the SPCS point beats FFT-Cache at matched capacity.
+  CachePowerModel pm(tech, org, MechanismSpec::pcs(3));
+  FftCacheModel fft(tech, org, ber);
+  const Volt v_fft = fft.vdd_for_capacity(0.99, 0.99);
+  EXPECT_LT(pm.static_power(ladder.spcs_vdd(), 0.01).total(),
+            fft.static_power(v_fft));
+}
+
+TEST_P(OrgSweep, MechanismRoundTripIsLossless) {
+  // Manufacture a chip, walk the ladder down and back up: the faulty-block
+  // population must return exactly to the initial state.
+  const CacheOrg org = GetParam();
+  if (org.size_bytes > 4 * 1024 * 1024) GTEST_SKIP() << "keep CI fast";
+  const auto tech = Technology::soi45();
+  BerModel ber(tech);
+  VddSelector sel(tech, ber, org);
+  const auto ladder = sel.select({});
+  Rng rng(99);
+  const auto field = CellFaultField::sample_fast(ber, org.num_blocks(),
+                                                 org.bits_per_block(), rng);
+  CacheLevel cache("t", org, 2);
+  PcsMechanism mech(cache, FaultMap(ladder.levels, field), ladder,
+                    ladder.spcs_level, 40);
+  const u64 initial = cache.faulty_block_count();
+  mech.transition(1);
+  EXPECT_GE(cache.faulty_block_count(), initial);
+  mech.transition(ladder.num_levels());
+  EXPECT_LE(cache.faulty_block_count(), initial);
+  mech.transition(ladder.spcs_level);
+  EXPECT_EQ(cache.faulty_block_count(), initial);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    PaperOrgs, OrgSweep,
+    ::testing::Values(CacheOrg{64 * 1024, 4, 64, 31},
+                      CacheOrg{256 * 1024, 8, 64, 31},
+                      CacheOrg{2 * 1024 * 1024, 8, 64, 31},
+                      CacheOrg{8 * 1024 * 1024, 16, 64, 31}));
+
+// ---------------------------------------------------------------------------
+// Property: static power is monotone in VDD for every (org, gating) combo.
+class PowerMonotone
+    : public ::testing::TestWithParam<std::tuple<u64, double>> {};
+
+TEST_P(PowerMonotone, StaticPowerNondecreasingInVdd) {
+  const auto [size, gated] = GetParam();
+  CachePowerModel pm(Technology::soi45(), CacheOrg{size, 8, 64, 31},
+                     MechanismSpec::pcs(3));
+  double prev = -1.0;
+  for (Volt v = 0.4; v <= 1.0; v += 0.05) {
+    const double p = pm.static_power(v, gated).total();
+    EXPECT_GT(p, prev);
+    prev = p;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    SizeGatingGrid, PowerMonotone,
+    ::testing::Combine(::testing::Values(256 * 1024ULL, 2 * 1024 * 1024ULL),
+                       ::testing::Values(0.0, 0.05, 0.5)));
+
+// ---------------------------------------------------------------------------
+// Property: the fault-inclusion property survives the whole pipeline
+// (field -> BIST-style quantization -> fault map) for any seed.
+class SeedSweep : public ::testing::TestWithParam<u64> {};
+
+TEST_P(SeedSweep, InclusionThroughPipeline) {
+  Rng rng(GetParam());
+  BerModel ber(Technology::soi45());
+  const auto field = CellFaultField::sample_fast(ber, 2048, 512, rng);
+  const std::vector<Volt> levels = {0.55, 0.65, 0.75, 1.0};
+  const FaultMap map(levels, field);
+  for (u64 b = 0; b < map.num_blocks(); ++b) {
+    for (u32 l = 2; l <= map.num_levels(); ++l) {
+      if (map.faulty_at(b, l)) ASSERT_TRUE(map.faulty_at(b, l - 1));
+    }
+  }
+}
+
+TEST_P(SeedSweep, MapCapacityMatchesFieldAtEveryLevel) {
+  Rng rng(GetParam() ^ 0xabcdef);
+  BerModel ber(Technology::soi45());
+  const auto field = CellFaultField::sample_fast(ber, 4096, 512, rng);
+  const std::vector<Volt> levels = {0.55, 0.65, 0.75, 1.0};
+  const FaultMap map(levels, field);
+  for (u32 l = 1; l <= map.num_levels(); ++l) {
+    EXPECT_NEAR(map.effective_capacity(l),
+                field.effective_capacity(levels[l - 1]), 1e-12);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, SeedSweep,
+                         ::testing::Values(1, 2, 3, 17, 1234, 99999));
+
+// ---------------------------------------------------------------------------
+// Property: every SPEC profile drives every cache level with some traffic.
+class ProfileSweep : public ::testing::TestWithParam<std::string> {};
+
+TEST_P(ProfileSweep, ProducesTrafficAtAllLevels) {
+  auto trace = make_spec_trace(GetParam(), 5);
+  u64 data = 0, code = 0, writes = 0;
+  TraceEvent e;
+  for (int i = 0; i < 50'000; ++i) {
+    ASSERT_TRUE(trace->next(e));
+    if (e.ref.ifetch) {
+      ++code;
+    } else {
+      ++data;
+      if (e.ref.write) ++writes;
+    }
+  }
+  EXPECT_GT(data, 10'000u);
+  EXPECT_GT(code, 100u);
+  EXPECT_GT(writes, 100u);
+}
+
+INSTANTIATE_TEST_SUITE_P(AllSixteen, ProfileSweep,
+                         ::testing::ValuesIn(spec_profile_names()));
+
+// ---------------------------------------------------------------------------
+// Property: yield model consistency -- PCS yield sits between conventional
+// yield (no tolerance) and 1, and tracks capacity sensibly.
+class VoltSweep : public ::testing::TestWithParam<double> {};
+
+TEST_P(VoltSweep, YieldOrderingAtEveryVoltage) {
+  const Volt v = GetParam();
+  YieldModel ym(BerModel(Technology::soi45()),
+                CacheOrg{2 * 1024 * 1024, 8, 64, 31});
+  EXPECT_LE(ym.conventional_yield(v), ym.yield(v) + 1e-12);
+  EXPECT_GE(ym.yield(v), 0.0);
+  EXPECT_LE(ym.yield(v), 1.0);
+  EXPECT_GE(ym.expected_capacity(v), 0.0);
+  EXPECT_LE(ym.expected_capacity(v), 1.0);
+}
+
+INSTANTIATE_TEST_SUITE_P(Grid, VoltSweep,
+                         ::testing::Values(0.45, 0.55, 0.65, 0.75, 0.85,
+                                           0.95));
+
+}  // namespace
+}  // namespace pcs

@@ -1,0 +1,90 @@
+// Unit tests for the sixteen SPEC-like workload profiles.
+#include "workload/spec_profiles.hpp"
+
+#include <gtest/gtest.h>
+
+#include <set>
+#include <stdexcept>
+
+namespace pcs {
+namespace {
+
+TEST(SpecProfiles, SixteenNames) {
+  const auto& names = spec_profile_names();
+  EXPECT_EQ(names.size(), 16u);
+  std::set<std::string> uniq(names.begin(), names.end());
+  EXPECT_EQ(uniq.size(), 16u);
+}
+
+TEST(SpecProfiles, EveryProfileConstructs) {
+  for (const auto& name : spec_profile_names()) {
+    const auto spec = spec_profile(name);
+    EXPECT_EQ(spec.name, name);
+    EXPECT_FALSE(spec.phases.empty());
+    auto trace = make_spec_trace(name, 1);
+    TraceEvent e;
+    EXPECT_TRUE(trace->next(e));
+  }
+}
+
+TEST(SpecProfiles, UnknownNameThrows) {
+  EXPECT_THROW(spec_profile("povray"), std::invalid_argument);
+  EXPECT_THROW(spec_profile(""), std::invalid_argument);
+}
+
+TEST(SpecProfiles, McfIsCacheHostile) {
+  const auto mcf = spec_profile("mcf");
+  const auto hmmer = spec_profile("hmmer");
+  EXPECT_GT(mcf.phases[0].working_set_bytes,
+            hmmer.phases[0].working_set_bytes * 10);
+}
+
+TEST(SpecProfiles, StreamingBenchmarksAreStreamHeavy) {
+  for (const char* name : {"libquantum", "bwaves", "lbm"}) {
+    const auto w = spec_profile(name);
+    EXPECT_GT(w.phases[0].stream_frac, 0.5) << name;
+  }
+}
+
+TEST(SpecProfiles, PhasedBenchmarksHaveMultiplePhases) {
+  for (const char* name : {"gcc", "bzip2", "astar", "sphinx3"}) {
+    EXPECT_GT(spec_profile(name).phases.size(), 1u) << name;
+  }
+}
+
+TEST(SpecProfiles, ProfilesProduceDistinctStreams) {
+  auto a = make_spec_trace("mcf", 5);
+  auto b = make_spec_trace("hmmer", 5);
+  TraceEvent ea, eb;
+  int same = 0;
+  for (int i = 0; i < 1000; ++i) {
+    a->next(ea);
+    b->next(eb);
+    if (ea.ref.addr == eb.ref.addr) ++same;
+  }
+  EXPECT_LT(same, 100);
+}
+
+TEST(SpecProfiles, TracesRunLong) {
+  // Profiles loop phases: they must sustain multi-million-event runs.
+  auto t = make_spec_trace("gcc", 3);
+  TraceEvent e;
+  for (int i = 0; i < 2'000'000; ++i) ASSERT_TRUE(t->next(e));
+}
+
+TEST(SpecProfiles, WorkingSetsSpanTheCacheHierarchy) {
+  // The suite must exercise L1-resident, L2-resident, and DRAM-bound
+  // working sets for the DPCS evaluation to be meaningful.
+  u64 min_ws = ~0ULL, max_ws = 0;
+  for (const auto& name : spec_profile_names()) {
+    for (const auto& p : spec_profile(name).phases) {
+      min_ws = std::min(min_ws, p.working_set_bytes);
+      max_ws = std::max(max_ws, p.working_set_bytes);
+    }
+  }
+  EXPECT_LT(min_ws, 256 * 1024u);             // fits in an L1/L2
+  EXPECT_GT(max_ws, 8 * 1024 * 1024u);        // overflows the biggest L2
+}
+
+}  // namespace
+}  // namespace pcs

@@ -1,0 +1,155 @@
+// Unit tests for the technology substrate: leakage, delay, and area models.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "tech/area_model.hpp"
+#include "tech/delay_model.hpp"
+#include "tech/leakage_model.hpp"
+#include "tech/technology.hpp"
+
+namespace pcs {
+namespace {
+
+TEST(Technology, Soi45Defaults) {
+  const auto t = Technology::soi45();
+  EXPECT_EQ(t.vdd_nominal, 1.0);
+  EXPECT_GT(t.vdd_floor, 0.0);
+  EXPECT_LT(t.vdd_floor, t.vdd_nominal);
+  EXPECT_GT(t.cell_leak_nominal, 0.0);
+}
+
+TEST(Technology, WorstCornerIsLeakier) {
+  const auto t = Technology::soi45();
+  const auto w = Technology::soi45_worst_corner();
+  EXPECT_GT(w.cell_leak_nominal, t.cell_leak_nominal);
+  EXPECT_GT(w.ber_sigma, t.ber_sigma);
+}
+
+TEST(LeakageModel, UnityAtNominal) {
+  const auto t = Technology::soi45();
+  LeakageModel m(t);
+  EXPECT_NEAR(m.scale_factor(t.vdd_nominal), 1.0, 1e-12);
+  EXPECT_NEAR(m.cell_leakage(t.vdd_nominal), t.cell_leak_nominal, 1e-18);
+}
+
+TEST(LeakageModel, MonotoneInVdd) {
+  LeakageModel m(Technology::soi45());
+  double prev = 0.0;
+  for (Volt v = 0.3; v <= 1.01; v += 0.05) {
+    const double s = m.scale_factor(v);
+    EXPECT_GT(s, prev);
+    prev = s;
+  }
+}
+
+TEST(LeakageModel, RoughlyThreeXDropAt700mV) {
+  LeakageModel m(Technology::soi45());
+  const double ratio = m.scale_factor(1.0) / m.scale_factor(0.7);
+  EXPECT_GT(ratio, 2.5);
+  EXPECT_LT(ratio, 3.7);
+}
+
+TEST(LeakageModel, ZeroAtZeroVdd) {
+  LeakageModel m(Technology::soi45());
+  EXPECT_EQ(m.scale_factor(0.0), 0.0);
+  EXPECT_EQ(m.scale_factor(-1.0), 0.0);
+}
+
+TEST(LeakageModel, GatingScalesLinearly) {
+  LeakageModel m(Technology::soi45());
+  const double bits = 1e6;
+  const Watt full = m.array_leakage(bits, 0.8, 0.0);
+  const Watt half = m.array_leakage(bits, 0.8, 0.5);
+  const Watt none = m.array_leakage(bits, 0.8, 1.0);
+  EXPECT_NEAR(half, full / 2.0, full * 1e-12);
+  EXPECT_EQ(none, 0.0);
+}
+
+TEST(LeakageModel, GatedFractionClamped) {
+  LeakageModel m(Technology::soi45());
+  EXPECT_EQ(m.array_leakage(100.0, 0.8, 1.5), 0.0);
+  EXPECT_NEAR(m.array_leakage(100.0, 0.8, -0.2),
+              m.array_leakage(100.0, 0.8, 0.0), 1e-18);
+}
+
+TEST(DelayModel, UnityAtNominal) {
+  DelayModel d(Technology::soi45());
+  EXPECT_NEAR(d.access_time_factor(1.0), 1.0, 1e-12);
+  EXPECT_NEAR(d.cell_delay_factor(1.0), 1.0, 1e-12);
+}
+
+TEST(DelayModel, SlowerAtLowVdd) {
+  DelayModel d(Technology::soi45());
+  double prev = d.access_time_factor(1.0);
+  for (Volt v = 0.95; v >= 0.45; v -= 0.05) {
+    const double f = d.access_time_factor(v);
+    EXPECT_GT(f, prev);
+    prev = f;
+  }
+}
+
+TEST(DelayModel, WorstCasePenaltyMatchesPaperBallpark) {
+  // Paper: "reducing the data cell VDD impacted the overall cache access
+  // time by roughly 15% in the worst case" within the range of interest.
+  DelayModel d(Technology::soi45());
+  const double p = d.worst_case_penalty(0.54);
+  EXPECT_GT(p, 0.08);
+  EXPECT_LT(p, 0.25);
+}
+
+TEST(DelayModel, FiniteNearThreshold) {
+  DelayModel d(Technology::soi45());
+  EXPECT_TRUE(std::isfinite(d.access_time_factor(0.36)));
+  EXPECT_TRUE(std::isfinite(d.access_time_factor(0.30)));
+}
+
+TEST(AreaModel, FaultMapOverheadWithinPaperRange) {
+  // Paper section 4.2: fault map alone <= 4%, gating < 1%, total 2-5%.
+  const auto t = Technology::soi45();
+  AreaModel a(t);
+  CacheAreaSpec spec;
+  spec.num_blocks = 1024;
+  spec.block_bytes = 64;
+  spec.tag_bits = 17;
+  spec.state_bits = 3;
+  spec.fault_map_bits = 3;
+  spec.power_gating = true;
+  const double ov = a.overhead_vs_baseline(spec);
+  EXPECT_GT(ov, 0.02);
+  EXPECT_LT(ov, 0.05);
+}
+
+TEST(AreaModel, BaselineHasZeroOverhead) {
+  AreaModel a(Technology::soi45());
+  CacheAreaSpec spec;
+  spec.num_blocks = 4096;
+  spec.fault_map_bits = 0;
+  spec.power_gating = false;
+  EXPECT_NEAR(a.overhead_vs_baseline(spec), 0.0, 1e-12);
+}
+
+TEST(AreaModel, MoreFmBitsMoreArea) {
+  AreaModel a(Technology::soi45());
+  CacheAreaSpec s2, s3;
+  s2.num_blocks = s3.num_blocks = 2048;
+  s2.fault_map_bits = 2;
+  s3.fault_map_bits = 3;
+  EXPECT_LT(a.area(s2).total(), a.area(s3).total());
+}
+
+TEST(AreaModel, DataArrayDominates) {
+  AreaModel a(Technology::soi45());
+  CacheAreaSpec spec;
+  spec.num_blocks = 32768;
+  spec.fault_map_bits = 3;
+  spec.power_gating = true;
+  const auto b = a.area(spec);
+  EXPECT_GT(b.data_array, b.tag_array);
+  EXPECT_GT(b.data_array, b.gating_overhead);
+  EXPECT_NEAR(b.total(), b.data_array + b.tag_array + b.gating_overhead,
+              1e-12);
+}
+
+}  // namespace
+}  // namespace pcs

@@ -1,0 +1,111 @@
+// Unit tests for trace recording and playback.
+#include "workload/trace_file.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+#include <stdexcept>
+
+#include "workload/spec_profiles.hpp"
+
+namespace pcs {
+namespace {
+
+std::string temp_path(const char* name) {
+  return std::string(::testing::TempDir()) + "/" + name;
+}
+
+TEST(TraceFile, RoundTripPreservesEvents) {
+  const std::string path = temp_path("roundtrip.trace");
+  auto source = make_spec_trace("gcc", 7);
+  const u64 n = record_trace(*source, path, 5000);
+  EXPECT_EQ(n, 5000u);
+
+  auto reference = make_spec_trace("gcc", 7);
+  FileTrace replay(path);
+  TraceEvent a, b;
+  for (u64 i = 0; i < n; ++i) {
+    ASSERT_TRUE(reference->next(a));
+    ASSERT_TRUE(replay.next(b)) << "event " << i;
+    EXPECT_EQ(a.ref.addr, b.ref.addr) << "event " << i;
+    EXPECT_EQ(a.ref.write, b.ref.write) << "event " << i;
+    EXPECT_EQ(a.ref.ifetch, b.ref.ifetch) << "event " << i;
+    EXPECT_EQ(a.gap_instructions, b.gap_instructions) << "event " << i;
+  }
+  EXPECT_FALSE(replay.next(b));  // exactly n events
+  EXPECT_EQ(replay.events_read(), n);
+  std::remove(path.c_str());
+}
+
+TEST(TraceFile, SkipsCommentsAndBlankLines) {
+  const std::string path = temp_path("comments.trace");
+  {
+    std::ofstream out(path);
+    out << "# header comment\n\nR 1000 2\n# mid comment\nW 2040 0\nI 400 5\n";
+  }
+  FileTrace t(path);
+  TraceEvent e;
+  ASSERT_TRUE(t.next(e));
+  EXPECT_EQ(e.ref.addr, 0x1000u);
+  EXPECT_FALSE(e.ref.write);
+  EXPECT_EQ(e.gap_instructions, 2u);
+  ASSERT_TRUE(t.next(e));
+  EXPECT_EQ(e.ref.addr, 0x2040u);
+  EXPECT_TRUE(e.ref.write);
+  ASSERT_TRUE(t.next(e));
+  EXPECT_TRUE(e.ref.ifetch);
+  EXPECT_EQ(e.gap_instructions, 5u);
+  EXPECT_FALSE(t.next(e));
+  std::remove(path.c_str());
+}
+
+TEST(TraceFile, MissingFileThrows) {
+  EXPECT_THROW(FileTrace("/nonexistent/dir/nope.trace"), std::runtime_error);
+}
+
+TEST(TraceFile, MalformedLineThrowsWithLineNumber) {
+  const std::string path = temp_path("bad.trace");
+  {
+    std::ofstream out(path);
+    out << "R 1000 0\nX 2000 0\n";
+  }
+  FileTrace t(path);
+  TraceEvent e;
+  EXPECT_TRUE(t.next(e));
+  try {
+    t.next(e);
+    FAIL() << "expected malformed-line error";
+  } catch (const std::runtime_error& err) {
+    EXPECT_NE(std::string(err.what()).find(":2:"), std::string::npos);
+  }
+  std::remove(path.c_str());
+}
+
+TEST(TraceFile, NameIsBasename) {
+  const std::string path = temp_path("pretty.trace");
+  {
+    std::ofstream out(path);
+    out << "R 0 0\n";
+  }
+  FileTrace t(path);
+  EXPECT_STREQ(t.name(), "pretty.trace");
+  std::remove(path.c_str());
+}
+
+TEST(TraceFile, RecordStopsAtSourceEnd) {
+  const std::string path = temp_path("short.trace");
+  WorkloadSpec w;
+  PhaseSpec p;
+  p.duration_refs = 10;
+  w.phases = {p};
+  w.loop_phases = false;
+  SyntheticTrace finite(w, 3);
+  const u64 n = record_trace(finite, path, 1'000'000);
+  EXPECT_GE(n, 10u);       // the 10 data refs, plus any ifetch events
+  EXPECT_LT(n, 1'000u);    // but the source is finite
+  std::remove(path.c_str());
+}
+
+}  // namespace
+}  // namespace pcs

@@ -1,0 +1,103 @@
+// Unit tests for the design-time VDD ladder selection.
+#include "core/vdd_levels.hpp"
+
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+
+namespace pcs {
+namespace {
+
+VddLadder select_for(const CacheOrg& org, u32 n = 3) {
+  const auto tech = Technology::soi45();
+  BerModel ber(tech);
+  VddSelector sel(tech, ber, org);
+  VddSelectionParams p;
+  p.num_levels = n;
+  return sel.select(p);
+}
+
+TEST(VddSelector, ThreeLevelLadderShape) {
+  const auto l = select_for({64 * 1024, 4, 64, 31});
+  ASSERT_EQ(l.num_levels(), 3u);
+  EXPECT_EQ(l.nominal(), 1.0);
+  EXPECT_EQ(l.spcs_level, 2u);
+  EXPECT_LT(l.min_vdd(), l.spcs_vdd());
+  EXPECT_LT(l.spcs_vdd(), l.nominal());
+}
+
+TEST(VddSelector, SpcsPointMeetsCapacityAndYield) {
+  const CacheOrg org{2 * 1024 * 1024, 8, 64, 31};
+  const auto tech = Technology::soi45();
+  BerModel ber(tech);
+  VddSelector sel(tech, ber, org);
+  const auto l = sel.select({});
+  const auto& ym = sel.yield_model();
+  EXPECT_GE(ym.expected_capacity(l.spcs_vdd()), 0.99);
+  EXPECT_GE(ym.yield(l.spcs_vdd()), 0.99);
+  EXPECT_GE(ym.yield(l.min_vdd()), 0.99);
+}
+
+TEST(VddSelector, SpcsNearPaper700mV) {
+  for (CacheOrg org : {CacheOrg{64 * 1024, 4, 64, 31},
+                       CacheOrg{256 * 1024, 8, 64, 31},
+                       CacheOrg{2 * 1024 * 1024, 8, 64, 31},
+                       CacheOrg{8 * 1024 * 1024, 16, 64, 31}}) {
+    const auto l = select_for(org);
+    EXPECT_NEAR(l.spcs_vdd(), 0.70, 0.03);
+  }
+}
+
+TEST(VddSelector, LargerAssociativityReachesLowerVdd1) {
+  // Paper: higher associativity (and more sets to spread) lowers min-VDD.
+  const auto a = select_for({64 * 1024, 4, 64, 31});
+  const auto b = select_for({8 * 1024 * 1024, 16, 64, 31});
+  EXPECT_LT(b.min_vdd(), a.min_vdd());
+}
+
+TEST(VddSelector, LevelsStrictlyAscending) {
+  for (u32 n : {2u, 3u, 4u, 5u, 6u}) {
+    const auto l = select_for({2 * 1024 * 1024, 8, 64, 31}, n);
+    ASSERT_EQ(l.num_levels(), n);
+    for (u32 i = 1; i < n; ++i) {
+      EXPECT_LT(l.levels[i - 1], l.levels[i]) << "n=" << n << " i=" << i;
+    }
+  }
+}
+
+TEST(VddSelector, SpcsLevelIsSecondFromTop) {
+  for (u32 n : {2u, 3u, 5u}) {
+    const auto l = select_for({64 * 1024, 4, 64, 31}, n);
+    EXPECT_EQ(l.spcs_level, n - 1);
+    EXPECT_EQ(l.vdd(l.spcs_level), l.spcs_vdd());
+  }
+}
+
+TEST(VddSelector, RejectsDegenerateRequests) {
+  const auto tech = Technology::soi45();
+  BerModel ber(tech);
+  VddSelector sel(tech, ber, {64 * 1024, 4, 64, 31});
+  VddSelectionParams p;
+  p.num_levels = 1;
+  EXPECT_THROW(sel.select(p), std::invalid_argument);
+}
+
+TEST(VddLadder, FmBitsFollowLevelCount) {
+  EXPECT_EQ(select_for({64 * 1024, 4, 64, 31}, 2).fm_bits(), 2u);
+  EXPECT_EQ(select_for({64 * 1024, 4, 64, 31}, 3).fm_bits(), 2u);
+  EXPECT_EQ(select_for({64 * 1024, 4, 64, 31}, 4).fm_bits(), 3u);
+}
+
+TEST(VddSelector, ExtraLevelsLandBetweenMinAndSpcs) {
+  const auto l3 = select_for({2 * 1024 * 1024, 8, 64, 31}, 3);
+  const auto l5 = select_for({2 * 1024 * 1024, 8, 64, 31}, 5);
+  // Same endpoints (same constraints), more rungs in between.
+  EXPECT_NEAR(l5.spcs_vdd(), l3.spcs_vdd(), 1e-9);
+  for (u32 i = 1; i + 1 < l5.spcs_level; ++i) {
+    EXPECT_GE(l5.levels[i], l5.min_vdd());
+    EXPECT_LE(l5.levels[i], l5.spcs_vdd());
+  }
+}
+
+}  // namespace
+}  // namespace pcs
