@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_nlevels.dir/bench/ablation_nlevels.cpp.o"
+  "CMakeFiles/bench_ablation_nlevels.dir/bench/ablation_nlevels.cpp.o.d"
+  "bench/ablation_nlevels"
+  "bench/ablation_nlevels.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_nlevels.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

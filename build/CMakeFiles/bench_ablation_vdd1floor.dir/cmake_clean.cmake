@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_vdd1floor.dir/bench/ablation_vdd1floor.cpp.o"
+  "CMakeFiles/bench_ablation_vdd1floor.dir/bench/ablation_vdd1floor.cpp.o.d"
+  "bench/ablation_vdd1floor"
+  "bench/ablation_vdd1floor.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_vdd1floor.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ext_ecc_supplement.dir/bench/ext_ecc_supplement.cpp.o"
+  "CMakeFiles/bench_ext_ecc_supplement.dir/bench/ext_ecc_supplement.cpp.o.d"
+  "bench/ext_ecc_supplement"
+  "bench/ext_ecc_supplement.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ext_ecc_supplement.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ext_leakage_schemes.dir/bench/ext_leakage_schemes.cpp.o"
+  "CMakeFiles/bench_ext_leakage_schemes.dir/bench/ext_leakage_schemes.cpp.o.d"
+  "bench/ext_leakage_schemes"
+  "bench/ext_leakage_schemes.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ext_leakage_schemes.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ext_nlevels_dpcs.dir/bench/ext_nlevels_dpcs.cpp.o"
+  "CMakeFiles/bench_ext_nlevels_dpcs.dir/bench/ext_nlevels_dpcs.cpp.o.d"
+  "bench/ext_nlevels_dpcs"
+  "bench/ext_nlevels_dpcs.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ext_nlevels_dpcs.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig2_ber.dir/bench/fig2_ber.cpp.o"
+  "CMakeFiles/bench_fig2_ber.dir/bench/fig2_ber.cpp.o.d"
+  "bench/fig2_ber"
+  "bench/fig2_ber.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig2_ber.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig3_leakage.dir/bench/fig3_leakage.cpp.o"
+  "CMakeFiles/bench_fig3_leakage.dir/bench/fig3_leakage.cpp.o.d"
+  "bench/fig3_leakage"
+  "bench/fig3_leakage.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig3_leakage.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

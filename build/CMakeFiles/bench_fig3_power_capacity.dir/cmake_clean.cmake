@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig3_power_capacity.dir/bench/fig3_power_capacity.cpp.o"
+  "CMakeFiles/bench_fig3_power_capacity.dir/bench/fig3_power_capacity.cpp.o.d"
+  "bench/fig3_power_capacity"
+  "bench/fig3_power_capacity.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig3_power_capacity.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

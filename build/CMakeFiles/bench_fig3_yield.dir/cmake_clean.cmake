@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig3_yield.dir/bench/fig3_yield.cpp.o"
+  "CMakeFiles/bench_fig3_yield.dir/bench/fig3_yield.cpp.o.d"
+  "bench/fig3_yield"
+  "bench/fig3_yield.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig3_yield.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig4_simulation.dir/bench/fig4_simulation.cpp.o"
+  "CMakeFiles/bench_fig4_simulation.dir/bench/fig4_simulation.cpp.o.d"
+  "bench/fig4_simulation"
+  "bench/fig4_simulation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig4_simulation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table_area.dir/bench/table_area.cpp.o"
+  "CMakeFiles/bench_table_area.dir/bench/table_area.cpp.o.d"
+  "bench/table_area"
+  "bench/table_area.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table_area.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/chip_binning.dir/chip_binning.cpp.o"
+  "CMakeFiles/chip_binning.dir/chip_binning.cpp.o.d"
+  "chip_binning"
+  "chip_binning.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/chip_binning.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

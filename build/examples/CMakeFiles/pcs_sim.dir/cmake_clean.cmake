@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pcs_sim.dir/pcs_sim.cpp.o"
+  "CMakeFiles/pcs_sim.dir/pcs_sim.cpp.o.d"
+  "pcs_sim"
+  "pcs_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pcs_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/examples/voltage_explorer.cpp" "examples/CMakeFiles/voltage_explorer.dir/voltage_explorer.cpp.o" "gcc" "examples/CMakeFiles/voltage_explorer.dir/voltage_explorer.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/pcs_baselines.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/pcs_multicore.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/pcs_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/pcs_cache.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/pcs_cachemodel.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/pcs_fault.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/pcs_tech.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/pcs_workload.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/pcs_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

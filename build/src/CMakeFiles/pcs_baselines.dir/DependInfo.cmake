@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/baselines/drowsy.cpp" "src/CMakeFiles/pcs_baselines.dir/baselines/drowsy.cpp.o" "gcc" "src/CMakeFiles/pcs_baselines.dir/baselines/drowsy.cpp.o.d"
+  "/root/repo/src/baselines/ecc.cpp" "src/CMakeFiles/pcs_baselines.dir/baselines/ecc.cpp.o" "gcc" "src/CMakeFiles/pcs_baselines.dir/baselines/ecc.cpp.o.d"
+  "/root/repo/src/baselines/fft_cache.cpp" "src/CMakeFiles/pcs_baselines.dir/baselines/fft_cache.cpp.o" "gcc" "src/CMakeFiles/pcs_baselines.dir/baselines/fft_cache.cpp.o.d"
+  "/root/repo/src/baselines/way_gating.cpp" "src/CMakeFiles/pcs_baselines.dir/baselines/way_gating.cpp.o" "gcc" "src/CMakeFiles/pcs_baselines.dir/baselines/way_gating.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/pcs_cachemodel.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/pcs_fault.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/pcs_tech.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/pcs_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

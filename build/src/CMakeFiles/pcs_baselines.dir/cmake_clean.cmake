@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pcs_baselines.dir/baselines/drowsy.cpp.o"
+  "CMakeFiles/pcs_baselines.dir/baselines/drowsy.cpp.o.d"
+  "CMakeFiles/pcs_baselines.dir/baselines/ecc.cpp.o"
+  "CMakeFiles/pcs_baselines.dir/baselines/ecc.cpp.o.d"
+  "CMakeFiles/pcs_baselines.dir/baselines/fft_cache.cpp.o"
+  "CMakeFiles/pcs_baselines.dir/baselines/fft_cache.cpp.o.d"
+  "CMakeFiles/pcs_baselines.dir/baselines/way_gating.cpp.o"
+  "CMakeFiles/pcs_baselines.dir/baselines/way_gating.cpp.o.d"
+  "libpcs_baselines.a"
+  "libpcs_baselines.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pcs_baselines.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

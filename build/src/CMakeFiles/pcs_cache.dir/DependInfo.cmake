@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/cache/cache_level.cpp" "src/CMakeFiles/pcs_cache.dir/cache/cache_level.cpp.o" "gcc" "src/CMakeFiles/pcs_cache.dir/cache/cache_level.cpp.o.d"
+  "/root/repo/src/cache/cpu_model.cpp" "src/CMakeFiles/pcs_cache.dir/cache/cpu_model.cpp.o" "gcc" "src/CMakeFiles/pcs_cache.dir/cache/cpu_model.cpp.o.d"
+  "/root/repo/src/cache/hierarchy.cpp" "src/CMakeFiles/pcs_cache.dir/cache/hierarchy.cpp.o" "gcc" "src/CMakeFiles/pcs_cache.dir/cache/hierarchy.cpp.o.d"
+  "/root/repo/src/cache/replacement.cpp" "src/CMakeFiles/pcs_cache.dir/cache/replacement.cpp.o" "gcc" "src/CMakeFiles/pcs_cache.dir/cache/replacement.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/pcs_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pcs_cache.dir/cache/cache_level.cpp.o"
+  "CMakeFiles/pcs_cache.dir/cache/cache_level.cpp.o.d"
+  "CMakeFiles/pcs_cache.dir/cache/cpu_model.cpp.o"
+  "CMakeFiles/pcs_cache.dir/cache/cpu_model.cpp.o.d"
+  "CMakeFiles/pcs_cache.dir/cache/hierarchy.cpp.o"
+  "CMakeFiles/pcs_cache.dir/cache/hierarchy.cpp.o.d"
+  "CMakeFiles/pcs_cache.dir/cache/replacement.cpp.o"
+  "CMakeFiles/pcs_cache.dir/cache/replacement.cpp.o.d"
+  "libpcs_cache.a"
+  "libpcs_cache.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pcs_cache.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

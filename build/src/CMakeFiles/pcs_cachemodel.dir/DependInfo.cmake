@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/cachemodel/cache_geometry.cpp" "src/CMakeFiles/pcs_cachemodel.dir/cachemodel/cache_geometry.cpp.o" "gcc" "src/CMakeFiles/pcs_cachemodel.dir/cachemodel/cache_geometry.cpp.o.d"
+  "/root/repo/src/cachemodel/cache_power_model.cpp" "src/CMakeFiles/pcs_cachemodel.dir/cachemodel/cache_power_model.cpp.o" "gcc" "src/CMakeFiles/pcs_cachemodel.dir/cachemodel/cache_power_model.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/pcs_tech.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/pcs_fault.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/pcs_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

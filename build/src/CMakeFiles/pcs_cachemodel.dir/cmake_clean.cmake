@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pcs_cachemodel.dir/cachemodel/cache_geometry.cpp.o"
+  "CMakeFiles/pcs_cachemodel.dir/cachemodel/cache_geometry.cpp.o.d"
+  "CMakeFiles/pcs_cachemodel.dir/cachemodel/cache_power_model.cpp.o"
+  "CMakeFiles/pcs_cachemodel.dir/cachemodel/cache_power_model.cpp.o.d"
+  "libpcs_cachemodel.a"
+  "libpcs_cachemodel.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pcs_cachemodel.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libpcs_cachemodel.a"
+)

@@ -1,0 +1,2 @@
+# Empty dependencies file for pcs_cachemodel.
+# This may be replaced when dependencies are built.

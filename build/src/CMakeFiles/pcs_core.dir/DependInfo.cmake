@@ -1,0 +1,33 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/config.cpp" "src/CMakeFiles/pcs_core.dir/core/config.cpp.o" "gcc" "src/CMakeFiles/pcs_core.dir/core/config.cpp.o.d"
+  "/root/repo/src/core/controller.cpp" "src/CMakeFiles/pcs_core.dir/core/controller.cpp.o" "gcc" "src/CMakeFiles/pcs_core.dir/core/controller.cpp.o.d"
+  "/root/repo/src/core/dynamic_policy.cpp" "src/CMakeFiles/pcs_core.dir/core/dynamic_policy.cpp.o" "gcc" "src/CMakeFiles/pcs_core.dir/core/dynamic_policy.cpp.o.d"
+  "/root/repo/src/core/energy_meter.cpp" "src/CMakeFiles/pcs_core.dir/core/energy_meter.cpp.o" "gcc" "src/CMakeFiles/pcs_core.dir/core/energy_meter.cpp.o.d"
+  "/root/repo/src/core/mechanism.cpp" "src/CMakeFiles/pcs_core.dir/core/mechanism.cpp.o" "gcc" "src/CMakeFiles/pcs_core.dir/core/mechanism.cpp.o.d"
+  "/root/repo/src/core/static_policy.cpp" "src/CMakeFiles/pcs_core.dir/core/static_policy.cpp.o" "gcc" "src/CMakeFiles/pcs_core.dir/core/static_policy.cpp.o.d"
+  "/root/repo/src/core/system.cpp" "src/CMakeFiles/pcs_core.dir/core/system.cpp.o" "gcc" "src/CMakeFiles/pcs_core.dir/core/system.cpp.o.d"
+  "/root/repo/src/core/system_energy.cpp" "src/CMakeFiles/pcs_core.dir/core/system_energy.cpp.o" "gcc" "src/CMakeFiles/pcs_core.dir/core/system_energy.cpp.o.d"
+  "/root/repo/src/core/vdd_levels.cpp" "src/CMakeFiles/pcs_core.dir/core/vdd_levels.cpp.o" "gcc" "src/CMakeFiles/pcs_core.dir/core/vdd_levels.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/pcs_cache.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/pcs_cachemodel.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/pcs_fault.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/pcs_workload.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/pcs_tech.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/pcs_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

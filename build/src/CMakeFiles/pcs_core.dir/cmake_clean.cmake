@@ -1,0 +1,27 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pcs_core.dir/core/config.cpp.o"
+  "CMakeFiles/pcs_core.dir/core/config.cpp.o.d"
+  "CMakeFiles/pcs_core.dir/core/controller.cpp.o"
+  "CMakeFiles/pcs_core.dir/core/controller.cpp.o.d"
+  "CMakeFiles/pcs_core.dir/core/dynamic_policy.cpp.o"
+  "CMakeFiles/pcs_core.dir/core/dynamic_policy.cpp.o.d"
+  "CMakeFiles/pcs_core.dir/core/energy_meter.cpp.o"
+  "CMakeFiles/pcs_core.dir/core/energy_meter.cpp.o.d"
+  "CMakeFiles/pcs_core.dir/core/mechanism.cpp.o"
+  "CMakeFiles/pcs_core.dir/core/mechanism.cpp.o.d"
+  "CMakeFiles/pcs_core.dir/core/static_policy.cpp.o"
+  "CMakeFiles/pcs_core.dir/core/static_policy.cpp.o.d"
+  "CMakeFiles/pcs_core.dir/core/system.cpp.o"
+  "CMakeFiles/pcs_core.dir/core/system.cpp.o.d"
+  "CMakeFiles/pcs_core.dir/core/system_energy.cpp.o"
+  "CMakeFiles/pcs_core.dir/core/system_energy.cpp.o.d"
+  "CMakeFiles/pcs_core.dir/core/vdd_levels.cpp.o"
+  "CMakeFiles/pcs_core.dir/core/vdd_levels.cpp.o.d"
+  "libpcs_core.a"
+  "libpcs_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pcs_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/fault/ber_model.cpp" "src/CMakeFiles/pcs_fault.dir/fault/ber_model.cpp.o" "gcc" "src/CMakeFiles/pcs_fault.dir/fault/ber_model.cpp.o.d"
+  "/root/repo/src/fault/bist.cpp" "src/CMakeFiles/pcs_fault.dir/fault/bist.cpp.o" "gcc" "src/CMakeFiles/pcs_fault.dir/fault/bist.cpp.o.d"
+  "/root/repo/src/fault/cell_fault_field.cpp" "src/CMakeFiles/pcs_fault.dir/fault/cell_fault_field.cpp.o" "gcc" "src/CMakeFiles/pcs_fault.dir/fault/cell_fault_field.cpp.o.d"
+  "/root/repo/src/fault/fault_map.cpp" "src/CMakeFiles/pcs_fault.dir/fault/fault_map.cpp.o" "gcc" "src/CMakeFiles/pcs_fault.dir/fault/fault_map.cpp.o.d"
+  "/root/repo/src/fault/yield_model.cpp" "src/CMakeFiles/pcs_fault.dir/fault/yield_model.cpp.o" "gcc" "src/CMakeFiles/pcs_fault.dir/fault/yield_model.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/pcs_tech.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/pcs_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

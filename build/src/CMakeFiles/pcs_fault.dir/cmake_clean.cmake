@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pcs_fault.dir/fault/ber_model.cpp.o"
+  "CMakeFiles/pcs_fault.dir/fault/ber_model.cpp.o.d"
+  "CMakeFiles/pcs_fault.dir/fault/bist.cpp.o"
+  "CMakeFiles/pcs_fault.dir/fault/bist.cpp.o.d"
+  "CMakeFiles/pcs_fault.dir/fault/cell_fault_field.cpp.o"
+  "CMakeFiles/pcs_fault.dir/fault/cell_fault_field.cpp.o.d"
+  "CMakeFiles/pcs_fault.dir/fault/fault_map.cpp.o"
+  "CMakeFiles/pcs_fault.dir/fault/fault_map.cpp.o.d"
+  "CMakeFiles/pcs_fault.dir/fault/yield_model.cpp.o"
+  "CMakeFiles/pcs_fault.dir/fault/yield_model.cpp.o.d"
+  "libpcs_fault.a"
+  "libpcs_fault.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pcs_fault.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pcs_multicore.dir/multicore/multi_hierarchy.cpp.o"
+  "CMakeFiles/pcs_multicore.dir/multicore/multi_hierarchy.cpp.o.d"
+  "CMakeFiles/pcs_multicore.dir/multicore/multi_system.cpp.o"
+  "CMakeFiles/pcs_multicore.dir/multicore/multi_system.cpp.o.d"
+  "libpcs_multicore.a"
+  "libpcs_multicore.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pcs_multicore.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/tech/area_model.cpp" "src/CMakeFiles/pcs_tech.dir/tech/area_model.cpp.o" "gcc" "src/CMakeFiles/pcs_tech.dir/tech/area_model.cpp.o.d"
+  "/root/repo/src/tech/delay_model.cpp" "src/CMakeFiles/pcs_tech.dir/tech/delay_model.cpp.o" "gcc" "src/CMakeFiles/pcs_tech.dir/tech/delay_model.cpp.o.d"
+  "/root/repo/src/tech/leakage_model.cpp" "src/CMakeFiles/pcs_tech.dir/tech/leakage_model.cpp.o" "gcc" "src/CMakeFiles/pcs_tech.dir/tech/leakage_model.cpp.o.d"
+  "/root/repo/src/tech/technology.cpp" "src/CMakeFiles/pcs_tech.dir/tech/technology.cpp.o" "gcc" "src/CMakeFiles/pcs_tech.dir/tech/technology.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/pcs_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

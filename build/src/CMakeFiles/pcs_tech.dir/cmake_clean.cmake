@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pcs_tech.dir/tech/area_model.cpp.o"
+  "CMakeFiles/pcs_tech.dir/tech/area_model.cpp.o.d"
+  "CMakeFiles/pcs_tech.dir/tech/delay_model.cpp.o"
+  "CMakeFiles/pcs_tech.dir/tech/delay_model.cpp.o.d"
+  "CMakeFiles/pcs_tech.dir/tech/leakage_model.cpp.o"
+  "CMakeFiles/pcs_tech.dir/tech/leakage_model.cpp.o.d"
+  "CMakeFiles/pcs_tech.dir/tech/technology.cpp.o"
+  "CMakeFiles/pcs_tech.dir/tech/technology.cpp.o.d"
+  "libpcs_tech.a"
+  "libpcs_tech.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pcs_tech.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pcs_util.dir/util/mathx.cpp.o"
+  "CMakeFiles/pcs_util.dir/util/mathx.cpp.o.d"
+  "CMakeFiles/pcs_util.dir/util/rng.cpp.o"
+  "CMakeFiles/pcs_util.dir/util/rng.cpp.o.d"
+  "CMakeFiles/pcs_util.dir/util/stats.cpp.o"
+  "CMakeFiles/pcs_util.dir/util/stats.cpp.o.d"
+  "CMakeFiles/pcs_util.dir/util/table.cpp.o"
+  "CMakeFiles/pcs_util.dir/util/table.cpp.o.d"
+  "libpcs_util.a"
+  "libpcs_util.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pcs_util.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

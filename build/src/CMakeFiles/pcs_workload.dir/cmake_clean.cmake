@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pcs_workload.dir/workload/spec_profiles.cpp.o"
+  "CMakeFiles/pcs_workload.dir/workload/spec_profiles.cpp.o.d"
+  "CMakeFiles/pcs_workload.dir/workload/synthetic.cpp.o"
+  "CMakeFiles/pcs_workload.dir/workload/synthetic.cpp.o.d"
+  "CMakeFiles/pcs_workload.dir/workload/trace_file.cpp.o"
+  "CMakeFiles/pcs_workload.dir/workload/trace_file.cpp.o.d"
+  "libpcs_workload.a"
+  "libpcs_workload.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pcs_workload.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_ber_model.dir/test_ber_model.cpp.o"
+  "CMakeFiles/test_ber_model.dir/test_ber_model.cpp.o.d"
+  "test_ber_model"
+  "test_ber_model.pdb"
+  "test_ber_model[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_ber_model.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

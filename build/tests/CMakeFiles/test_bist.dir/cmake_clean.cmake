@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_bist.dir/test_bist.cpp.o"
+  "CMakeFiles/test_bist.dir/test_bist.cpp.o.d"
+  "test_bist"
+  "test_bist.pdb"
+  "test_bist[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_bist.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_cache_geometry.dir/test_cache_geometry.cpp.o"
+  "CMakeFiles/test_cache_geometry.dir/test_cache_geometry.cpp.o.d"
+  "test_cache_geometry"
+  "test_cache_geometry.pdb"
+  "test_cache_geometry[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_cache_geometry.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_cache_level.dir/test_cache_level.cpp.o"
+  "CMakeFiles/test_cache_level.dir/test_cache_level.cpp.o.d"
+  "test_cache_level"
+  "test_cache_level.pdb"
+  "test_cache_level[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_cache_level.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_cache_power_model.dir/test_cache_power_model.cpp.o"
+  "CMakeFiles/test_cache_power_model.dir/test_cache_power_model.cpp.o.d"
+  "test_cache_power_model"
+  "test_cache_power_model.pdb"
+  "test_cache_power_model[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_cache_power_model.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

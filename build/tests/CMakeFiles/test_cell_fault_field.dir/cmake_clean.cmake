@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_cell_fault_field.dir/test_cell_fault_field.cpp.o"
+  "CMakeFiles/test_cell_fault_field.dir/test_cell_fault_field.cpp.o.d"
+  "test_cell_fault_field"
+  "test_cell_fault_field.pdb"
+  "test_cell_fault_field[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_cell_fault_field.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_fault_map.dir/test_fault_map.cpp.o"
+  "CMakeFiles/test_fault_map.dir/test_fault_map.cpp.o.d"
+  "test_fault_map"
+  "test_fault_map.pdb"
+  "test_fault_map[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_fault_map.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_spec_profiles.dir/test_spec_profiles.cpp.o"
+  "CMakeFiles/test_spec_profiles.dir/test_spec_profiles.cpp.o.d"
+  "test_spec_profiles"
+  "test_spec_profiles.pdb"
+  "test_spec_profiles[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_spec_profiles.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

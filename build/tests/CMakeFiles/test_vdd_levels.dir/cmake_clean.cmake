@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_vdd_levels.dir/test_vdd_levels.cpp.o"
+  "CMakeFiles/test_vdd_levels.dir/test_vdd_levels.cpp.o.d"
+  "test_vdd_levels"
+  "test_vdd_levels.pdb"
+  "test_vdd_levels[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_vdd_levels.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

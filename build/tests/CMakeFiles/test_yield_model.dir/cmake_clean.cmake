@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_yield_model.dir/test_yield_model.cpp.o"
+  "CMakeFiles/test_yield_model.dir/test_yield_model.cpp.o.d"
+  "test_yield_model"
+  "test_yield_model.pdb"
+  "test_yield_model[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_yield_model.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
