@@ -14,6 +14,7 @@
 #include <memory>
 #include <vector>
 
+#include "exp/thread_pool.hpp"
 #include "multicore/multi_system.hpp"
 #include "util/table.hpp"
 #include "workload/spec_profiles.hpp"
@@ -65,24 +66,47 @@ int main() {
   TextTable t({"cores", "shared", "policy", "cache energy", "savings",
                "wall overhead", "L2 avg VDD", "L2 trans", "invals",
                "interventions"});
+
+  // Expand the (cores, shared, policy) grid -- baselines included as
+  // ordinary cells -- then fan the independent runs across PCS_THREADS
+  // workers. Each cell builds its own MultiPcsSystem and traces, so the
+  // results match the old serial loop bit-for-bit at any thread count.
+  struct Cell {
+    u32 cores;
+    double shared;
+    PolicyKind kind;
+  };
+  std::vector<Cell> cells;
   for (u32 cores : {1u, 2u, 4u}) {
     for (double shared : {0.0, 0.05}) {
       if (cores == 1 && shared > 0.0) continue;  // nothing to share with
-      MultiSimReport base = run(cores, PolicyKind::kBaseline, shared, refs);
-      for (PolicyKind kind : {PolicyKind::kStatic, PolicyKind::kDynamic}) {
-        const MultiSimReport r = run(cores, kind, shared, refs);
-        const double save =
-            1.0 - r.total_cache_energy() / base.total_cache_energy();
-        const double ov = static_cast<double>(r.wall_cycles) /
-                              static_cast<double>(base.wall_cycles) -
-                          1.0;
-        t.add_row({std::to_string(cores), fmt_pct(shared, 0), r.policy,
-                   fmt_joules(r.total_cache_energy()), fmt_pct(save, 1),
-                   fmt_pct(ov, 2), fmt_fixed(r.l2_avg_vdd, 3) + " V",
-                   std::to_string(r.l2_transitions),
-                   fmt_count(r.coherence.invalidations_sent),
-                   fmt_count(r.coherence.interventions)});
+      for (PolicyKind kind : {PolicyKind::kBaseline, PolicyKind::kStatic,
+                              PolicyKind::kDynamic}) {
+        cells.push_back({cores, shared, kind});
       }
+    }
+  }
+  const std::vector<MultiSimReport> reports = parallel_index_map(
+      pcs_thread_count(), cells.size(), [&](u64 i) {
+        return run(cells[i].cores, cells[i].kind, cells[i].shared, refs);
+      });
+
+  for (u64 i = 0; i < cells.size(); i += 3) {
+    const MultiSimReport& base = reports[i];
+    for (u64 j = i + 1; j < i + 3; ++j) {
+      const MultiSimReport& r = reports[j];
+      const double save =
+          1.0 - r.total_cache_energy() / base.total_cache_energy();
+      const double ov = static_cast<double>(r.wall_cycles) /
+                            static_cast<double>(base.wall_cycles) -
+                        1.0;
+      t.add_row({std::to_string(cells[j].cores), fmt_pct(cells[j].shared, 0),
+                 r.policy, fmt_joules(r.total_cache_energy()),
+                 fmt_pct(save, 1), fmt_pct(ov, 2),
+                 fmt_fixed(r.l2_avg_vdd, 3) + " V",
+                 std::to_string(r.l2_transitions),
+                 fmt_count(r.coherence.invalidations_sent),
+                 fmt_count(r.coherence.interventions)});
     }
   }
   t.print(std::cout);

@@ -10,12 +10,15 @@
 // SPCS nearly everywhere, with a larger gap for config B's bigger caches;
 // perf overheads <= 2.6% (A) / 4.4% (B); no benchmark regressing energy.
 //
-// Runtime scales with PCS_REFS (default 2,000,000 measured refs per run).
+// Runtime scales with PCS_REFS (default 2,000,000 measured refs per run)
+// and parallelizes across PCS_THREADS workers (default: all hardware
+// threads; the output is byte-identical at every thread count).
 #include <cstdlib>
 #include <iostream>
 #include <vector>
 
 #include "core/system.hpp"
+#include "exp/experiment_runner.hpp"
 #include "util/stats.hpp"
 #include "util/table.hpp"
 #include "workload/spec_profiles.hpp"
@@ -29,37 +32,41 @@ struct Row {
   SimReport base, spcs, dpcs;
 };
 
-Row run_workload(const SystemConfig& cfg, const std::string& wl, u64 refs) {
-  Row row;
-  row.name = wl;
+// Fans the whole 2x16x3 grid across the pool; reports come back in grid
+// order (config-major, workload, then baseline/SPCS/DPCS), so rows[c][w]
+// is at a fixed offset regardless of which worker finished when.
+std::vector<std::vector<Row>> run_grid(u64 refs) {
   RunParams rp;
   rp.max_refs = refs;
   rp.warmup_refs = refs / 4;
-  const u64 chip_seed = 1, trace_seed = 42;
-  {
-    auto t = make_spec_trace(wl, trace_seed);
-    PcsSystem sys(cfg, PolicyKind::kBaseline, chip_seed);
-    row.base = sys.run(*t, rp);
+  ExperimentGrid grid;
+  grid.add_config(SystemConfig::config_a())
+      .add_config(SystemConfig::config_b())
+      .add_workloads(spec_profile_names())
+      .add_policy(PolicyKind::kBaseline)
+      .add_policy(PolicyKind::kStatic)
+      .add_policy(PolicyKind::kDynamic)
+      .seeds(1, 42)
+      .params(rp);
+  const std::vector<SimReport> reports = ExperimentRunner().run(grid);
+
+  const u64 num_wl = spec_profile_names().size();
+  std::vector<std::vector<Row>> rows(2, std::vector<Row>(num_wl));
+  for (u64 c = 0; c < 2; ++c) {
+    for (u64 w = 0; w < num_wl; ++w) {
+      Row& row = rows[c][w];
+      row.name = spec_profile_names()[w];
+      const u64 at = (c * num_wl + w) * 3;
+      row.base = reports[at];
+      row.spcs = reports[at + 1];
+      row.dpcs = reports[at + 2];
+    }
   }
-  {
-    auto t = make_spec_trace(wl, trace_seed);
-    PcsSystem sys(cfg, PolicyKind::kStatic, chip_seed);
-    row.spcs = sys.run(*t, rp);
-  }
-  {
-    auto t = make_spec_trace(wl, trace_seed);
-    PcsSystem sys(cfg, PolicyKind::kDynamic, chip_seed);
-    row.dpcs = sys.run(*t, rp);
-  }
-  return row;
+  return rows;
 }
 
-void report_config(const SystemConfig& cfg, u64 refs) {
+void report_config(const SystemConfig& cfg, const std::vector<Row>& rows) {
   std::cout << "\n===== Config " << cfg.name << " =====\n";
-  std::vector<Row> rows;
-  for (const auto& wl : spec_profile_names()) {
-    rows.push_back(run_workload(cfg, wl, refs));
-  }
 
   std::cout << "\n-- FIG4(" << (cfg.name == "A" ? "a" : "b")
             << "): L1 cache power (normalized to baseline) + FIG4("
@@ -144,7 +151,8 @@ int main() {
   std::cout << "== FIG4: gem5-style simulation sweep (" << fmt_count(refs)
             << " measured refs per run; set PCS_REFS to change) ==\n";
 
-  report_config(SystemConfig::config_a(), refs);
-  report_config(SystemConfig::config_b(), refs);
+  const auto rows = run_grid(refs);
+  report_config(SystemConfig::config_a(), rows[0]);
+  report_config(SystemConfig::config_b(), rows[1]);
   return 0;
 }

@@ -29,6 +29,7 @@
 
 #include "core/system.hpp"
 #include "core/system_energy.hpp"
+#include "exp/thread_pool.hpp"
 #include "util/table.hpp"
 #include "workload/spec_profiles.hpp"
 #include "workload/trace_file.hpp"
@@ -155,10 +156,19 @@ int main(int argc, char** argv) {
                  "l2_missrate,cache_energy_j,system_energy_j,l2_avg_vdd,"
                  "transitions\n";
   }
-  for (PolicyKind kind : kinds) {
-    auto trace = make_trace(o);
-    PcsSystem sys(cfg, kind, o.chip_seed);
-    const SimReport r = sys.run(*trace, rp);
+  // The policy runs are independent simulations; fan them across
+  // PCS_THREADS workers (each builds its own trace and system -- a file
+  // workload just gets one FileTrace handle per task) and report in policy
+  // order, identical to the serial loop at any thread count.
+  const std::vector<SimReport> reports = parallel_index_map(
+      pcs_thread_count(), kinds.size(), [&](u64 i) {
+        auto trace = make_trace(o);
+        PcsSystem sys(cfg, kinds[i], o.chip_seed);
+        return sys.run(*trace, rp);
+      });
+
+  for (u64 i = 0; i < kinds.size(); ++i) {
+    const SimReport& r = reports[i];
     const auto se = sys_energy.evaluate(r);
     const u32 trans = r.l1i.transitions + r.l1d.transitions + r.l2.transitions;
     if (o.csv) {

@@ -5,6 +5,7 @@
 #include "core/static_policy.hpp"
 #include "fault/cell_fault_field.hpp"
 #include "util/rng.hpp"
+#include "workload/spec_profiles.hpp"
 
 namespace pcs {
 
@@ -181,6 +182,14 @@ SimReport PcsSystem::run(TraceSource& trace, const RunParams& params) {
   rep.l1d = make_cache_report(*ctl_l1d_, hier_->l1d().stats() - s1d);
   rep.l2 = make_cache_report(*ctl_l2_, hier_->l2().stats() - s2);
   return rep;
+}
+
+SimReport run_one(const SystemConfig& config, const std::string& workload,
+                  PolicyKind kind, u64 chip_seed, u64 trace_seed,
+                  const RunParams& params) {
+  auto trace = make_spec_trace(workload, trace_seed);
+  PcsSystem sys(config, kind, chip_seed);
+  return sys.run(*trace, params);
 }
 
 }  // namespace pcs

@@ -55,6 +55,10 @@ struct CacheEnergyReport {
   Joule total_energy() const noexcept {
     return static_energy + dynamic_energy + transition_energy;
   }
+
+  /// Exact field-wise equality -- the determinism tests assert parallel
+  /// sweeps reproduce serial results bit-for-bit, so no tolerance.
+  bool operator==(const CacheEnergyReport&) const = default;
 };
 
 /// Whole-run results over the measured window.
@@ -76,6 +80,9 @@ struct SimReport {
   }
   Watt l1_power() const noexcept { return l1i.avg_power + l1d.avg_power; }
   Watt l2_power() const noexcept { return l2.avg_power; }
+
+  /// Exact field-wise equality (see CacheEnergyReport::operator==).
+  bool operator==(const SimReport&) const = default;
 };
 
 /// A manufactured, policy-equipped simulated system.
@@ -113,5 +120,16 @@ class PcsSystem {
   std::unique_ptr<PcsController> ctl_l2_;
   VddLadder ladder_l1i_, ladder_l1d_, ladder_l2_;
 };
+
+/// Manufactures one system and runs one SPEC-like workload end to end.
+///
+/// This is the experiment engine's unit of work: every input arrives by
+/// value, all state (trace generator, fault fields, controllers, meters) is
+/// constructed inside the call, and nothing outlives it -- so concurrent
+/// calls from pool workers share no mutable state and the result depends
+/// only on the arguments, never on scheduling.
+SimReport run_one(const SystemConfig& config, const std::string& workload,
+                  PolicyKind kind, u64 chip_seed, u64 trace_seed,
+                  const RunParams& params);
 
 }  // namespace pcs

@@ -3,7 +3,25 @@
 #include <cmath>
 #include <limits>
 
+#include <math.h>  // lgamma_r
+
 namespace pcs {
+
+namespace {
+
+// glibc's lgamma writes the process-global `signgam`, which is a data race
+// when experiment-grid workers evaluate yield models concurrently (found by
+// TSan). The _r variant keeps the sign local.
+double lgamma_threadsafe(double x) noexcept {
+#if defined(__GLIBC__) || defined(__APPLE__) || defined(__unix__)
+  int sign = 0;
+  return lgamma_r(x, &sign);
+#else
+  return std::lgamma(x);
+#endif
+}
+
+}  // namespace
 
 double q_function(double x) noexcept {
   return 0.5 * std::erfc(x / std::sqrt(2.0));
@@ -86,8 +104,9 @@ double binomial_pmf(unsigned n, unsigned k, double p) noexcept {
   if (k > n) return 0.0;
   if (p <= 0.0) return k == 0 ? 1.0 : 0.0;
   if (p >= 1.0) return k == n ? 1.0 : 0.0;
-  const double log_choose = std::lgamma(n + 1.0) - std::lgamma(k + 1.0) -
-                            std::lgamma(n - k + 1.0);
+  const double log_choose = lgamma_threadsafe(n + 1.0) -
+                            lgamma_threadsafe(k + 1.0) -
+                            lgamma_threadsafe(n - k + 1.0);
   const double log_pmf =
       log_choose + k * std::log(p) + (n - k) * std::log1p(-p);
   return std::exp(log_pmf);

@@ -87,4 +87,16 @@ Rng Rng::fork(u64 salt) noexcept {
   return Rng(next_u64() ^ (salt * 0x9e3779b97f4a7c15ULL) ^ 0xD1B54A32D192ED03ULL);
 }
 
+u64 derive_seed(u64 chip_seed, u64 trace_seed, u64 task_index) noexcept {
+  // Each word perturbs the SplitMix64 state before the next draw, so any
+  // single-bit change in any input word reshuffles the final output.
+  u64 x = chip_seed;
+  u64 h = splitmix64(x);
+  x ^= trace_seed + 0x9e3779b97f4a7c15ULL;
+  h ^= splitmix64(x);
+  x ^= task_index + 0xD1B54A32D192ED03ULL;
+  h ^= splitmix64(x);
+  return h;
+}
+
 }  // namespace pcs

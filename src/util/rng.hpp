@@ -53,4 +53,11 @@ class Rng {
   bool has_cached_gaussian_ = false;
 };
 
+/// Derives a task seed from `(chip_seed, trace_seed, task_index)` by folding
+/// each word into a SplitMix64 stream. The experiment engine uses this to
+/// hand every grid task an independent, decorrelated generator whose value
+/// depends only on the tuple -- never on scheduling -- so a parallel sweep
+/// is bit-identical to the serial loop over the same grid.
+u64 derive_seed(u64 chip_seed, u64 trace_seed, u64 task_index) noexcept;
+
 }  // namespace pcs

@@ -1,0 +1,264 @@
+// Experiment engine: thread pool semantics, seed derivation, and the core
+// guarantee -- parallel sweeps are bit-identical to the serial loop.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstdlib>
+#include <set>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include "core/system.hpp"
+#include "exp/experiment_runner.hpp"
+#include "exp/thread_pool.hpp"
+#include "util/rng.hpp"
+
+namespace pcs {
+namespace {
+
+// ---------------------------------------------------------------------------
+// ThreadPool
+
+TEST(ThreadPool, SubmitReturnsResultsThroughFutures) {
+  ThreadPool pool(4);
+  EXPECT_EQ(pool.size(), 4u);
+  auto f1 = pool.submit([] { return 41 + 1; });
+  auto f2 = pool.submit([] { return std::string("ok"); });
+  EXPECT_EQ(f1.get(), 42);
+  EXPECT_EQ(f2.get(), "ok");
+}
+
+TEST(ThreadPool, RunsManyMoreTasksThanWorkers) {
+  ThreadPool pool(3);
+  std::atomic<int> sum{0};
+  std::vector<std::future<void>> futs;
+  for (int i = 1; i <= 200; ++i) {
+    futs.push_back(pool.submit([&sum, i] { sum.fetch_add(i); }));
+  }
+  for (auto& f : futs) f.get();
+  EXPECT_EQ(sum.load(), 200 * 201 / 2);
+}
+
+TEST(ThreadPool, ExceptionSurfacesAtGetNotOnWorker) {
+  ThreadPool pool(2);
+  auto ok = pool.submit([] { return 7; });
+  auto bad = pool.submit(
+      []() -> int { throw std::runtime_error("task failed"); });
+  EXPECT_EQ(ok.get(), 7);
+  EXPECT_THROW(bad.get(), std::runtime_error);
+}
+
+TEST(ThreadPool, DestructorDrainsQueuedTasks) {
+  std::atomic<int> ran{0};
+  std::vector<std::future<void>> futs;
+  {
+    ThreadPool pool(2);
+    for (int i = 0; i < 50; ++i) {
+      futs.push_back(pool.submit([&ran] { ran.fetch_add(1); }));
+    }
+  }  // destructor joins; queued futures must not be abandoned
+  for (auto& f : futs) f.get();
+  EXPECT_EQ(ran.load(), 50);
+}
+
+TEST(ThreadCount, HonorsEnvVariable) {
+  ASSERT_EQ(setenv("PCS_THREADS", "3", 1), 0);
+  EXPECT_EQ(pcs_thread_count(), 3u);
+  ASSERT_EQ(setenv("PCS_THREADS", "1", 1), 0);
+  EXPECT_EQ(pcs_thread_count(), 1u);
+  ASSERT_EQ(unsetenv("PCS_THREADS"), 0);
+  EXPECT_GE(pcs_thread_count(), 1u);
+}
+
+// ---------------------------------------------------------------------------
+// Seed derivation
+
+TEST(DeriveSeed, DeterministicAndSensitiveToEveryWord) {
+  const u64 base = derive_seed(1, 42, 0);
+  EXPECT_EQ(derive_seed(1, 42, 0), base);
+  EXPECT_NE(derive_seed(2, 42, 0), base);
+  EXPECT_NE(derive_seed(1, 43, 0), base);
+  EXPECT_NE(derive_seed(1, 42, 1), base);
+}
+
+TEST(DeriveSeed, IndexStreamHasNoShortCollisions) {
+  std::set<u64> seen;
+  for (u64 i = 0; i < 10'000; ++i) seen.insert(derive_seed(1, 42, i));
+  EXPECT_EQ(seen.size(), 10'000u);
+}
+
+// ---------------------------------------------------------------------------
+// parallel_index_map
+
+TEST(ParallelIndexMap, PreservesIndexOrder) {
+  const auto out =
+      parallel_index_map(4, 100, [](u64 i) { return i * i; });
+  ASSERT_EQ(out.size(), 100u);
+  for (u64 i = 0; i < 100; ++i) EXPECT_EQ(out[i], i * i);
+}
+
+TEST(ParallelIndexMap, SerialPathMatchesParallel) {
+  auto fn = [](u64 i) { return 3 * i + 1; };
+  EXPECT_EQ(parallel_index_map(1, 37, fn), parallel_index_map(5, 37, fn));
+}
+
+// ---------------------------------------------------------------------------
+// Grid expansion
+
+TEST(ExperimentGrid, ExpandsConfigMajorWithSharedSeeds) {
+  RunParams rp;
+  rp.max_refs = 1000;
+  ExperimentGrid grid;
+  grid.add_config(SystemConfig::config_a())
+      .add_config(SystemConfig::config_b())
+      .add_workload("hmmer")
+      .add_workload("gcc")
+      .add_policy(PolicyKind::kBaseline)
+      .add_policy(PolicyKind::kDynamic)
+      .seeds(9, 77)
+      .params(rp);
+  const auto pts = grid.expand();
+  ASSERT_EQ(pts.size(), 8u);
+  EXPECT_EQ(grid.size(), 8u);
+  // config-major, then workload, then policy
+  EXPECT_EQ(pts[0].config.name, "A");
+  EXPECT_EQ(pts[0].workload, "hmmer");
+  EXPECT_EQ(pts[0].policy, PolicyKind::kBaseline);
+  EXPECT_EQ(pts[1].policy, PolicyKind::kDynamic);
+  EXPECT_EQ(pts[2].workload, "gcc");
+  EXPECT_EQ(pts[4].config.name, "B");
+  for (const auto& p : pts) {
+    EXPECT_EQ(p.chip_seed, 9u);
+    EXPECT_EQ(p.trace_seed, 77u);
+    EXPECT_EQ(p.params.max_refs, 1000u);
+  }
+  for (u64 i = 0; i < pts.size(); ++i) EXPECT_EQ(pts[i].index, i);
+}
+
+TEST(ExperimentGrid, PerTaskSchemeDerivesDistinctSeeds) {
+  ExperimentGrid grid;
+  grid.add_config(SystemConfig::config_a())
+      .add_workload("hmmer")
+      .add_policy(PolicyKind::kBaseline)
+      .seeds(1, 42)
+      .replicates(16)
+      .seed_scheme(SeedScheme::kPerTask);
+  const auto pts = grid.expand();
+  ASSERT_EQ(pts.size(), 16u);
+  std::set<u64> chips, traces;
+  for (const auto& p : pts) {
+    chips.insert(p.chip_seed);
+    traces.insert(p.trace_seed);
+    EXPECT_EQ(p.chip_seed, derive_seed(1, 42, p.index));
+    EXPECT_EQ(p.trace_seed, derive_seed(42, 1, p.index));
+  }
+  EXPECT_EQ(chips.size(), 16u);
+  EXPECT_EQ(traces.size(), 16u);
+}
+
+// ---------------------------------------------------------------------------
+// RunAggregator
+
+TEST(RunAggregator, RestoresGridOrderAndRethrowsLowestIndexError) {
+  {
+    RunAggregator agg(3);
+    SimReport a, b, c;
+    a.workload = "a";
+    b.workload = "b";
+    c.workload = "c";
+    agg.put(2, c);  // completion order scrambled on purpose
+    agg.put(0, a);
+    agg.put(1, b);
+    const auto rows = agg.wait();
+    ASSERT_EQ(rows.size(), 3u);
+    EXPECT_EQ(rows[0].workload, "a");
+    EXPECT_EQ(rows[1].workload, "b");
+    EXPECT_EQ(rows[2].workload, "c");
+  }
+  {
+    RunAggregator agg(2);
+    agg.put(1, SimReport{});
+    agg.put_error(0, std::make_exception_ptr(std::runtime_error("boom")));
+    EXPECT_THROW(agg.wait(), std::runtime_error);
+  }
+}
+
+// ---------------------------------------------------------------------------
+// The core guarantee: bit-identical reports at every thread count.
+
+class DeterminismTest : public ::testing::Test {
+ protected:
+  static ExperimentGrid small_grid() {
+    RunParams rp;
+    rp.max_refs = 20'000;
+    rp.warmup_refs = 5'000;
+    ExperimentGrid grid;
+    grid.add_config(SystemConfig::config_a())
+        .add_workload("hmmer")
+        .add_workload("gcc")
+        .add_policy(PolicyKind::kBaseline)
+        .add_policy(PolicyKind::kStatic)
+        .add_policy(PolicyKind::kDynamic)
+        .seeds(1, 42)
+        .params(rp);
+    return grid;
+  }
+};
+
+TEST_F(DeterminismTest, ParallelRunsBitIdenticalToSerialLoop) {
+  const auto grid = small_grid();
+
+  // Reference: the plain serial loop over the expanded grid.
+  std::vector<SimReport> serial;
+  for (const auto& p : grid.expand()) {
+    serial.push_back(run_one(p.config, p.workload, p.policy, p.chip_seed,
+                             p.trace_seed, p.params));
+  }
+
+  for (u32 threads : {1u, 2u, 8u}) {
+    const auto rows = ExperimentRunner(threads).run(grid);
+    ASSERT_EQ(rows.size(), serial.size()) << threads << " threads";
+    for (u64 i = 0; i < rows.size(); ++i) {
+      EXPECT_EQ(rows[i], serial[i])
+          << rows[i].workload << "/" << rows[i].policy << " diverged at "
+          << threads << " threads";
+    }
+  }
+}
+
+TEST_F(DeterminismTest, PerTaskSchemeIsAlsoThreadCountInvariant) {
+  RunParams rp;
+  rp.max_refs = 10'000;
+  rp.warmup_refs = 2'000;
+  ExperimentGrid grid;
+  grid.add_config(SystemConfig::config_a())
+      .add_workload("hmmer")
+      .add_policy(PolicyKind::kStatic)
+      .seeds(1, 42)
+      .replicates(4)
+      .seed_scheme(SeedScheme::kPerTask)
+      .params(rp);
+  const auto serial = ExperimentRunner(1).run(grid);
+  const auto parallel = ExperimentRunner(8).run(grid);
+  ASSERT_EQ(serial.size(), 4u);
+  EXPECT_EQ(serial, parallel);
+  // Different dies: replicate runs must not all be identical.
+  EXPECT_NE(serial[0].total_cache_energy(), serial[1].total_cache_energy());
+}
+
+TEST_F(DeterminismTest, WorkerExceptionSurfacesAtWait) {
+  RunParams rp;
+  rp.max_refs = 1'000;
+  ExperimentGrid grid;
+  grid.add_config(SystemConfig::config_a())
+      .add_workload("hmmer")
+      .add_workload("no-such-workload")  // spec_profile throws
+      .add_policy(PolicyKind::kBaseline)
+      .params(rp);
+  EXPECT_THROW(ExperimentRunner(4).run(grid), std::invalid_argument);
+  EXPECT_THROW(ExperimentRunner(1).run(grid), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace pcs

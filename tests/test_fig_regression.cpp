@@ -1,0 +1,126 @@
+// Golden figure-regression suite: a shrunk Fig. 4 grid (2 configs x 2
+// workloads, 50k refs) run through the parallel experiment engine, with the
+// paper-shape invariants from the fig4 bench header asserted so that figure
+// drift fails CI instead of waiting for someone to eyeball the tables.
+//
+// hmmer (small hot working set, descends deepest) and libquantum (pure
+// streaming) are used because their shapes are the most robust at short
+// trace lengths.
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "core/system.hpp"
+#include "exp/experiment_runner.hpp"
+
+namespace pcs {
+namespace {
+
+struct FigRow {
+  SimReport base, spcs, dpcs;
+};
+
+class FigRegression : public ::testing::Test {
+ protected:
+  // One grid run shared by every assertion in the suite.
+  static void SetUpTestSuite() {
+    RunParams rp;
+    rp.max_refs = 50'000;
+    rp.warmup_refs = 12'500;
+    ExperimentGrid grid;
+    grid.add_config(SystemConfig::config_a())
+        .add_config(SystemConfig::config_b())
+        .add_workload("hmmer")
+        .add_workload("libquantum")
+        .add_policy(PolicyKind::kBaseline)
+        .add_policy(PolicyKind::kStatic)
+        .add_policy(PolicyKind::kDynamic)
+        .seeds(1, 42)
+        .params(rp);
+    const auto reports = ExperimentRunner().run(grid);
+    rows_ = new std::vector<FigRow>;
+    for (u64 i = 0; i < reports.size(); i += 3) {
+      rows_->push_back({reports[i], reports[i + 1], reports[i + 2]});
+    }
+  }
+  static void TearDownTestSuite() {
+    delete rows_;
+    rows_ = nullptr;
+  }
+
+  // Grid order: (A,hmmer), (A,libquantum), (B,hmmer), (B,libquantum).
+  static std::vector<FigRow>* rows_;
+};
+
+std::vector<FigRow>* FigRegression::rows_ = nullptr;
+
+TEST_F(FigRegression, EnergyOrderingDpcsLeSpcsLeBaseline) {
+  for (const auto& r : *rows_) {
+    const double eb = r.base.total_cache_energy();
+    const double es = r.spcs.total_cache_energy();
+    const double ed = r.dpcs.total_cache_energy();
+    EXPECT_LT(es, eb) << r.base.config_name << "/" << r.base.workload;
+    // DPCS >= SPCS savings "nearly everywhere" (fig4 header); on these two
+    // robust workloads it must hold outright.
+    EXPECT_LE(ed, es) << r.base.config_name << "/" << r.base.workload;
+  }
+}
+
+TEST_F(FigRegression, SavingsStayInPaperShapeBand) {
+  for (const auto& r : *rows_) {
+    const double eb = r.base.total_cache_energy();
+    const double spcs_save = 1.0 - r.spcs.total_cache_energy() / eb;
+    const double dpcs_save = 1.0 - r.dpcs.total_cache_energy() / eb;
+    // Paper: SPCS ~55%, DPCS ~69%; substrate band documented in
+    // EXPERIMENTS.md is 50-62%. Fail on anything drifting out of 35-80%.
+    EXPECT_GT(spcs_save, 0.35) << r.base.config_name << "/"
+                               << r.base.workload;
+    EXPECT_LT(spcs_save, 0.80) << r.base.config_name << "/"
+                               << r.base.workload;
+    EXPECT_GT(dpcs_save, 0.35) << r.base.config_name << "/"
+                               << r.base.workload;
+    EXPECT_LT(dpcs_save, 0.80) << r.base.config_name << "/"
+                               << r.base.workload;
+  }
+}
+
+TEST_F(FigRegression, PerfOverheadBounded) {
+  for (const auto& r : *rows_) {
+    const double os =
+        static_cast<double>(r.spcs.cycles) / r.base.cycles - 1.0;
+    const double od =
+        static_cast<double>(r.dpcs.cycles) / r.base.cycles - 1.0;
+    // SPCS never transitions mid-run: overhead stays in the noise band.
+    EXPECT_LT(os, 0.05) << r.base.config_name << "/" << r.base.workload;
+    // DPCS bound: paper 2.6% (A) / 4.4% (B) on an OoO core; our blocking
+    // core magnifies ~3x (EXPERIMENTS.md), so 15% is the drift alarm.
+    EXPECT_LT(od, 0.15) << r.base.config_name << "/" << r.base.workload;
+  }
+}
+
+TEST_F(FigRegression, DpcsActuallyScalesVoltageDown) {
+  for (const auto& r : *rows_) {
+    EXPECT_LT(r.spcs.l2.avg_vdd, 1.0) << r.base.workload;
+    // DPCS must descend at least as deep as SPCS on these workloads.
+    EXPECT_LE(r.dpcs.l2.avg_vdd, r.spcs.l2.avg_vdd + 1e-9)
+        << r.base.config_name << "/" << r.base.workload;
+    // Baseline stays pinned at nominal.
+    EXPECT_DOUBLE_EQ(r.base.l2.avg_vdd, 1.0);
+  }
+}
+
+TEST_F(FigRegression, ReportsAreInternallyConsistent) {
+  for (const auto& r : *rows_) {
+    for (const SimReport* rep : {&r.base, &r.spcs, &r.dpcs}) {
+      EXPECT_EQ(rep->refs, 50'000u);
+      EXPECT_GT(rep->cycles, 0u);
+      EXPECT_GT(rep->total_cache_energy(), 0.0);
+      EXPECT_GT(rep->l1i.accesses, 0u);
+      EXPECT_GT(rep->l1d.accesses, 0u);
+      EXPECT_GT(rep->l2.accesses, 0u);
+    }
+  }
+}
+
+}  // namespace
+}  // namespace pcs

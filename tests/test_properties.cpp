@@ -111,6 +111,55 @@ TEST_P(SeedSweep, InclusionThroughPipeline) {
   }
 }
 
+TEST_P(SeedSweep, FieldFaultMonotoneUnderVoltageSteps) {
+  // The fault-inclusion property at the field level: a block faulty at VDD
+  // v must stay faulty at every v' < v. Walk a descending voltage grid and
+  // assert no block ever recovers.
+  Rng rng(GetParam() ^ 0x5eed);
+  BerModel ber(Technology::soi45());
+  const auto field = CellFaultField::sample_fast(ber, 2048, 512, rng);
+  for (u64 b = 0; b < field.num_blocks(); ++b) {
+    bool was_faulty = false;
+    for (Volt v = 1.0; v >= 0.30; v -= 0.01) {
+      const bool faulty = field.is_faulty(b, v);
+      if (was_faulty) {
+        ASSERT_TRUE(faulty) << "block " << b << " recovered at " << v;
+      }
+      was_faulty = faulty;
+    }
+  }
+}
+
+TEST_P(SeedSweep, MapEncodingMonotoneUnderVoltageSteps) {
+  // Min-VDD encoding vs ladder placement: a block is faulty at vdd <= vf,
+  // so stepping every ladder voltage *down* pushes each level deeper into
+  // the failure region -- codes can only rise (more levels faulty), never
+  // clear, and capacity at every level index is non-increasing. The dual
+  // holds stepping up.
+  Rng rng(GetParam() ^ 0xfa017u);
+  BerModel ber(Technology::soi45());
+  const auto field = CellFaultField::sample_fast(ber, 2048, 512, rng);
+  const std::vector<Volt> base = {0.55, 0.65, 0.75, 1.0};
+  const FaultMap map(base, field);
+  for (Volt step : {0.01, 0.025, 0.05}) {
+    std::vector<Volt> lowered = base, raised = base;
+    for (auto& v : lowered) v -= step;
+    for (auto& v : raised) v += step;
+    const FaultMap down(lowered, field), up(raised, field);
+    for (u64 b = 0; b < map.num_blocks(); ++b) {
+      ASSERT_GE(down.code(b), map.code(b))
+          << "block " << b << " code cleared when the ladder dropped by "
+          << step;
+      ASSERT_LE(up.code(b), map.code(b))
+          << "block " << b << " code rose when the ladder rose by " << step;
+    }
+    for (u32 l = 1; l <= map.num_levels(); ++l) {
+      EXPECT_LE(down.effective_capacity(l), map.effective_capacity(l));
+      EXPECT_GE(up.effective_capacity(l), map.effective_capacity(l));
+    }
+  }
+}
+
 TEST_P(SeedSweep, MapCapacityMatchesFieldAtEveryLevel) {
   Rng rng(GetParam() ^ 0xabcdef);
   BerModel ber(Technology::soi45());
