@@ -12,13 +12,18 @@
 //
 // Runtime scales with PCS_REFS (default 2,000,000 measured refs per run)
 // and parallelizes across PCS_THREADS workers (default: all hardware
-// threads; the output is byte-identical at every thread count).
+// threads; the output is byte-identical at every thread count). Set
+// PCS_TRACE=<path> to also write a telemetry trace of all 96 runs
+// (TELEMETRY.md); its deterministic section is likewise byte-identical at
+// every thread count.
 #include <cstdlib>
 #include <iostream>
+#include <memory>
 #include <vector>
 
 #include "core/system.hpp"
 #include "exp/experiment_runner.hpp"
+#include "telemetry/trace_sink.hpp"
 #include "util/stats.hpp"
 #include "util/table.hpp"
 #include "workload/spec_profiles.hpp"
@@ -48,7 +53,14 @@ std::vector<std::vector<Row>> run_grid(u64 refs) {
       .add_policy(PolicyKind::kDynamic)
       .seeds(1, 42)
       .params(rp);
-  const std::vector<SimReport> reports = ExperimentRunner().run(grid);
+
+  std::unique_ptr<TraceSink> sink;
+  if (const char* path = std::getenv("PCS_TRACE")) {
+    sink = make_trace_sink(path);
+    emit_trace_header(*sink);
+  }
+  const std::vector<SimReport> reports = ExperimentRunner().run(
+      grid, sink.get());
 
   const u64 num_wl = spec_profile_names().size();
   std::vector<std::vector<Row>> rows(2, std::vector<Row>(num_wl));

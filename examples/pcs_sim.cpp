@@ -13,12 +13,17 @@
 //   --levels N            allowed VDD levels (default 3)
 //   --csv                 emit one CSV row per run instead of tables
 //   --record PATH N       record N events of --workload into PATH and exit
+//   --trace PATH          write a telemetry trace (JSONL, or per-type CSV
+//                         when PATH ends in .csv) -- see TELEMETRY.md; the
+//                         PCS_TRACE environment variable is an equivalent
+//                         fallback when the flag is absent
 //
 // Examples:
 //   pcs_sim --config B --policy dpcs --workload mcf --refs 2000000
 //   pcs_sim --workload gcc --csv
 //   pcs_sim --record /tmp/gcc.trace 100000 --workload gcc
 //   pcs_sim --workload /tmp/gcc.trace
+//   pcs_sim --policy dpcs --workload hmmer --trace run.jsonl
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
@@ -30,6 +35,7 @@
 #include "core/system.hpp"
 #include "core/system_energy.hpp"
 #include "exp/thread_pool.hpp"
+#include "telemetry/trace_sink.hpp"
 #include "util/table.hpp"
 #include "workload/spec_profiles.hpp"
 #include "workload/trace_file.hpp"
@@ -50,6 +56,7 @@ struct Options {
   bool csv = false;
   std::string record_path;
   u64 record_count = 0;
+  std::string trace_path;
 };
 
 [[noreturn]] void usage(const char* argv0) {
@@ -57,7 +64,7 @@ struct Options {
                "usage: %s [--config A|B] [--policy baseline|spcs|dpcs|all]\n"
                "          [--workload NAME|trace-file] [--refs N] [--warmup N]\n"
                "          [--chip-seed N] [--trace-seed N] [--levels N]\n"
-               "          [--csv] [--record PATH N]\n",
+               "          [--csv] [--record PATH N] [--trace PATH]\n",
                argv0);
   std::exit(2);
 }
@@ -99,9 +106,15 @@ Options parse(int argc, char** argv) {
       need(2);
       o.record_path = argv[++i];
       o.record_count = std::strtoull(argv[++i], nullptr, 10);
+    } else if (a == "--trace") {
+      need(1);
+      o.trace_path = argv[++i];
     } else {
       usage(argv[0]);
     }
+  }
+  if (o.trace_path.empty()) {
+    if (const char* env = std::getenv("PCS_TRACE")) o.trace_path = env;
   }
   return o;
 }
@@ -159,13 +172,23 @@ int main(int argc, char** argv) {
   // The policy runs are independent simulations; fan them across
   // PCS_THREADS workers (each builds its own trace and system -- a file
   // workload just gets one FileTrace handle per task) and report in policy
-  // order, identical to the serial loop at any thread count.
+  // order, identical to the serial loop at any thread count. Telemetry is
+  // buffered per task and replayed in policy order below, so the trace
+  // file is byte-identical at any thread count too.
+  const bool tracing = !o.trace_path.empty();
+  std::vector<MemoryTraceSink> task_traces(kinds.size());
   const std::vector<SimReport> reports = parallel_index_map(
       pcs_thread_count(), kinds.size(), [&](u64 i) {
         auto trace = make_trace(o);
         PcsSystem sys(cfg, kinds[i], o.chip_seed);
+        if (tracing) sys.set_trace(&task_traces[i]);
         return sys.run(*trace, rp);
       });
+  if (tracing) {
+    auto sink = make_trace_sink(o.trace_path);
+    emit_trace_header(*sink);
+    for (const MemoryTraceSink& t : task_traces) t.replay_into(*sink);
+  }
 
   for (u64 i = 0; i < kinds.size(); ++i) {
     const SimReport& r = reports[i];

@@ -2,6 +2,8 @@
 
 #include <stdexcept>
 
+#include "telemetry/trace_sink.hpp"
+
 namespace pcs {
 
 CacheLevel::CacheLevel(std::string name, const CacheOrg& org,
@@ -199,6 +201,25 @@ void CacheLevel::reset() {
     l.valid = false;
     l.dirty = false;
   }
+}
+
+void CacheLevel::emit_stats(TraceSink& sink,
+                            const CacheLevelStats& window) const {
+  TraceRecord rec("cache_stats");
+  rec.field("cache", name_)
+      .field("accesses", window.accesses)
+      .field("hits", window.hits)
+      .field("misses", window.misses)
+      .field("reads", window.reads)
+      .field("writes", window.writes)
+      .field("fills", window.fills)
+      .field("evictions", window.evictions)
+      .field("writebacks_out", window.writebacks_out)
+      .field("writebacks_in", window.writebacks_in)
+      .field("invalidations", window.invalidations)
+      .field("bypasses", window.bypasses)
+      .field("transition_writebacks", window.transition_writebacks);
+  sink.emit(rec);
 }
 
 double CacheLevel::effective_capacity() const noexcept {

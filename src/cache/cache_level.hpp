@@ -18,6 +18,8 @@
 
 namespace pcs {
 
+class TraceSink;
+
 /// Event counters for one cache level.
 ///
 /// "Demand" accesses come from the CPU side; writebacks arriving from an
@@ -114,6 +116,10 @@ class CacheLevel {
   void reset();
 
   // ---- Introspection ------------------------------------------------------
+
+  /// Emits one `cache_stats` trace record for `window` (normally the
+  /// measured-window delta of this level's counters; see TELEMETRY.md).
+  void emit_stats(TraceSink& sink, const CacheLevelStats& window) const;
 
   const std::string& name() const noexcept { return name_; }
   const CacheOrg& org() const noexcept { return org_; }

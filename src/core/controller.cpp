@@ -49,20 +49,61 @@ void PcsController::tick() {
   seen_misses_ = s.misses;
 
   if (window_accesses_ >= interval_accesses_) {
+    bool deferred = false;
     if (refill_fills_needed_ > 0 &&
         s.fills - fills_at_transition_ < refill_fills_needed_ &&
         deferred_windows_ < kMaxDeferredWindows) {
       // Still refilling restored blocks: this window's miss rate reflects
       // the transition churn, not the workload. Discard it.
       ++deferred_windows_;
+      deferred = true;
     } else {
       refill_fills_needed_ = 0;
       evaluate_policy();
     }
+    if (trace_) emit_interval_records(deferred);
+    ++interval_index_;
     window_accesses_ = 0;
     window_misses_ = 0;
     rank_snapshot_ = cache_->stats().hits_by_rank;
   }
+}
+
+void PcsController::set_trace(TraceSink* sink) noexcept {
+  trace_ = sink;
+  stall_at_last_emit_ = stats_.transition_stall_cycles;
+  if (mech_) mech_->set_trace(sink);
+}
+
+void PcsController::emit_interval_records(bool deferred) {
+  const PolicyTelemetry* t = policy_ ? policy_->telemetry() : nullptr;
+  const Cycle stall_delta =
+      stats_.transition_stall_cycles - stall_at_last_emit_;
+  stall_at_last_emit_ = stats_.transition_stall_cycles;
+
+  TraceRecord rec("interval");
+  rec.field("cache", cache_->name())
+      .field("interval", interval_index_)
+      .field("cycle", cpu_->cycles())
+      .field("level", mech_->current_level())
+      .field("vdd", mech_->current_vdd())
+      .field("accesses", window_accesses_)
+      .field("misses", window_misses_)
+      .field("miss_rate", window_accesses_
+                              ? static_cast<double>(window_misses_) /
+                                    static_cast<double>(window_accesses_)
+                              : 0.0)
+      .field("caat", t ? t->caat : 0.0)
+      .field("naat", t ? t->naat : 0.0)
+      .field("predicted_aat", t ? t->predicted_aat : 0.0)
+      .field("deferred", deferred)
+      .field("blocks_faulty", cache_->faulty_block_count())
+      .field("gated_fraction", mech_->gated_fraction())
+      .field("stall_cycles", stall_delta);
+  trace_->emit(rec);
+
+  meter_.emit_interval(*trace_, cache_->name(), interval_index_,
+                       cpu_->cycles());
 }
 
 void PcsController::evaluate_policy() {
@@ -110,7 +151,7 @@ void PcsController::do_transition(u32 want) {
   meter_.advance(cpu_->cycles());
   account_level_cycles(cpu_->cycles());
 
-  TransitionResult res = mech_->transition(want);
+  TransitionResult res = mech_->transition(want, cpu_->cycles());
   for (u64 addr : res.writeback_addrs) sink_->writeback_from(*cache_, addr);
 
   cpu_->add_stall(res.penalty_cycles);
@@ -142,12 +183,24 @@ void PcsController::account_level_cycles(Cycle now) {
 void PcsController::finalize() {
   meter_.advance(cpu_->cycles());
   account_level_cycles(cpu_->cycles());
+  if (trace_) {
+    meter_.emit_interval(*trace_, cache_->name(), interval_index_,
+                         cpu_->cycles());
+  }
 }
 
 void PcsController::reset_measurement() {
   meter_.reset(cpu_->cycles());
   stats_ = ControllerStats{};
+  stall_at_last_emit_ = 0;
   level_since_ = cpu_->cycles();
+  if (trace_) {
+    TraceRecord rec("measurement_start");
+    rec.field("cache", cache_->name())
+        .field("cycle", cpu_->cycles())
+        .field("interval", interval_index_);
+    trace_->emit(rec);
+  }
 }
 
 }  // namespace pcs

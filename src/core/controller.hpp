@@ -57,6 +57,13 @@ class PcsController {
   /// Discards accumulated energy and PCS stats (end of warm-up).
   void reset_measurement();
 
+  /// Attaches a trace sink (nullptr disables tracing; the default). With a
+  /// sink attached the controller emits `interval` + `energy` records at
+  /// every closed interval window, a `measurement_start` record from
+  /// reset_measurement(), a final `energy` record from finalize(), and the
+  /// mechanism emits `transition` records (see TELEMETRY.md).
+  void set_trace(TraceSink* sink) noexcept;
+
   const EnergyMeter& meter() const noexcept { return meter_; }
   const ControllerStats& pcs_stats() const noexcept { return stats_; }
   CacheLevel& cache() noexcept { return *cache_; }
@@ -73,6 +80,9 @@ class PcsController {
   void evaluate_policy();
   void do_transition(u32 want);
   void account_level_cycles(Cycle now);
+  /// Emits the `interval` and `energy` records for the window just closed
+  /// (call before the window counters are reset).
+  void emit_interval_records(bool deferred);
   /// Utility-monitor reading for the current window (see PolicyInput).
   u64 window_deep_hits() const;
 
@@ -100,6 +110,9 @@ class PcsController {
   static constexpr u32 kMaxDeferredWindows = 8;
   Cycle level_since_ = 0;
   ControllerStats stats_;
+  TraceSink* trace_ = nullptr;
+  u64 interval_index_ = 0;  ///< closed interval windows since construction
+  Cycle stall_at_last_emit_ = 0;
 };
 
 }  // namespace pcs

@@ -36,6 +36,13 @@ u32 DpcsPolicy::on_interval(const PolicyInput& input) {
       static_cast<double>(params_.transition_penalty) /
       (static_cast<double>(params_.interval_accesses) * params_.super_interval);
 
+  const double caat = estimate_aat(input.window_accesses, input.window_misses);
+  telem_.caat = caat;
+  telem_.naat = naat_;
+  // Refined below on the threshold path; the warm-up/NAAT/park paths never
+  // consider a descend, so the one-level-down prediction equals CAAT there.
+  telem_.predicted_aat = caat;
+
   if (interval_count_ == 0) {
     // The previous boundary parked the cache at the SPCS level. Blocks that
     // were power-gated at the lower level come back *empty*, so this first
@@ -48,7 +55,8 @@ u32 DpcsPolicy::on_interval(const PolicyInput& input) {
   if (interval_count_ == 1) {
     // Sample the nominal average access time at the SPCS level. A fresh
     // NAAT clears the descend backoff: the workload may have moved on.
-    naat_ = estimate_aat(input.window_accesses, input.window_misses);
+    naat_ = caat;
+    telem_.naat = naat_;
     have_naat_ = true;
     backoff_floor_ = min_level_;
     ++interval_count_;
@@ -61,7 +69,6 @@ u32 DpcsPolicy::on_interval(const PolicyInput& input) {
     return spcs_level_;
   }
 
-  const double caat = estimate_aat(input.window_accesses, input.window_misses);
   u32 want = input.current_level;
   if (!have_naat_) {
     // Defensive: should not happen (interval 1 always samples first).
@@ -77,6 +84,7 @@ u32 DpcsPolicy::on_interval(const PolicyInput& input) {
                 static_cast<double>(input.window_accesses)
           : 0.0;
   const double predicted = caat + deep_rate * params_.miss_penalty;
+  telem_.predicted_aat = predicted;
 
   static const bool trace = std::getenv("PCS_POLICY_TRACE") != nullptr;
   if (trace) {

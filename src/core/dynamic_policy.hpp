@@ -54,6 +54,9 @@ class DpcsPolicy final : public PcsPolicy {
 
   u32 on_interval(const PolicyInput& input) override;
   const char* name() const override { return "DPCS"; }
+  const PolicyTelemetry* telemetry() const noexcept override {
+    return &telem_;
+  }
 
   /// Average access time estimate for a window (exposed for tests):
   /// hit_latency + miss_rate * miss_penalty.
@@ -71,6 +74,7 @@ class DpcsPolicy final : public PcsPolicy {
   u32 backoff_floor_ = 1;  ///< raised after an ascend, cleared at each NAAT
   double naat_ = 0.0;
   bool have_naat_ = false;
+  PolicyTelemetry telem_;
 };
 
 }  // namespace pcs

@@ -48,6 +48,32 @@ void EnergyMeter::reset(Cycle now) noexcept {
   vdd_cycle_integral_ = 0.0;
 }
 
+void EnergyMeter::emit_interval(TraceSink& sink, const std::string& cache,
+                                u64 interval, Cycle now) const {
+  const Cycle end = now > last_cycle_ ? now : last_cycle_;
+  const double pending_dt =
+      static_cast<double>(end - last_cycle_) / clock_hz_;
+  const Joule stat = static_e_ + current_static_power_ * pending_dt;
+  const double vdd_integral =
+      vdd_cycle_integral_ + vdd_ * static_cast<double>(end - last_cycle_);
+  const double span_cycles =
+      end > start_cycle_ ? static_cast<double>(end - start_cycle_) : 0.0;
+  const Joule total = stat + dynamic_e_ + transition_e_;
+
+  TraceRecord rec("energy");
+  rec.field("cache", cache)
+      .field("interval", interval)
+      .field("cycle", now)
+      .field("static_j", stat)
+      .field("dynamic_j", dynamic_e_)
+      .field("transition_j", transition_e_)
+      .field("total_j", total)
+      .field("avg_power_w",
+             span_cycles > 0.0 ? total / (span_cycles / clock_hz_) : 0.0)
+      .field("avg_vdd", span_cycles > 0.0 ? vdd_integral / span_cycles : vdd_);
+  sink.emit(rec);
+}
+
 Watt EnergyMeter::average_power() const noexcept {
   if (last_cycle_ <= start_cycle_) return 0.0;
   const double t = static_cast<double>(last_cycle_ - start_cycle_) / clock_hz_;

@@ -6,7 +6,10 @@
 // force), and transition energy (metadata sweeps + rail recharge).
 #pragma once
 
+#include <string>
+
 #include "cachemodel/cache_power_model.hpp"
+#include "telemetry/trace_sink.hpp"
 #include "util/types.hpp"
 
 namespace pcs {
@@ -41,6 +44,14 @@ class EnergyMeter {
   Joule total_energy() const noexcept {
     return static_e_ + dynamic_e_ + transition_e_;
   }
+
+  /// Emits one `energy` trace record (see TELEMETRY.md) with the breakdown
+  /// projected forward to cycle `now`. The projection is computed on the
+  /// side -- the accumulators are NOT advanced -- so a traced run integrates
+  /// energy in exactly the same floating-point order as an untraced one and
+  /// produces bit-identical SimReports.
+  void emit_interval(TraceSink& sink, const std::string& cache, u64 interval,
+                     Cycle now) const;
 
   /// Average power over the integrated window (0 before any time passes).
   Watt average_power() const noexcept;

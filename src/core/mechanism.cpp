@@ -60,7 +60,7 @@ void PcsMechanism::apply_faulty_bits(u32 level, TransitionResult* result) {
   }
 }
 
-TransitionResult PcsMechanism::transition(u32 new_level) {
+TransitionResult PcsMechanism::transition(u32 new_level, Cycle now) {
   TransitionResult result;
   result.from_level = level_;
   result.to_level = new_level;
@@ -73,6 +73,22 @@ TransitionResult PcsMechanism::transition(u32 new_level) {
   cache_->stats().transition_writebacks += result.writebacks;
   level_ = new_level;
   result.penalty_cycles = transition_penalty();
+
+  if (trace_) {
+    TraceRecord rec("transition");
+    rec.field("cache", cache_->name())
+        .field("cycle", now)
+        .field("from_level", result.from_level)
+        .field("to_level", result.to_level)
+        .field("from_vdd", ladder_.vdd(result.from_level))
+        .field("to_vdd", ladder_.vdd(result.to_level))
+        .field("blocks_newly_faulty", result.blocks_newly_faulty)
+        .field("blocks_restored", result.blocks_restored)
+        .field("writebacks", result.writebacks)
+        .field("invalidations", result.invalidations)
+        .field("penalty_cycles", result.penalty_cycles);
+    trace_->emit(rec);
+  }
   return result;
 }
 

@@ -13,6 +13,7 @@
 #include "cache/cache_level.hpp"
 #include "core/vdd_levels.hpp"
 #include "fault/fault_map.hpp"
+#include "telemetry/trace_sink.hpp"
 #include "util/types.hpp"
 
 namespace pcs {
@@ -39,8 +40,13 @@ class PcsMechanism {
                u32 initial_level, Cycle settle_penalty_cycles);
 
   /// Executes Listing 2 toward `new_level`. A no-op (zero-cost) result is
-  /// returned if new_level == current level.
-  TransitionResult transition(u32 new_level);
+  /// returned if new_level == current level. `now` timestamps the
+  /// `transition` trace record; it does not affect the transition itself.
+  TransitionResult transition(u32 new_level, Cycle now = 0);
+
+  /// Attaches a trace sink (nullptr disables); every committed transition
+  /// then emits one `transition` record (see TELEMETRY.md).
+  void set_trace(TraceSink* sink) noexcept { trace_ = sink; }
 
   u32 current_level() const noexcept { return level_; }
   Volt current_vdd() const noexcept { return ladder_.vdd(level_); }
@@ -63,6 +69,7 @@ class PcsMechanism {
   VddLadder ladder_;
   u32 level_;
   Cycle settle_penalty_;
+  TraceSink* trace_ = nullptr;
 };
 
 }  // namespace pcs

@@ -22,6 +22,15 @@ struct PolicyInput {
   u32 current_level = 0;    ///< level in force during the interval
 };
 
+/// Per-decision diagnostics a policy may expose for telemetry (the
+/// `interval` trace record's caat/naat/predicted_aat fields). Values refer
+/// to the most recent on_interval() call.
+struct PolicyTelemetry {
+  double caat = 0.0;           ///< AAT estimate for the closed window
+  double naat = 0.0;           ///< nominal AAT reference (0 until sampled)
+  double predicted_aat = 0.0;  ///< predicted AAT one VDD level down
+};
+
 /// Decides the data-array VDD level at interval boundaries.
 class PcsPolicy {
  public:
@@ -31,6 +40,10 @@ class PcsPolicy {
   virtual u32 on_interval(const PolicyInput& input) = 0;
 
   virtual const char* name() const = 0;
+
+  /// Diagnostics for the most recent decision, or nullptr if the policy
+  /// tracks none (telemetry then emits zeros).
+  virtual const PolicyTelemetry* telemetry() const noexcept { return nullptr; }
 };
 
 }  // namespace pcs

@@ -103,6 +103,13 @@ std::unique_ptr<PcsController> PcsSystem::make_controller(
                                          std::move(meter), lc.dpcs_interval);
 }
 
+void PcsSystem::set_trace(TraceSink* sink) noexcept {
+  trace_ = sink;
+  ctl_l1i_->set_trace(sink);
+  ctl_l1d_->set_trace(sink);
+  ctl_l2_->set_trace(sink);
+}
+
 const VddLadder& PcsSystem::ladder(const std::string& level) const {
   if (level == "L1I") return ladder_l1i_;
   if (level == "L1D") return ladder_l1d_;
@@ -181,14 +188,32 @@ SimReport PcsSystem::run(TraceSource& trace, const RunParams& params) {
   rep.l1i = make_cache_report(*ctl_l1i_, hier_->l1i().stats() - s1i);
   rep.l1d = make_cache_report(*ctl_l1d_, hier_->l1d().stats() - s1d);
   rep.l2 = make_cache_report(*ctl_l2_, hier_->l2().stats() - s2);
+
+  if (trace_) {
+    hier_->l1i().emit_stats(*trace_, hier_->l1i().stats() - s1i);
+    hier_->l1d().emit_stats(*trace_, hier_->l1d().stats() - s1d);
+    hier_->l2().emit_stats(*trace_, hier_->l2().stats() - s2);
+    TraceRecord rec("run_summary");
+    rec.field("config", rep.config_name)
+        .field("workload", rep.workload)
+        .field("policy", rep.policy)
+        .field("refs", rep.refs)
+        .field("instructions", rep.instructions)
+        .field("cycles", rep.cycles)
+        .field("ipc", rep.ipc)
+        .field("mem_reads", rep.mem_reads)
+        .field("mem_writes", rep.mem_writes);
+    trace_->emit(rec);
+  }
   return rep;
 }
 
 SimReport run_one(const SystemConfig& config, const std::string& workload,
                   PolicyKind kind, u64 chip_seed, u64 trace_seed,
-                  const RunParams& params) {
+                  const RunParams& params, TraceSink* trace_sink) {
   auto trace = make_spec_trace(workload, trace_seed);
   PcsSystem sys(config, kind, chip_seed);
+  if (trace_sink) sys.set_trace(trace_sink);
   return sys.run(*trace, params);
 }
 

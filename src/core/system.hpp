@@ -95,6 +95,11 @@ class PcsSystem {
   /// Runs `trace` (warm-up + measured window) and reports.
   SimReport run(TraceSource& trace, const RunParams& params);
 
+  /// Attaches a telemetry sink to every controller (nullptr disables).
+  /// Tracing never perturbs the simulation: a traced run's SimReport is
+  /// bit-identical to an untraced one. See TELEMETRY.md for the schema.
+  void set_trace(TraceSink* sink) noexcept;
+
   // Introspection for tests and examples.
   Hierarchy& hierarchy() noexcept { return *hier_; }
   CpuModel& cpu() noexcept { return *cpu_; }
@@ -119,6 +124,7 @@ class PcsSystem {
   std::unique_ptr<PcsController> ctl_l1d_;
   std::unique_ptr<PcsController> ctl_l2_;
   VddLadder ladder_l1i_, ladder_l1d_, ladder_l2_;
+  TraceSink* trace_ = nullptr;
 };
 
 /// Manufactures one system and runs one SPEC-like workload end to end.
@@ -128,8 +134,12 @@ class PcsSystem {
 /// constructed inside the call, and nothing outlives it -- so concurrent
 /// calls from pool workers share no mutable state and the result depends
 /// only on the arguments, never on scheduling.
+/// `trace`, when non-null, receives the run's telemetry records. For
+/// concurrent calls pass a distinct sink per call (sinks are not
+/// thread-safe) -- the experiment engine buffers per task and replays in
+/// grid order so trace files stay deterministic at any thread count.
 SimReport run_one(const SystemConfig& config, const std::string& workload,
                   PolicyKind kind, u64 chip_seed, u64 trace_seed,
-                  const RunParams& params);
+                  const RunParams& params, TraceSink* trace = nullptr);
 
 }  // namespace pcs

@@ -19,6 +19,7 @@
 #include "core/config.hpp"
 #include "core/system.hpp"
 #include "exp/thread_pool.hpp"
+#include "telemetry/trace_sink.hpp"
 #include "util/types.hpp"
 
 namespace pcs {
@@ -99,6 +100,21 @@ class RunAggregator {
   u64 filled_ = 0;
 };
 
+/// Execution statistics for one ExperimentRunner::run call. Observability
+/// only -- collecting them never affects simulation results. The wall-clock
+/// fields are non-deterministic (they vary run to run and with the thread
+/// count); they feed exclusively the trace's profiling section
+/// (`runner_task_profile` / `runner_profile` records), which determinism
+/// tests exclude.
+struct RunnerStats {
+  u32 threads = 0;             ///< workers the runner used
+  u64 tasks = 0;               ///< grid points executed
+  u64 steals = 0;              ///< pool cross-worker steals (0 when serial)
+  u64 max_queue_depth = 0;     ///< deepest single worker deque seen
+  double wall_ms_total = 0.0;  ///< sum of per-task wall times (not elapsed)
+  std::vector<double> task_wall_ms;  ///< per grid index
+};
+
 /// Executes expanded grids. One thread = inline serial loop in grid order;
 /// more = ThreadPool fan-out, same results bit-for-bit.
 class ExperimentRunner {
@@ -109,6 +125,18 @@ class ExperimentRunner {
 
   std::vector<SimReport> run(const ExperimentGrid& grid) const;
   std::vector<SimReport> run(std::vector<ExperimentPoint> points) const;
+
+  /// As run(), additionally streaming telemetry into `trace` and filling
+  /// `stats` (either may be null). Every task records into its own
+  /// MemoryTraceSink; buffers are replayed into `trace` in grid order after
+  /// the sweep, so the deterministic section of the trace is byte-identical
+  /// at any thread count. The profiling records (wall clock, steals, queue
+  /// depth) are appended after the deterministic section.
+  std::vector<SimReport> run(const ExperimentGrid& grid, TraceSink* trace,
+                             RunnerStats* stats = nullptr) const;
+  std::vector<SimReport> run(std::vector<ExperimentPoint> points,
+                             TraceSink* trace,
+                             RunnerStats* stats = nullptr) const;
 
  private:
   u32 num_threads_;

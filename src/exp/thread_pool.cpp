@@ -36,9 +36,16 @@ ThreadPool::~ThreadPool() {
 void ThreadPool::enqueue(Task t) {
   const u64 victim = next_queue_.fetch_add(1, std::memory_order_relaxed) %
                      queues_.size();
+  u64 depth;
   {
     std::lock_guard<std::mutex> lk(queues_[victim]->mu);
     queues_[victim]->dq.push_back(std::move(t));
+    depth = queues_[victim]->dq.size();
+  }
+  u64 seen = max_depth_.load(std::memory_order_relaxed);
+  while (depth > seen &&
+         !max_depth_.compare_exchange_weak(seen, depth,
+                                           std::memory_order_relaxed)) {
   }
   pending_.fetch_add(1, std::memory_order_release);
   // Empty critical section pairs with the waiter's predicate check: the
@@ -64,6 +71,7 @@ bool ThreadPool::try_steal(u32 self, Task& out) {
     if (q.dq.empty()) continue;
     out = std::move(q.dq.front());  // FIFO: steal the oldest, largest work
     q.dq.pop_front();
+    steals_.fetch_add(1, std::memory_order_relaxed);
     return true;
   }
   return false;

@@ -43,6 +43,17 @@ class ThreadPool {
 
   u32 size() const noexcept { return static_cast<u32>(workers_.size()); }
 
+  /// Tasks a worker took from another worker's deque (observability only;
+  /// approximate ordering under concurrent updates, exact once idle).
+  u64 steal_count() const noexcept {
+    return steals_.load(std::memory_order_relaxed);
+  }
+  /// High-water mark of any single worker deque's length at submission
+  /// time (observability only).
+  u64 max_queue_depth() const noexcept {
+    return max_depth_.load(std::memory_order_relaxed);
+  }
+
   /// Schedules `fn` and returns a future for its result. An exception
   /// escaping `fn` is stored in the future and rethrown at get().
   template <class F>
@@ -96,6 +107,8 @@ class ThreadPool {
   std::condition_variable_any wake_cv_;
   std::atomic<u64> next_queue_{0};
   std::atomic<u64> pending_{0};
+  std::atomic<u64> steals_{0};
+  std::atomic<u64> max_depth_{0};
   std::vector<std::jthread> workers_;  // last: joins before queues die
 };
 
