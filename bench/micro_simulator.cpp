@@ -1,11 +1,17 @@
 // Micro-benchmarks of the simulator substrate (google-benchmark): raw cache
 // access throughput, trace generation, fault-field sampling, fault-map
-// construction, and the transition procedure. These guard the fig4 sweep's
-// wall-clock budget against regressions.
+// construction, and the transition procedure, plus the hot-path primitives
+// (packed replacement state, allowed-mask maintenance, synthetic address
+// generation) so a regression localizes to a primitive rather than only
+// showing up end-to-end. These guard the fig4 sweep's wall-clock budget;
+// scripts/run_bench.sh snapshots them into BENCH_micro.json per PR.
 #include <benchmark/benchmark.h>
+
+#include <vector>
 
 #include "cache/cache_level.hpp"
 #include "cache/hierarchy.hpp"
+#include "cache/replacement.hpp"
 #include "core/mechanism.hpp"
 #include "core/vdd_levels.hpp"
 #include "fault/bist.hpp"
@@ -14,6 +20,7 @@
 #include "tech/technology.hpp"
 #include "util/rng.hpp"
 #include "workload/spec_profiles.hpp"
+#include "workload/synthetic.hpp"
 
 namespace {
 
@@ -98,6 +105,119 @@ void BM_TransitionProcedure(benchmark::State& state) {
   }
 }
 BENCHMARK(BM_TransitionProcedure);
+
+// ---- Hot-path primitives --------------------------------------------------
+
+/// Packed-u64 LRU: rank lookup + move-to-front, the per-hit work.
+void BM_PackedLruTouch(benchmark::State& state) {
+  constexpr u32 kAssoc = 8;
+  std::vector<u32> ways(4096);
+  Rng rng(11);
+  for (auto& w : ways) w = static_cast<u32>(rng.uniform_int(kAssoc));
+  u64 perm = packed_lru::kIdentity;
+  std::size_t i = 0;
+  for (auto _ : state) {
+    const u32 w = ways[i++ & 4095];
+    perm = packed_lru::touch(perm, packed_lru::rank_of(perm, w), w);
+    benchmark::DoNotOptimize(perm);
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_PackedLruTouch);
+
+/// Packed-u64 LRU victim selection under a rotating allowed mask (the
+/// per-miss work; mask 0xFF is the no-faults common case).
+void BM_PackedLruVictim(benchmark::State& state) {
+  constexpr u32 kAssoc = 8;
+  const u32 fixed_mask = static_cast<u32>(state.range(0));
+  std::vector<u64> perms(1024);
+  Rng rng(12);
+  for (auto& p : perms) {
+    p = packed_lru::kIdentity;
+    for (int t = 0; t < 16; ++t) {
+      const u32 w = static_cast<u32>(rng.uniform_int(kAssoc));
+      p = packed_lru::touch(p, packed_lru::rank_of(p, w), w);
+    }
+  }
+  std::size_t i = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        packed_lru::victim(perms[i++ & 1023], kAssoc, fixed_mask));
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_PackedLruVictim)->Arg(0xFF)->Arg(0x81);
+
+/// Reference (virtual, byte-ranked) LRU doing the same touch work, for a
+/// direct packed-vs-reference comparison in BENCH_micro.json.
+void BM_ReferenceLruTouch(benchmark::State& state) {
+  constexpr u32 kAssoc = 8;
+  std::vector<u32> ways(4096);
+  Rng rng(11);
+  for (auto& w : ways) w = static_cast<u32>(rng.uniform_int(kAssoc));
+  LruReplacement lru(1, kAssoc);
+  std::size_t i = 0;
+  for (auto _ : state) {
+    lru.touch(0, ways[i++ & 4095]);
+    benchmark::DoNotOptimize(lru.rank(0, 0));
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_ReferenceLruTouch);
+
+/// Packed-u32 tree-PLRU touch + victim round trip.
+void BM_TreePlruTouchVictim(benchmark::State& state) {
+  constexpr u32 kAssoc = 8;
+  std::vector<u32> ways(4096);
+  Rng rng(13);
+  for (auto& w : ways) w = static_cast<u32>(rng.uniform_int(kAssoc));
+  u32 bits = 0;
+  std::size_t i = 0;
+  for (auto _ : state) {
+    bits = packed_plru::touch(bits, kAssoc, ways[i++ & 4095]);
+    benchmark::DoNotOptimize(packed_plru::victim(bits, kAssoc, 0xFFu));
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_TreePlruTouchVictim);
+
+/// Incremental allowed-mask maintenance: faulty-bit flips plus the
+/// single-load mask read the miss path performs.
+void BM_AllowedMaskMaintenance(benchmark::State& state) {
+  CacheLevel cache("l2", CacheOrg{256 * 1024, 8, 64, 31}, 4);
+  const u64 sets = cache.org().num_sets();
+  Rng rng(14);
+  std::vector<u32> picks(4096);
+  for (auto& p : picks) p = static_cast<u32>(rng.next_u64());
+  std::size_t i = 0;
+  bool on = true;
+  for (auto _ : state) {
+    const u32 pick = picks[i++ & 4095];
+    const u64 set = pick & (sets - 1);
+    const u32 way = (pick >> 20) & 7u;
+    cache.set_block_faulty(set, way, on);
+    on = !on;
+    benchmark::DoNotOptimize(cache.way_mask() & ~cache.faulty_mask(set));
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_AllowedMaskMaintenance);
+
+/// Pure data-address generation: refs_per_instruction = 1 suppresses the
+/// instruction-gap walk, so every next() is one gen_data_addr().
+void BM_SyntheticDataAddr(benchmark::State& state) {
+  WorkloadSpec spec;
+  spec.name = "addrgen";
+  spec.refs_per_instruction = 1.0;
+  SyntheticTrace trace(spec, 15);
+  TraceEvent e;
+  for (auto _ : state) {
+    trace.next(e);
+    benchmark::DoNotOptimize(e);
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_SyntheticDataAddr);
 
 void BM_MarchSsBist(benchmark::State& state) {
   const BerModel ber(Technology::soi45());

@@ -1,0 +1,52 @@
+#!/usr/bin/env bash
+# Release-builds the micro-benchmark suite, runs it with JSON output, and
+# trims the result into BENCH_micro.json at the repo root: one entry per
+# benchmark (ns/op, items/s) plus the git sha, so the perf trajectory of the
+# simulator hot path is tracked PR-over-PR (CI uploads it as an artifact).
+#
+# Environment knobs:
+#   BENCH_BUILD_DIR  build tree to use           (default: <repo>/build-bench)
+#   BENCH_MIN_TIME   --benchmark_min_time value  (default: 0.5; CI uses 0.1)
+#   BENCH_FILTER     --benchmark_filter regex    (default: all benches)
+set -euo pipefail
+
+ROOT="$(cd "$(dirname "$0")/.." && pwd)"
+BUILD="${BENCH_BUILD_DIR:-$ROOT/build-bench}"
+MIN_TIME="${BENCH_MIN_TIME:-0.5}"
+FILTER="${BENCH_FILTER:-.}"
+
+cmake -B "$BUILD" -S "$ROOT" -DCMAKE_BUILD_TYPE=Release
+cmake --build "$BUILD" -j "$(nproc)" --target bench_micro_simulator
+
+RAW="$BUILD/bench_micro_raw.json"
+"$BUILD/bench/micro_simulator" \
+  --benchmark_format=json \
+  --benchmark_min_time="$MIN_TIME" \
+  --benchmark_filter="$FILTER" > "$RAW"
+
+GIT_SHA="$(git -C "$ROOT" rev-parse --short HEAD 2>/dev/null || echo unknown)"
+
+RAW="$RAW" GIT_SHA="$GIT_SHA" OUT="$ROOT/BENCH_micro.json" python3 - <<'PY'
+import json
+import os
+
+raw = json.load(open(os.environ["RAW"]))
+benches = {}
+for b in raw.get("benchmarks", []):
+    if b.get("run_type") == "aggregate":
+        continue
+    entry = {"ns_per_op": round(b["cpu_time"], 3)}
+    if "items_per_second" in b:
+        entry["items_per_second"] = round(b["items_per_second"], 1)
+    benches[b["name"]] = entry
+
+out = {
+    "git_sha": os.environ["GIT_SHA"],
+    "time_unit": raw.get("benchmarks", [{}])[0].get("time_unit", "ns"),
+    "benchmarks": benches,
+}
+with open(os.environ["OUT"], "w") as f:
+    json.dump(out, f, indent=2, sort_keys=True)
+    f.write("\n")
+print(f"wrote {os.environ['OUT']} ({len(benches)} benchmarks)")
+PY

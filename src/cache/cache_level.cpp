@@ -1,5 +1,8 @@
 #include "cache/cache_level.hpp"
 
+#include <algorithm>
+#include <bit>
+#include <cstring>
 #include <stdexcept>
 
 #include "telemetry/trace_sink.hpp"
@@ -10,37 +13,111 @@ CacheLevel::CacheLevel(std::string name, const CacheOrg& org,
                        u32 hit_latency_cycles, const char* replacement)
     : name_(std::move(name)), org_(org), hit_latency_(hit_latency_cycles) {
   org_.validate();
-  lines_.resize(org_.num_blocks());
-  repl_ = make_replacement(replacement, org_.num_sets(), org_.assoc);
-}
-
-u64 CacheLevel::set_of(u64 addr) const noexcept {
-  return (addr >> org_.offset_bits()) & (org_.num_sets() - 1);
-}
-
-u64 CacheLevel::tag_of(u64 addr) const noexcept {
-  return addr >> (org_.offset_bits() + org_.index_bits());
-}
-
-u32 CacheLevel::allowed_mask(u64 set) const noexcept {
-  u32 mask = 0;
-  for (u32 w = 0; w < org_.assoc; ++w) {
-    if (!line(set, w).faulty) mask |= 1u << w;
+  if (org_.assoc > 32) {
+    throw std::invalid_argument("assoc 1..32");
   }
-  return mask;
-}
 
-bool CacheLevel::probe(u64 addr) const noexcept {
-  const u64 set = set_of(addr);
-  const u64 tag = tag_of(addr);
-  for (u32 w = 0; w < org_.assoc; ++w) {
-    const Line& l = line(set, w);
-    if (l.valid && l.tag == tag) return true;
+  offset_bits_ = org_.offset_bits();
+  tag_shift_ = org_.offset_bits() + org_.index_bits();
+  assoc_shift_ = static_cast<u32>(std::countr_zero(org_.assoc));
+  set_mask_ = org_.num_sets() - 1;
+  way_mask_ = org_.assoc == 32 ? 0xFFFFFFFFu : (1u << org_.assoc) - 1;
+
+  const u64 sets = org_.num_sets();
+  tags_.assign(org_.num_blocks(), 0);
+  valid_bits_.assign(sets, 0);
+  dirty_bits_.assign(sets, 0);
+  faulty_bits_.assign(sets, 0);
+
+  const std::string n = replacement;
+  if (n == "lru") {
+    if (org_.assoc <= 16) {
+      repl_kind_ = ReplKind::kLruPacked;
+      lru_perm_.assign(sets, packed_lru::kIdentity);
+    } else {
+      repl_kind_ = ReplKind::kLruWide;
+      lru_rank_wide_.resize(sets << assoc_shift_);
+      for (u64 s = 0; s < sets; ++s) {
+        for (u32 w = 0; w < org_.assoc; ++w) {
+          lru_rank_wide_[(s << assoc_shift_) + w] = static_cast<u8>(w);
+        }
+      }
+    }
+  } else if (n == "tree-plru") {
+    repl_kind_ = ReplKind::kTreePlru;
+    plru_bits_.assign(sets, 0);
+  } else {
+    throw std::invalid_argument("unknown replacement policy: " + n);
   }
-  return false;
 }
 
-CacheLevel::AccessResult CacheLevel::access(u64 addr, bool write) {
+// ---- Devirtualized replacement operations ---------------------------------
+
+/// Hit path: recency rank *before* promotion (the DPCS utility monitor's
+/// stack distance), then promote.
+template <CacheLevel::ReplKind K>
+u32 CacheLevel::hit_rank_and_touch(u64 set, u32 way) {
+  if constexpr (K == ReplKind::kLruPacked) {
+    u64& perm = lru_perm_[set];
+    const u32 rank = packed_lru::rank_of(perm, way);
+    perm = packed_lru::touch(perm, rank, way);
+    return rank;
+  } else if constexpr (K == ReplKind::kLruWide) {
+    u8* r = &lru_rank_wide_[set << assoc_shift_];
+    const u8 old = r[way];
+    for (u32 w = 0; w < org_.assoc; ++w) {
+      if (r[w] < old) ++r[w];
+    }
+    r[way] = 0;
+    return old;
+  } else {
+    plru_bits_[set] = packed_plru::touch(plru_bits_[set], org_.assoc, way);
+    return 0;  // tree-PLRU has no exact recency order
+  }
+}
+
+template <CacheLevel::ReplKind K>
+void CacheLevel::repl_touch(u64 set, u32 way) {
+  if constexpr (K == ReplKind::kLruPacked) {
+    u64& perm = lru_perm_[set];
+    perm = packed_lru::touch(perm, packed_lru::rank_of(perm, way), way);
+  } else if constexpr (K == ReplKind::kLruWide) {
+    u8* r = &lru_rank_wide_[set << assoc_shift_];
+    const u8 old = r[way];
+    for (u32 w = 0; w < org_.assoc; ++w) {
+      if (r[w] < old) ++r[w];
+    }
+    r[way] = 0;
+  } else {
+    plru_bits_[set] = packed_plru::touch(plru_bits_[set], org_.assoc, way);
+  }
+}
+
+template <CacheLevel::ReplKind K>
+u32 CacheLevel::repl_victim(u64 set, u32 allowed) const {
+  if constexpr (K == ReplKind::kLruPacked) {
+    return packed_lru::victim(lru_perm_[set], org_.assoc, allowed);
+  } else if constexpr (K == ReplKind::kLruWide) {
+    const u8* r = &lru_rank_wide_[set << assoc_shift_];
+    u32 best = org_.assoc;
+    u32 best_rank = 0;
+    for (u32 w = 0; w < org_.assoc; ++w) {
+      if (!(allowed & (1u << w))) continue;
+      if (best == org_.assoc || r[w] > best_rank) {
+        best = w;
+        best_rank = r[w];
+      }
+    }
+    return best;
+  } else {
+    return packed_plru::victim(plru_bits_[set], org_.assoc, allowed);
+  }
+}
+
+// ---- Access paths ---------------------------------------------------------
+
+template <CacheLevel::ReplKind K>
+CacheLevel::AccessResult CacheLevel::access_impl(u64 addr, bool write) {
   ++stats_.accesses;
   if (write) {
     ++stats_.writes;
@@ -50,26 +127,24 @@ CacheLevel::AccessResult CacheLevel::access(u64 addr, bool write) {
 
   const u64 set = set_of(addr);
   const u64 tag = tag_of(addr);
+  const u64* tags = &tags_[set << assoc_shift_];
 
   AccessResult res;
-  for (u32 w = 0; w < org_.assoc; ++w) {
-    Line& l = line(set, w);
-    if (l.valid && l.tag == tag) {
+  for (u32 vm = valid_bits_[set]; vm != 0; vm &= vm - 1) {
+    const u32 w = static_cast<u32>(std::countr_zero(vm));
+    if (tags[w] == tag) {
       ++stats_.hits;
-      // Record the pre-promotion recency rank (per-access stack distance at
-      // way granularity) for the DPCS utility monitor.
-      ++stats_.hits_by_rank[repl_->rank_of(set, w)];
+      ++stats_.hits_by_rank[hit_rank_and_touch<K>(set, w)];
       res.hit = true;
-      if (write) l.dirty = true;
-      repl_->touch(set, w);
+      dirty_bits_[set] |= static_cast<u32>(write) << w;
       return res;
     }
   }
 
   ++stats_.misses;
 
-  const u32 mask = allowed_mask(set);
-  const u32 victim = repl_->victim(set, mask);
+  const u32 allowed = way_mask_ & ~faulty_bits_[set];
+  const u32 victim = repl_victim<K>(set, allowed);
   if (victim >= org_.assoc) {
     // Every way in the set is faulty: serve from below without caching.
     ++stats_.bypasses;
@@ -77,130 +152,137 @@ CacheLevel::AccessResult CacheLevel::access(u64 addr, bool write) {
     return res;
   }
 
-  Line& v = line(set, victim);
-  if (v.valid) {
+  const u32 vbit = 1u << victim;
+  if (valid_bits_[set] & vbit) {
     ++stats_.evictions;
-    if (v.dirty) {
+    if (dirty_bits_[set] & vbit) {
       res.writeback = true;
       res.writeback_addr =
-          (v.tag << (org_.offset_bits() + org_.index_bits())) |
-          (set << org_.offset_bits());
+          (tags[victim] << tag_shift_) | (set << offset_bits_);
       ++stats_.writebacks_out;
     }
   }
-  v.valid = true;
-  v.dirty = write;
-  v.tag = tag;
+  valid_bits_[set] |= vbit;
+  dirty_bits_[set] = write ? dirty_bits_[set] | vbit : dirty_bits_[set] & ~vbit;
+  tags_[(set << assoc_shift_) + victim] = tag;
   ++stats_.fills;
   res.filled = true;
-  repl_->touch(set, victim);
+  repl_touch<K>(set, victim);
   return res;
 }
 
-CacheLevel::AccessResult CacheLevel::receive_writeback(u64 addr) {
+template <CacheLevel::ReplKind K>
+CacheLevel::AccessResult CacheLevel::receive_writeback_impl(u64 addr) {
   ++stats_.writebacks_in;
   const u64 set = set_of(addr);
   const u64 tag = tag_of(addr);
+  const u64* tags = &tags_[set << assoc_shift_];
 
   AccessResult res;
-  for (u32 w = 0; w < org_.assoc; ++w) {
-    Line& l = line(set, w);
-    if (l.valid && l.tag == tag) {
+  for (u32 vm = valid_bits_[set]; vm != 0; vm &= vm - 1) {
+    const u32 w = static_cast<u32>(std::countr_zero(vm));
+    if (tags[w] == tag) {
       res.hit = true;
-      l.dirty = true;
-      repl_->touch(set, w);
+      dirty_bits_[set] |= 1u << w;
+      repl_touch<K>(set, w);
       return res;
     }
   }
 
   // Write-allocate the incoming block.
-  const u32 mask = allowed_mask(set);
-  const u32 victim = repl_->victim(set, mask);
+  const u32 allowed = way_mask_ & ~faulty_bits_[set];
+  const u32 victim = repl_victim<K>(set, allowed);
   if (victim >= org_.assoc) {
     res.bypassed = true;  // falls through to the level below
     return res;
   }
-  Line& v = line(set, victim);
-  if (v.valid) {
+  const u32 vbit = 1u << victim;
+  if (valid_bits_[set] & vbit) {
     ++stats_.evictions;
-    if (v.dirty) {
+    if (dirty_bits_[set] & vbit) {
       res.writeback = true;
       res.writeback_addr =
-          (v.tag << (org_.offset_bits() + org_.index_bits())) |
-          (set << org_.offset_bits());
+          (tags[victim] << tag_shift_) | (set << offset_bits_);
       ++stats_.writebacks_out;
     }
   }
-  v.valid = true;
-  v.dirty = true;
-  v.tag = tag;
+  valid_bits_[set] |= vbit;
+  dirty_bits_[set] |= vbit;
+  tags_[(set << assoc_shift_) + victim] = tag;
   ++stats_.fills;
   res.filled = true;
-  repl_->touch(set, victim);
+  repl_touch<K>(set, victim);
   return res;
 }
 
+CacheLevel::AccessResult CacheLevel::access(u64 addr, bool write) {
+  switch (repl_kind_) {
+    case ReplKind::kLruPacked:
+      return access_impl<ReplKind::kLruPacked>(addr, write);
+    case ReplKind::kLruWide:
+      return access_impl<ReplKind::kLruWide>(addr, write);
+    case ReplKind::kTreePlru:
+      return access_impl<ReplKind::kTreePlru>(addr, write);
+  }
+  __builtin_unreachable();
+}
+
+CacheLevel::AccessResult CacheLevel::receive_writeback(u64 addr) {
+  switch (repl_kind_) {
+    case ReplKind::kLruPacked:
+      return receive_writeback_impl<ReplKind::kLruPacked>(addr);
+    case ReplKind::kLruWide:
+      return receive_writeback_impl<ReplKind::kLruWide>(addr);
+    case ReplKind::kTreePlru:
+      return receive_writeback_impl<ReplKind::kTreePlru>(addr);
+  }
+  __builtin_unreachable();
+}
+
+// ---- Faulty-bit and coherence maintenance ---------------------------------
+
 bool CacheLevel::set_block_faulty(u64 set, u32 way, bool faulty) {
-  Line& l = line(set, way);
+  const u32 bit = 1u << way;
   bool needs_writeback = false;
-  if (faulty && !l.faulty) {
-    needs_writeback = l.valid && l.dirty;
-    if (l.valid) ++stats_.invalidations;
-    l.valid = false;
-    l.dirty = false;
-    l.faulty = true;
+  if (faulty && !(faulty_bits_[set] & bit)) {
+    const bool was_valid = valid_bits_[set] & bit;
+    needs_writeback = was_valid && (dirty_bits_[set] & bit);
+    if (was_valid) ++stats_.invalidations;
+    valid_bits_[set] &= ~bit;
+    dirty_bits_[set] &= ~bit;
+    faulty_bits_[set] |= bit;
     ++faulty_count_;
-  } else if (!faulty && l.faulty) {
-    l.faulty = false;
+  } else if (!faulty && (faulty_bits_[set] & bit)) {
+    faulty_bits_[set] &= ~bit;
     --faulty_count_;
   }
   return needs_writeback;
 }
 
-bool CacheLevel::is_faulty(u64 set, u32 way) const noexcept {
-  return line(set, way).faulty;
-}
-bool CacheLevel::is_valid(u64 set, u32 way) const noexcept {
-  return line(set, way).valid;
-}
-bool CacheLevel::is_dirty(u64 set, u32 way) const noexcept {
-  return line(set, way).dirty;
-}
-
-u64 CacheLevel::block_addr(u64 set, u32 way) const noexcept {
-  const Line& l = line(set, way);
-  return (l.tag << (org_.offset_bits() + org_.index_bits())) |
-         (set << org_.offset_bits());
-}
-
 int CacheLevel::find_way(u64 addr) const noexcept {
   const u64 set = set_of(addr);
   const u64 tag = tag_of(addr);
-  for (u32 w = 0; w < org_.assoc; ++w) {
-    const Line& l = line(set, w);
-    if (l.valid && l.tag == tag) return static_cast<int>(w);
+  const u64* tags = &tags_[set << assoc_shift_];
+  for (u32 vm = valid_bits_[set]; vm != 0; vm &= vm - 1) {
+    const u32 w = static_cast<u32>(std::countr_zero(vm));
+    if (tags[w] == tag) return static_cast<int>(w);
   }
   return -1;
 }
 
-void CacheLevel::clean_line(u64 set, u32 way) noexcept {
-  line(set, way).dirty = false;
-}
-
 bool CacheLevel::invalidate(u64 set, u32 way) {
-  Line& l = line(set, way);
-  const bool dirty = l.valid && l.dirty;
-  if (l.valid) ++stats_.invalidations;
-  l.valid = false;
-  l.dirty = false;
+  const u32 bit = 1u << way;
+  const bool was_valid = valid_bits_[set] & bit;
+  const bool dirty = was_valid && (dirty_bits_[set] & bit);
+  if (was_valid) ++stats_.invalidations;
+  valid_bits_[set] &= ~bit;
+  dirty_bits_[set] &= ~bit;
   return dirty;
 }
 
 void CacheLevel::reset() {
-  for (auto& l : lines_) {
-    l.valid = false;
-    l.dirty = false;
-  }
+  std::fill(valid_bits_.begin(), valid_bits_.end(), 0u);
+  std::fill(dirty_bits_.begin(), dirty_bits_.end(), 0u);
 }
 
 void CacheLevel::emit_stats(TraceSink& sink,

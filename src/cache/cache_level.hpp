@@ -5,10 +5,21 @@
 // replacement policy (paper section 3.1). The PCS mechanism drives the
 // per-block Faulty bits through set_block_faulty()/the transition procedure
 // in core/mechanism.
+//
+// Hot-path layout (see DESIGN.md section 9): state is structure-of-arrays --
+// a contiguous u64 tag array plus one packed u32 valid/dirty/faulty bitmask
+// per set -- so a lookup is a linear scan of one tag row and the allowed-way
+// mask is a single load (`~faulty_mask(set)`), maintained incrementally by
+// set_block_faulty()/invalidate() instead of rescanned per miss. The
+// replacement policy is devirtualized: the constructor picks a ReplKind and
+// access()/receive_writeback() dispatch once per reference to a template
+// instantiation whose touch/victim/rank operations inline (packed-u64 LRU
+// nibble permutation, packed-u32 tree-PLRU). Results are bit-identical to
+// the virtual-policy AoS implementation, which survives as the reference
+// model in tests/test_cache_equivalence.cpp.
 #pragma once
 
 #include <array>
-#include <memory>
 #include <string>
 #include <vector>
 
@@ -103,11 +114,20 @@ class CacheLevel {
   /// the caller must write its contents back before the voltage changes.
   bool set_block_faulty(u64 set, u32 way, bool faulty);
 
-  bool is_faulty(u64 set, u32 way) const noexcept;
-  bool is_valid(u64 set, u32 way) const noexcept;
-  bool is_dirty(u64 set, u32 way) const noexcept;
+  bool is_faulty(u64 set, u32 way) const noexcept {
+    return (faulty_bits_[set] >> way) & 1u;
+  }
+  bool is_valid(u64 set, u32 way) const noexcept {
+    return (valid_bits_[set] >> way) & 1u;
+  }
+  bool is_dirty(u64 set, u32 way) const noexcept {
+    return (dirty_bits_[set] >> way) & 1u;
+  }
   /// Full block-aligned address of a valid block.
-  u64 block_addr(u64 set, u32 way) const noexcept;
+  u64 block_addr(u64 set, u32 way) const noexcept {
+    return (tags_[(set << assoc_shift_) + way] << tag_shift_) |
+           (set << offset_bits_);
+  }
 
   /// Invalidates one block; returns true if it was valid and dirty.
   bool invalidate(u64 set, u32 way);
@@ -129,35 +149,73 @@ class CacheLevel {
   u64 faulty_block_count() const noexcept { return faulty_count_; }
   /// Fraction of blocks currently usable.
   double effective_capacity() const noexcept;
-  u64 set_of(u64 addr) const noexcept;
+  u64 set_of(u64 addr) const noexcept {
+    return (addr >> offset_bits_) & set_mask_;
+  }
   /// True if some way of `addr`'s set holds the block (valid match).
-  bool probe(u64 addr) const noexcept;
+  bool probe(u64 addr) const noexcept { return find_way(addr) >= 0; }
   /// Way currently holding `addr`'s block, or -1 (coherence snooping).
   int find_way(u64 addr) const noexcept;
   /// Clears the dirty bit of a valid line (coherence downgrade M -> S
   /// after its data has been written back by an intervention).
-  void clean_line(u64 set, u32 way) noexcept;
+  void clean_line(u64 set, u32 way) noexcept {
+    dirty_bits_[set] &= ~(1u << way);
+  }
+
+  /// Packed per-set occupancy masks (bit w = way w). `~faulty_mask(set) &
+  /// way_mask()` is exactly the allowed-way mask the miss path consults --
+  /// the PCS transition procedure diffs faulty_mask() against the fault
+  /// map's target state to skip untouched sets.
+  u32 valid_mask(u64 set) const noexcept { return valid_bits_[set]; }
+  u32 dirty_mask(u64 set) const noexcept { return dirty_bits_[set]; }
+  u32 faulty_mask(u64 set) const noexcept { return faulty_bits_[set]; }
+  /// All-ways mask for this associativity (bits 0..assoc-1 set).
+  u32 way_mask() const noexcept { return way_mask_; }
 
  private:
-  struct Line {
-    u64 tag = 0;
-    bool valid = false;
-    bool dirty = false;
-    bool faulty = false;
+  /// Devirtualized replacement dispatch: chosen once at construction.
+  enum class ReplKind : u8 {
+    kLruPacked,  ///< true LRU, u64 nibble permutation (assoc <= 16)
+    kLruWide,    ///< true LRU, byte ranks (16 < assoc <= 32)
+    kTreePlru,   ///< tree pseudo-LRU, u32 node bits
   };
 
-  u64 tag_of(u64 addr) const noexcept;
-  Line& line(u64 set, u32 way) noexcept { return lines_[set * org_.assoc + way]; }
-  const Line& line(u64 set, u32 way) const noexcept {
-    return lines_[set * org_.assoc + way];
-  }
-  u32 allowed_mask(u64 set) const noexcept;
+  u64 tag_of(u64 addr) const noexcept { return addr >> tag_shift_; }
+
+  template <ReplKind K>
+  AccessResult access_impl(u64 addr, bool write);
+  template <ReplKind K>
+  AccessResult receive_writeback_impl(u64 addr);
+  template <ReplKind K>
+  u32 hit_rank_and_touch(u64 set, u32 way);
+  template <ReplKind K>
+  void repl_touch(u64 set, u32 way);
+  template <ReplKind K>
+  u32 repl_victim(u64 set, u32 allowed) const;
 
   std::string name_;
   CacheOrg org_;
   u32 hit_latency_;
-  std::vector<Line> lines_;
-  std::unique_ptr<ReplacementPolicy> repl_;
+
+  // Geometry hoisted out of CacheOrg's bit-counting loops.
+  u32 offset_bits_ = 0;
+  u32 tag_shift_ = 0;    ///< offset_bits + index_bits
+  u32 assoc_shift_ = 0;  ///< log2(assoc); tag row base = set << assoc_shift_
+  u64 set_mask_ = 0;
+  u32 way_mask_ = 0;
+
+  // SoA state: tags set-major, one packed bitmask per set otherwise.
+  std::vector<u64> tags_;
+  std::vector<u32> valid_bits_;
+  std::vector<u32> dirty_bits_;
+  std::vector<u32> faulty_bits_;
+
+  // Replacement state (exactly one vector is populated, per repl_kind_).
+  ReplKind repl_kind_ = ReplKind::kLruPacked;
+  std::vector<u64> lru_perm_;       ///< packed_lru permutation per set
+  std::vector<u8> lru_rank_wide_;   ///< byte ranks, set-major (assoc > 16)
+  std::vector<u32> plru_bits_;      ///< packed_plru node bits per set
+
   CacheLevelStats stats_;
   u64 faulty_count_ = 0;
 };

@@ -44,8 +44,12 @@ AccessOutcome Hierarchy::access(const MemRef& ref) {
     l2_access(ref.addr, false, out);
     if (r1.bypassed && ref.write) {
       // The store could not allocate in L1; its data is captured by L2
-      // via a write access instead.
-      l2_->access(ref.addr, true);
+      // via a write access instead. Its outcome carries DRAM traffic too:
+      // a dirty victim it evicts, or the dirty data itself when L2 cannot
+      // allocate either (all ways faulty), must reach memory.
+      const auto r2 = l2_->access(ref.addr, true);
+      if (r2.writeback) ++mem_writes_;
+      if (r2.bypassed) ++mem_writes_;  // uncacheable dirty data
     }
   }
   return out;

@@ -4,14 +4,115 @@
 // cheaper alternative exercised by the ablation benches. Both honour the PCS
 // rule that Faulty blocks "must not be used for data placement after a cache
 // miss": victims are chosen only among the allowed (non-faulty) ways.
+//
+// Two implementations exist side by side:
+//  * The packed per-set primitives below (`packed_lru`, `packed_plru`) are
+//    what CacheLevel dispatches to on its hot path -- one machine word of
+//    state per set, no virtual calls.
+//  * The virtual ReplacementPolicy classes are the original (pre-SoA)
+//    implementation, kept as the executable specification: the randomized
+//    differential suite (tests/test_cache_equivalence.cpp) drives both and
+//    asserts identical victim/rank sequences.
 #pragma once
 
+#include <bit>
 #include <memory>
 #include <vector>
 
 #include "util/types.hpp"
 
 namespace pcs {
+
+/// True-LRU recency state packed into one u64 per set: nibble r holds the
+/// way at recency rank r (0 = MRU, assoc-1 = LRU). Supports assoc <= 16;
+/// CacheLevel falls back to the byte-array form for wider sets.
+namespace packed_lru {
+
+/// Initial permutation (nibble r = way r), matching LruReplacement's
+/// initial ranks rank[way] = way.
+inline constexpr u64 kIdentity = 0xFEDCBA9876543210ULL;
+
+inline constexpr u64 kNibbleLsb = 0x1111111111111111ULL;
+inline constexpr u64 kNibbleMsb = 0x8888888888888888ULL;
+
+/// Recency rank of `way`: position of its nibble in the permutation,
+/// located with a branch-free SWAR zero-nibble scan. The first (least
+/// significant) zero nibble is always detected exactly; the permutation
+/// guarantees it is the only match among the used nibbles.
+inline u32 rank_of(u64 perm, u32 way) noexcept {
+  const u64 x = perm ^ (kNibbleLsb * way);
+  const u64 zero = (x - kNibbleLsb) & ~x & kNibbleMsb;
+  return static_cast<u32>(std::countr_zero(zero)) >> 2;
+}
+
+/// Promotes `way` (currently at `rank`) to MRU: nibbles 0..rank-1 shift up
+/// one position, nibbles above `rank` are untouched. Branchless.
+inline u64 touch(u64 perm, u32 rank, u32 way) noexcept {
+  const u32 sh = 4u * rank;
+  const u64 above = perm & ((~0ULL << sh) << 4);
+  const u64 below = (perm & ((1ULL << sh) - 1)) << 4;
+  return above | below | way;
+}
+
+/// Deepest-ranked way whose `allowed_mask` bit is set; `assoc` if none.
+/// With a full mask (the overwhelmingly common case) this is a single
+/// shift-and-test of the LRU nibble.
+inline u32 victim(u64 perm, u32 assoc, u32 allowed_mask) noexcept {
+  for (u32 r = assoc; r-- > 0;) {
+    const u32 w = static_cast<u32>(perm >> (4u * r)) & 0xFu;
+    if (allowed_mask & (1u << w)) return w;
+  }
+  return assoc;
+}
+
+}  // namespace packed_lru
+
+/// Tree pseudo-LRU state packed into one u32 per set (heap-ordered node
+/// bits, node n's children at 2n+1 / 2n+2 -- the same tree as
+/// TreePlruReplacement). Supports power-of-two assoc <= 32.
+namespace packed_plru {
+
+/// Points every node on the path to `way` away from it.
+inline u32 touch(u32 bits, u32 assoc, u32 way) noexcept {
+  u32 node = 0, lo = 0, hi = assoc;
+  while (hi - lo > 1) {
+    const u32 mid = (lo + hi) >> 1;
+    const bool right = way >= mid;
+    bits = right ? (bits & ~(1u << node)) : (bits | (1u << node));
+    node = 2 * node + (right ? 2 : 1);
+    if (right) {
+      lo = mid;
+    } else {
+      hi = mid;
+    }
+  }
+  return bits;
+}
+
+/// Follows the PLRU bits, never descending into a subtree with no allowed
+/// way (subtree occupancy is one mask AND instead of a way loop).
+inline u32 victim(u32 bits, u32 assoc, u32 allowed_mask) noexcept {
+  if (allowed_mask == 0) return assoc;
+  if (assoc == 1) return (allowed_mask & 1u) ? 0u : assoc;
+  u32 node = 0, lo = 0, hi = assoc;
+  while (hi - lo > 1) {
+    const u32 mid = (lo + hi) >> 1;
+    const u32 left_span = ((1u << (mid - lo)) - 1) << lo;
+    const u32 right_span = ((1u << (hi - mid)) - 1) << mid;
+    bool go_right = (bits >> node) & 1u;
+    if (go_right && !(allowed_mask & right_span)) go_right = false;
+    if (!go_right && !(allowed_mask & left_span)) go_right = true;
+    node = 2 * node + (go_right ? 2 : 1);
+    if (go_right) {
+      lo = mid;
+    } else {
+      hi = mid;
+    }
+  }
+  return (allowed_mask & (1u << lo)) ? lo : assoc;
+}
+
+}  // namespace packed_plru
 
 /// Interface for per-set replacement state.
 class ReplacementPolicy {

@@ -1,5 +1,6 @@
 #include "core/mechanism.hpp"
 
+#include <bit>
 #include <stdexcept>
 
 namespace pcs {
@@ -32,16 +33,25 @@ double PcsMechanism::gated_fraction() const noexcept {
 
 void PcsMechanism::apply_faulty_bits(u32 level, TransitionResult* result) {
   const CacheOrg& org = cache_->org();
-  for (u64 set = 0; set < org.num_sets(); ++set) {
-    // Listing 2 handles each way of a set in parallel; functionally we just
-    // visit every block.
-    for (u32 way = 0; way < org.assoc; ++way) {
-      const u64 block = set * org.assoc + way;
-      const bool will_be_faulty = map_.faulty_at(block, level);
-      const bool was_faulty = cache_->is_faulty(set, way);
-      if (will_be_faulty && !was_faulty) {
+  const u64 num_sets = org.num_sets();
+  const u32 assoc = org.assoc;
+  // Listing 2 handles each way of a set in parallel; we diff the target
+  // per-set faulty mask (from the compressed map codes) against the cache's
+  // packed faulty bits and touch only the ways that actually change --
+  // between adjacent ladder levels that is a tiny fraction of the sets.
+  u64 block = 0;
+  for (u64 set = 0; set < num_sets; ++set, block += assoc) {
+    u32 will = 0;
+    for (u32 way = 0; way < assoc; ++way) {
+      will |= static_cast<u32>(map_.faulty_at(block + way, level)) << way;
+    }
+    u32 diff = will ^ cache_->faulty_mask(set);
+    while (diff != 0) {
+      const u32 way = static_cast<u32>(std::countr_zero(diff));
+      diff &= diff - 1;
+      if (will & (1u << way)) {
         const bool was_valid = cache_->is_valid(set, way);
-        const bool dirty = cache_->is_valid(set, way) && cache_->is_dirty(set, way);
+        const bool dirty = was_valid && cache_->is_dirty(set, way);
         const u64 addr = cache_->block_addr(set, way);
         cache_->set_block_faulty(set, way, true);
         if (result) {
@@ -52,7 +62,7 @@ void PcsMechanism::apply_faulty_bits(u32 level, TransitionResult* result) {
             result->writeback_addrs.push_back(addr);
           }
         }
-      } else if (!will_be_faulty && was_faulty) {
+      } else {
         cache_->set_block_faulty(set, way, false);
         if (result) ++result->blocks_restored;
       }

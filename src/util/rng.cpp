@@ -13,8 +13,6 @@ u64 splitmix64(u64& x) noexcept {
   return z ^ (z >> 31);
 }
 
-constexpr u64 rotl(u64 x, int k) noexcept { return (x << k) | (x >> (64 - k)); }
-
 }  // namespace
 
 Rng::Rng(u64 seed) noexcept {
@@ -23,43 +21,6 @@ Rng::Rng(u64 seed) noexcept {
   // All-zero state is the one invalid xoshiro state; splitmix cannot emit
   // four zeros from any seed, but guard anyway.
   if ((s_[0] | s_[1] | s_[2] | s_[3]) == 0) s_[0] = 1;
-}
-
-u64 Rng::next_u64() noexcept {
-  const u64 result = rotl(s_[1] * 5, 7) * 9;
-  const u64 t = s_[1] << 17;
-  s_[2] ^= s_[0];
-  s_[3] ^= s_[1];
-  s_[1] ^= s_[2];
-  s_[0] ^= s_[3];
-  s_[2] ^= t;
-  s_[3] = rotl(s_[3], 45);
-  return result;
-}
-
-double Rng::uniform() noexcept {
-  // 53 random mantissa bits -> uniform in [0, 1).
-  return static_cast<double>(next_u64() >> 11) * 0x1.0p-53;
-}
-
-double Rng::uniform(double lo, double hi) noexcept {
-  return lo + (hi - lo) * uniform();
-}
-
-u64 Rng::uniform_int(u64 bound) noexcept {
-  // Lemire's unbiased bounded generation via 128-bit multiply.
-  const u64 threshold = (0 - bound) % bound;
-  for (;;) {
-    const u64 x = next_u64();
-    const auto m = static_cast<unsigned __int128>(x) * bound;
-    if (static_cast<u64>(m) >= threshold) return static_cast<u64>(m >> 64);
-  }
-}
-
-bool Rng::bernoulli(double p) noexcept {
-  if (p <= 0.0) return false;
-  if (p >= 1.0) return true;
-  return uniform() < p;
 }
 
 double Rng::gaussian() noexcept {

@@ -17,25 +17,57 @@ namespace pcs {
 /// Chosen over std::mt19937_64 because its output is specified independent of
 /// the standard library implementation and it is substantially faster, which
 /// matters when drawing one failure voltage per SRAM cell of an 8 MB cache.
+///
+/// The per-draw methods are defined inline here: every simulated memory
+/// reference costs several draws, and keeping them out-of-line was a
+/// measurable fraction of trace-generation time. The output sequence is part
+/// of the determinism contract (golden figure regressions depend on it), so
+/// the arithmetic must never change -- only where it is compiled.
 class Rng {
  public:
   /// Seeds the four 64-bit lanes from `seed` via SplitMix64.
   explicit Rng(u64 seed = 0x9e3779b97f4a7c15ULL) noexcept;
 
   /// Next raw 64-bit value.
-  u64 next_u64() noexcept;
+  u64 next_u64() noexcept {
+    const u64 result = rotl(s_[1] * 5, 7) * 9;
+    const u64 t = s_[1] << 17;
+    s_[2] ^= s_[0];
+    s_[3] ^= s_[1];
+    s_[1] ^= s_[2];
+    s_[0] ^= s_[3];
+    s_[2] ^= t;
+    s_[3] = rotl(s_[3], 45);
+    return result;
+  }
 
-  /// Uniform double in [0, 1).
-  double uniform() noexcept;
+  /// Uniform double in [0, 1): 53 random mantissa bits.
+  double uniform() noexcept {
+    return static_cast<double>(next_u64() >> 11) * 0x1.0p-53;
+  }
 
   /// Uniform double in [lo, hi).
-  double uniform(double lo, double hi) noexcept;
+  double uniform(double lo, double hi) noexcept {
+    return lo + (hi - lo) * uniform();
+  }
 
   /// Uniform integer in [0, bound). Requires bound > 0.
-  u64 uniform_int(u64 bound) noexcept;
+  /// Lemire's unbiased bounded generation via 128-bit multiply.
+  u64 uniform_int(u64 bound) noexcept {
+    const u64 threshold = (0 - bound) % bound;
+    for (;;) {
+      const u64 x = next_u64();
+      const auto m = static_cast<unsigned __int128>(x) * bound;
+      if (static_cast<u64>(m) >= threshold) return static_cast<u64>(m >> 64);
+    }
+  }
 
   /// Bernoulli trial with success probability `p` (clamped to [0,1]).
-  bool bernoulli(double p) noexcept;
+  bool bernoulli(double p) noexcept {
+    if (p <= 0.0) return false;
+    if (p >= 1.0) return true;
+    return uniform() < p;
+  }
 
   /// Standard normal deviate (Box-Muller; second deviate cached).
   double gaussian() noexcept;
@@ -48,6 +80,10 @@ class Rng {
   Rng fork(u64 salt) noexcept;
 
  private:
+  static constexpr u64 rotl(u64 x, int k) noexcept {
+    return (x << k) | (x >> (64 - k));
+  }
+
   std::array<u64, 4> s_{};
   double cached_gaussian_ = 0.0;
   bool has_cached_gaussian_ = false;

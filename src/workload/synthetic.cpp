@@ -14,6 +14,25 @@ SyntheticTrace::SyntheticTrace(WorkloadSpec spec, u64 seed)
   if (spec_.refs_per_instruction <= 0.0 || spec_.refs_per_instruction > 1.0) {
     throw std::invalid_argument("refs_per_instruction must be in (0, 1]");
   }
+  code_span_ = std::max<u64>(spec_.code_footprint_bytes, 64);
+  shared_span_ = std::max<u64>(spec_.shared_bytes, 64);
+  // Geometric gap with mean (1/refs_per_instruction - 1) non-memory
+  // instructions between data references; the exact expression below must
+  // match what draw_gap historically computed per call, so that the gap
+  // sequence (and thus every golden trace) is unchanged.
+  const double mean = 1.0 / spec_.refs_per_instruction - 1.0;
+  gap_enabled_ = mean > 0.0;
+  if (gap_enabled_) {
+    const double p = 1.0 / (mean + 1.0);
+    gap_log_denom_ = std::log1p(-p);
+  }
+  enter_phase();
+}
+
+void SyntheticTrace::enter_phase() noexcept {
+  const PhaseSpec& p = phase();
+  ws_span_ = std::max<u64>(p.working_set_bytes, 64);
+  hot_span_ = std::max<u64>(static_cast<u64>(p.hot_frac * ws_span_), 64);
 }
 
 void SyntheticTrace::advance_phase_if_needed() {
@@ -26,12 +45,14 @@ void SyntheticTrace::advance_phase_if_needed() {
     phase_idx_ = 0;
   } else {
     exhausted_ = true;
+    return;
   }
+  enter_phase();
 }
 
 u64 SyntheticTrace::gen_data_addr() {
   const PhaseSpec& p = phase();
-  const u64 ws = std::max<u64>(p.working_set_bytes, 64);
+  const u64 ws = ws_span_;
 
   // Short-term reuse first: revisit a recently touched block at a random
   // word within it.
@@ -45,8 +66,7 @@ u64 SyntheticTrace::gen_data_addr() {
     offset = stream_pos_;
     stream_pos_ = (stream_pos_ + p.stream_stride) % ws;
   } else if (rng_.bernoulli(p.hot_prob)) {
-    const u64 hot = std::max<u64>(static_cast<u64>(p.hot_frac * ws), 64);
-    offset = rng_.uniform_int(hot);
+    offset = rng_.uniform_int(hot_span_);
   } else {
     offset = rng_.uniform_int(ws);
   }
@@ -62,14 +82,10 @@ u64 SyntheticTrace::gen_data_addr() {
 }
 
 u32 SyntheticTrace::draw_gap() {
-  // Geometric gap with mean (1/refs_per_instruction - 1) non-memory
-  // instructions between data references.
-  const double mean = 1.0 / spec_.refs_per_instruction - 1.0;
-  if (mean <= 0.0) return 0;
-  const double p = 1.0 / (mean + 1.0);
+  if (!gap_enabled_) return 0;
   double u = rng_.uniform();
   if (u <= 0.0) u = 1e-12;
-  const double g = std::floor(std::log(u) / std::log1p(-p));
+  const double g = std::floor(std::log(u) / gap_log_denom_);
   return static_cast<u32>(std::min(g, 4096.0));
 }
 
@@ -82,8 +98,7 @@ bool SyntheticTrace::next(TraceEvent& out) {
     if (spec_.shared_frac > 0.0 && rng_.bernoulli(spec_.shared_frac)) {
       // Reference into the region all cores share (coherence traffic).
       pending_data_.addr =
-          spec_.shared_base_addr +
-          (rng_.uniform_int(std::max<u64>(spec_.shared_bytes, 64)) & ~7ULL);
+          spec_.shared_base_addr + (rng_.uniform_int(shared_span_) & ~7ULL);
       pending_data_.write = rng_.bernoulli(spec_.shared_write_frac);
     } else {
       pending_data_.addr = gen_data_addr();
@@ -98,7 +113,7 @@ bool SyntheticTrace::next(TraceEvent& out) {
 
   // Advance the PC through the gap instructions; emit an ifetch whenever a
   // new instruction block is entered.
-  const u64 code = std::max<u64>(spec_.code_footprint_bytes, 64);
+  const u64 code = code_span_;
   while (remaining_gap_ > 0) {
     const u64 old_block = pc_ / spec_.block_bytes;
     if (rng_.bernoulli(spec_.far_jump_prob)) {

@@ -78,6 +78,7 @@ class SyntheticTrace final : public TraceSource {
  private:
   const PhaseSpec& phase() const noexcept { return spec_.phases[phase_idx_]; }
   void advance_phase_if_needed();
+  void enter_phase() noexcept;
   u64 gen_data_addr();
   u32 draw_gap();
 
@@ -86,6 +87,18 @@ class SyntheticTrace final : public TraceSource {
   std::size_t phase_idx_ = 0;
   u64 refs_in_phase_ = 0;
   bool exhausted_ = false;
+
+  // Derived constants hoisted off the per-reference path. The RNG draw
+  // sequence is part of the determinism contract (golden figure regressions
+  // replay it bit-for-bit), so these cache *computations*, never draws:
+  // per-phase clamps/products (refreshed by enter_phase) and the geometric
+  // gap's log term, which depends only on refs_per_instruction.
+  u64 ws_span_ = 64;        ///< max(working_set_bytes, 64) of current phase
+  u64 hot_span_ = 64;       ///< max(hot_frac * ws_span_, 64) of current phase
+  u64 code_span_ = 64;      ///< max(code_footprint_bytes, 64)
+  u64 shared_span_ = 64;    ///< max(shared_bytes, 64)
+  bool gap_enabled_ = false;
+  double gap_log_denom_ = 0.0;  ///< log1p(-p) of the geometric gap
 
   u64 stream_pos_ = 0;  ///< byte offset of the sequential sweep within the WS
   u64 pc_ = 0;          ///< byte offset of the program counter in the code loop

@@ -92,6 +92,38 @@ TEST(Hierarchy, BypassedStoreReachesL2) {
   EXPECT_GE(h.l2().stats().writes, 1u);
 }
 
+TEST(Hierarchy, BypassStoreCountsL2DirtyEviction) {
+  Hierarchy h(tiny_config());
+  // Poison every way of the L1D set for 0x0000 so the store bypasses L1.
+  const u64 l1set = h.l1d().set_of(0x0000);
+  h.l1d().set_block_faulty(l1set, 0, true);
+  h.l1d().set_block_faulty(l1set, 1, true);
+  // Fill the L2 set of 0x0000 with dirty blocks so the fill the bypass
+  // store triggers must evict one. L2: 32 KB / 4-way -> 128 sets, set
+  // stride 128*64 = 0x2000. Dirty them via L1 writebacks (writes through
+  // non-faulty L1 sets would not dirty L2).
+  for (u64 i = 1; i <= 4; ++i) h.l2().receive_writeback(i * 0x2000);
+  const u64 w0 = h.mem_writes();
+  h.access({0x0000, true, false});  // bypass store
+  // The L2 fill evicted one dirty victim; its data must reach DRAM.
+  EXPECT_EQ(h.mem_writes(), w0 + 1);
+  EXPECT_GE(h.l2().stats().writes, 1u);  // store captured by L2
+}
+
+TEST(Hierarchy, BypassStoreThroughAllFaultyL2ReachesMemory) {
+  Hierarchy h(tiny_config());
+  // Every way faulty in both the L1D and L2 sets of 0x0000: the dirty data
+  // is uncacheable anywhere and must be counted as a DRAM write.
+  const u64 l1set = h.l1d().set_of(0x0000);
+  h.l1d().set_block_faulty(l1set, 0, true);
+  h.l1d().set_block_faulty(l1set, 1, true);
+  const u64 l2set = h.l2().set_of(0x0000);
+  for (u32 w = 0; w < 4; ++w) h.l2().set_block_faulty(l2set, w, true);
+  const u64 w0 = h.mem_writes();
+  h.access({0x0000, true, false});
+  EXPECT_EQ(h.mem_writes(), w0 + 1);
+}
+
 TEST(Hierarchy, StatsIsolatedPerLevel) {
   Hierarchy h(tiny_config());
   for (u64 a = 0; a < 64; ++a) h.access({a * 64, false, false});
