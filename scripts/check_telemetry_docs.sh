@@ -1,75 +1,19 @@
 #!/usr/bin/env bash
-# Docs-consistency gate for the telemetry schema (run in CI).
-#
-# TELEMETRY.md ends with a machine-readable ```schema-fields appendix,
-# one line per record type: `type: field field ...`. This script compares
-# it against the emitting source in src/ -- BOTH directions:
-#
-#   * every record type / field named in the appendix must be emitted
-#     somewhere in src/ (no documented-but-dead schema);
-#   * every `TraceRecord rec("type")` and `.field("name")` in src/ must
-#     appear in the appendix (no emitted-but-undocumented schema).
-#
-# Field->type association is checked by the schema golden test in
-# tests/test_telemetry.cpp; this script guards the docs file itself.
+# Telemetry docs-consistency gate -- now a thin wrapper over pcs-lint's
+# SCHEMA001 rule (tools/pcs_lint), which absorbed the greps that used to
+# live here: every record type / field emitted in src/ must appear in the
+# TELEMETRY.md ```schema-fields appendix and vice versa, and the documented
+# schema version must match kTelemetrySchemaVersion. Kept as a script so
+# existing callers (and muscle memory) keep working.
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
-fail=0
-err() {
-  echo "check_telemetry_docs: $*" >&2
-  fail=1
-}
-
-appendix=$(awk '/^```schema-fields$/{on=1; next} /^```$/{on=0} on' TELEMETRY.md)
-if [[ -z "$appendix" ]]; then
-  err "no \`\`\`schema-fields appendix found in TELEMETRY.md"
-  exit 1
-fi
-
-doc_types=$(echo "$appendix" | sed 's/:.*//' | sort -u)
-doc_fields=$(echo "$appendix" | sed 's/^[a-z_]*://' | tr ' ' '\n' |
-  sed '/^$/d' | sort -u)
-
-src_types=$(grep -rho 'TraceRecord rec("[a-z_]*")' src |
-  sed 's/.*("\(.*\)")/\1/' | sort -u)
-src_fields=$(grep -rho '\.field("[a-z_]*"' src |
-  sed 's/.*("\(.*\)"/\1/' | sort -u)
-
-# Documented but never emitted.
-for t in $doc_types; do
-  echo "$src_types" | grep -qx "$t" ||
-    err "record type '$t' is in TELEMETRY.md but never emitted in src/"
-done
-for f in $doc_fields; do
-  echo "$src_fields" | grep -qx "$f" ||
-    err "field '$f' is in TELEMETRY.md but never emitted in src/"
+for candidate in build/tools/pcs_lint/pcs_lint build-*/tools/pcs_lint/pcs_lint; do
+  if [[ -x "$candidate" ]]; then
+    exec "$candidate" --rules SCHEMA001 "$@"
+  fi
 done
 
-# Emitted but never documented.
-for t in $src_types; do
-  echo "$doc_types" | grep -qx "$t" ||
-    err "record type '$t' is emitted in src/ but missing from TELEMETRY.md"
-done
-for f in $src_fields; do
-  echo "$doc_fields" | grep -qx "$f" ||
-    err "field '$f' is emitted in src/ but missing from TELEMETRY.md"
-done
-
-# The advertised schema version must match the header constant.
-doc_version=$(grep -om1 'Schema version: [0-9]*' TELEMETRY.md |
-  grep -o '[0-9]*$')
-src_version=$(grep -om1 'kTelemetrySchemaVersion = [0-9]*' \
-  src/telemetry/trace_sink.hpp | grep -o '[0-9]*$')
-if [[ "$doc_version" != "$src_version" ]]; then
-  err "TELEMETRY.md says schema version $doc_version," \
-    "trace_sink.hpp says $src_version"
-fi
-
-if [[ $fail -eq 0 ]]; then
-  n_types=$(echo "$doc_types" | wc -l)
-  n_fields=$(echo "$doc_fields" | wc -l)
-  echo "check_telemetry_docs: OK ($n_types record types," \
-    "$n_fields distinct fields, schema v$doc_version)"
-fi
-exit $fail
+echo "check_telemetry_docs: pcs_lint binary not found; build it first:" >&2
+echo "  cmake -B build -S . && cmake --build build --target pcs_lint" >&2
+exit 2

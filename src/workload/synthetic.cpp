@@ -32,7 +32,8 @@ SyntheticTrace::SyntheticTrace(WorkloadSpec spec, u64 seed)
 void SyntheticTrace::enter_phase() noexcept {
   const PhaseSpec& p = phase();
   ws_span_ = std::max<u64>(p.working_set_bytes, 64);
-  hot_span_ = std::max<u64>(static_cast<u64>(p.hot_frac * ws_span_), 64);
+  hot_span_ = std::max<u64>(
+      static_cast<u64>(p.hot_frac * static_cast<double>(ws_span_)), 64);
 }
 
 void SyntheticTrace::advance_phase_if_needed() {

@@ -1,0 +1,150 @@
+// pcs-lint engine tests: runs the linter against the fixture corpus under
+// tools/pcs_lint/fixtures and asserts exact diagnostic IDs and lines,
+// including suppression-annotation handling. The corpus has at least one
+// true positive (bad_tree) and one clean case (good_tree) per rule
+// DET001-DET004, INV001, SCHEMA001.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <string>
+#include <vector>
+
+#include "lint.hpp"
+
+namespace {
+
+using pcs_lint::Diagnostic;
+using pcs_lint::LintOptions;
+using pcs_lint::LintResult;
+
+std::vector<std::string> keys(const LintResult& result) {
+  std::vector<std::string> out;
+  out.reserve(result.diags.size());
+  for (const Diagnostic& d : result.diags) {
+    out.push_back(d.rule + "@" + d.file + ":" + std::to_string(d.line));
+  }
+  return out;
+}
+
+LintResult lint_tree(const std::string& tree) {
+  LintOptions opts;
+  opts.root = std::string(PCS_LINT_FIXTURES) + "/" + tree;
+  return pcs_lint::run_lint(opts);
+}
+
+TEST(PcsLint, BadTreeReportsExactDiagnostics) {
+  const LintResult result = lint_tree("bad_tree");
+  EXPECT_EQ(result.files_scanned, 7);
+  EXPECT_TRUE(result.io_errors.empty());
+  const std::vector<std::string> expected = {
+      "SCHEMA001@TELEMETRY.md:3",          // version mismatch (doc 1, src 2)
+      "SCHEMA001@TELEMETRY.md:6",          // field 'spooky' never emitted
+      "SCHEMA001@TELEMETRY.md:6",          // type 'ghost' never emitted
+      "DET001@src/det001_clock.cpp:6",     // steady_clock
+      "DET001@src/det001_clock.cpp:7",     // system_clock
+      "DET001@src/det001_clock.cpp:10",    // time(nullptr)
+      "DET002@src/det002_unordered.cpp:8",   // range-for over u-map
+      "DET002@src/det002_unordered.cpp:11",  // .begin() on u-set
+      "DET003@src/det003_rng.cpp:6",       // local mt19937
+      "DET003@src/det003_rng.cpp:7",       // random_device
+      "DET003@src/det003_rng.cpp:9",       // std::rand()
+      "DET004@src/det004_atomic.cpp:4",    // atomic<double>
+      "INV001@src/inv001_writer.cpp:7",    // faulty_bits_[set] |=
+      "INV001@src/inv001_writer.cpp:8",    // faulty_bits_.clear()
+      "LINT001@src/lint001_suppress.cpp:5",   // allow() without reason
+      "DET001@src/lint001_suppress.cpp:6",    // ... so nothing suppressed
+      "LINT001@src/lint001_suppress.cpp:8",   // unknown rule ID
+      "DET001@src/lint001_suppress.cpp:9",
+      "LINT001@src/lint001_suppress.cpp:11",  // unknown directive
+      "DET001@src/lint001_suppress.cpp:12",
+      "SCHEMA001@src/telemetry/emit.cpp:8",  // undocumented record type
+      "SCHEMA001@src/telemetry/emit.cpp:9",  // undocumented field
+  };
+  std::vector<std::string> want = expected;
+  std::sort(want.begin(), want.end());
+  std::vector<std::string> got = keys(result);
+  std::sort(got.begin(), got.end());
+  EXPECT_EQ(got, want);
+  for (const Diagnostic& d : result.diags) {
+    EXPECT_FALSE(d.message.empty()) << d.rule << " at " << d.file;
+  }
+}
+
+TEST(PcsLint, GoodTreeIsClean) {
+  // One clean case per rule: quarantined wall clock (file and line scoped),
+  // sorted-drain of an unordered map in a serializing file, Rng facade use
+  // plus raw engines inside src/util/rng.*, atomic<double> inside the
+  // RunAggregator home, faulty-bits writes inside the single-writer set,
+  // and fully documented telemetry emissions.
+  const LintResult result = lint_tree("good_tree");
+  EXPECT_EQ(result.files_scanned, 8);
+  EXPECT_TRUE(result.io_errors.empty());
+  EXPECT_EQ(keys(result), std::vector<std::string>{});
+}
+
+TEST(PcsLint, RuleFilterRestrictsDiagnostics) {
+  LintOptions opts;
+  opts.root = std::string(PCS_LINT_FIXTURES) + "/bad_tree";
+  opts.rules = {"INV001"};
+  const LintResult result = pcs_lint::run_lint(opts);
+  const std::vector<std::string> want = {"INV001@src/inv001_writer.cpp:7",
+                                         "INV001@src/inv001_writer.cpp:8"};
+  EXPECT_EQ(keys(result), want);
+}
+
+TEST(PcsLint, SchemaOnlyModeMatchesLegacyDocsGate) {
+  LintOptions opts;
+  opts.root = std::string(PCS_LINT_FIXTURES) + "/bad_tree";
+  opts.rules = {"SCHEMA001"};
+  const LintResult result = pcs_lint::run_lint(opts);
+  const std::vector<std::string> want = {
+      "SCHEMA001@TELEMETRY.md:3", "SCHEMA001@TELEMETRY.md:6",
+      "SCHEMA001@TELEMETRY.md:6", "SCHEMA001@src/telemetry/emit.cpp:8",
+      "SCHEMA001@src/telemetry/emit.cpp:9"};
+  EXPECT_EQ(keys(result), want);
+}
+
+// Token-level properties of the scanner itself: rule matching must key off
+// identifier tokens, never comment or string-literal text.
+TEST(PcsLint, CommentsAndStringsDoNotTrip) {
+  const char* src =
+      "// chosen over std::mt19937_64 for reproducibility\n"
+      "/* steady_clock would be wrong here */\n"
+      "const char* kName = \"random_device\";\n"
+      "int faulty_bits_doc = 0;  // mentions faulty_bits_ in a comment\n";
+  const pcs_lint::LexResult lx = pcs_lint::lex(src);
+  std::vector<Diagnostic> diags;
+  pcs_lint::lint_tokens("src/sample.cpp", lx, {}, diags);
+  EXPECT_TRUE(diags.empty());
+}
+
+TEST(PcsLint, IncludeDirectivesDoNotLeakHeaderNames) {
+  const pcs_lint::LexResult lx =
+      pcs_lint::lex("#include <ctime>\n#include <random>\nint x = 0;\n");
+  std::vector<Diagnostic> diags;
+  pcs_lint::lint_tokens("src/sample.cpp", lx, {}, diags);
+  EXPECT_TRUE(diags.empty());
+}
+
+TEST(PcsLint, RegistryListsAllRules) {
+  const std::vector<std::string> want = {"DET001", "DET002",    "DET003",
+                                         "DET004", "INV001",    "SCHEMA001",
+                                         "LINT001"};
+  std::vector<std::string> got;
+  for (const pcs_lint::RuleInfo& r : pcs_lint::rule_registry()) {
+    got.push_back(r.id);
+  }
+  EXPECT_EQ(got, want);
+  for (const std::string& id : want) {
+    EXPECT_TRUE(pcs_lint::is_known_rule(id));
+  }
+  EXPECT_FALSE(pcs_lint::is_known_rule("DET999"));
+}
+
+TEST(PcsLint, FormatIsFileLineRuleMessage) {
+  const Diagnostic d{"DET001", "src/a.cpp", 12, "no clocks"};
+  EXPECT_EQ(pcs_lint::format(d), "src/a.cpp:12: DET001: no clocks");
+}
+
+}  // namespace

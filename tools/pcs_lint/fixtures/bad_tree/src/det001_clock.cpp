@@ -1,0 +1,11 @@
+// DET001 true positives: wall-clock reads in replayed code.
+#include <chrono>
+#include <ctime>
+
+double wall_seconds() {
+  const auto t0 = std::chrono::steady_clock::now();
+  const auto t1 = std::chrono::system_clock::now();
+  (void)t0;
+  (void)t1;
+  return static_cast<double>(time(nullptr));
+}

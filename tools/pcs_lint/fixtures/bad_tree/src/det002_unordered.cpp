@@ -1,0 +1,14 @@
+// DET002 true positives: hash-order iteration in a serializing file.
+#include <cstdio>
+#include <unordered_map>
+#include <unordered_set>
+
+void dump(const std::unordered_map<int, int>& hist,
+          std::unordered_set<int>& live) {
+  for (const auto& [key, count] : hist) {
+    std::printf("%d %d\n", key, count);
+  }
+  for (auto it = live.begin(); it != live.end(); ++it) {
+    std::printf("%d\n", *it);
+  }
+}

@@ -1,0 +1,10 @@
+// DET003 true positives: raw randomness outside src/util/rng.*.
+#include <cstdlib>
+#include <random>
+
+int roll() {
+  std::mt19937 gen(123);
+  std::random_device rd;
+  (void)rd;
+  return std::rand() + static_cast<int>(gen());
+}

@@ -1,0 +1,6 @@
+// DET004 true positive: float accumulation through an atomic.
+#include <atomic>
+
+std::atomic<double> g_energy{0.0};
+
+void add_energy(double j) { g_energy = g_energy + j; }

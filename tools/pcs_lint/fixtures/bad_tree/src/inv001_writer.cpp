@@ -1,0 +1,10 @@
+// INV001 true positives: fault-map writes outside the single-writer set.
+#include <vector>
+
+struct RogueLevel {
+  std::vector<unsigned> faulty_bits_;
+  void corrupt(unsigned long set, unsigned bit) {
+    faulty_bits_[set] |= (1u << bit);
+    faulty_bits_.clear();
+  }
+};

@@ -1,0 +1,12 @@
+// LINT001 true positives: malformed suppression annotations. None of them
+// suppress, so each steady_clock read below also reports DET001.
+#include <chrono>
+
+// pcs-lint: allow(DET001)
+auto t0() { return std::chrono::steady_clock::now(); }
+
+// pcs-lint: allow(NOPE123) not a rule we know
+auto t1() { return std::chrono::steady_clock::now(); }
+
+// pcs-lint: deny(DET001) no such directive
+auto t2() { return std::chrono::steady_clock::now(); }

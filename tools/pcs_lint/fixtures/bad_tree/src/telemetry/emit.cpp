@@ -1,0 +1,11 @@
+// SCHEMA001 true positives: emissions that drift from TELEMETRY.md, plus a
+// schema-version constant that disagrees with the documented version.
+#include "telemetry/trace_sink.hpp"
+
+inline constexpr unsigned kTelemetrySchemaVersion = 2;
+
+void emit(pcs::TraceSink& sink) {
+  pcs::TraceRecord rec("phantom_type");
+  rec.field("undocumented_field", 1.0);
+  sink.emit(rec);
+}

@@ -1,0 +1,8 @@
+// INV001 clean case: the mechanism is inside the single-writer set, so
+// fault-map writes here are sanctioned.
+#include <vector>
+
+struct Mechanism {
+  std::vector<unsigned> faulty_bits_;
+  void apply(unsigned long set, unsigned mask) { faulty_bits_[set] = mask; }
+};

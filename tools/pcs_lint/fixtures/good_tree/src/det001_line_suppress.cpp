@@ -1,0 +1,13 @@
+// DET001 clean case: line-scoped suppressions, standalone and trailing,
+// each carrying a written reason.
+#include <chrono>
+
+double stamp() {
+  // pcs-lint: allow(DET001) one-shot profiling read, never serialized
+  const auto t0 = std::chrono::steady_clock::now();
+  const auto t1 =
+      std::chrono::system_clock::now();  // pcs-lint: allow(DET001) profiling
+  (void)t0;
+  (void)t1;
+  return 0.0;
+}

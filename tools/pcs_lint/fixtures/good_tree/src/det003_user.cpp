@@ -1,0 +1,8 @@
+// DET003 clean case: randomness flows through the project Rng facade and
+// the frozen seed-derivation chain.
+#include "util/rng.hpp"
+
+unsigned long long draw(unsigned long long seed) {
+  pcs::Rng rng(pcs::derive_seed(seed, 0, 0));
+  return rng.next_u64();
+}

@@ -1,0 +1,7 @@
+// DET004 clean case: the RunAggregator home may hold atomic float state
+// (it owns the documented deterministic reduction order).
+#include <atomic>
+
+struct RunAggregator {
+  std::atomic<double> wall_ms_total{0.0};
+};

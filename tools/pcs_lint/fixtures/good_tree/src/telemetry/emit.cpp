@@ -1,0 +1,10 @@
+// SCHEMA001 clean case: every emission documented, version in agreement.
+#include "telemetry/trace_sink.hpp"
+
+inline constexpr unsigned kTelemetrySchemaVersion = 1;
+
+void emit(pcs::TraceSink& sink) {
+  pcs::TraceRecord rec("heartbeat");
+  rec.field("cycle", 1).field("vdd", 2);
+  sink.emit(rec);
+}

@@ -1,0 +1,9 @@
+// DET003 clean case: raw engines are allowed in their sanctioned home,
+// src/util/rng.* -- the one place allowed to wrap them.
+#pragma once
+#include <random>
+
+namespace fixture {
+using Engine = std::mt19937_64;
+inline unsigned draw(Engine& e) { return static_cast<unsigned>(e()); }
+}  // namespace fixture

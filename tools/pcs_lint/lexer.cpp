@@ -1,0 +1,220 @@
+#include "lexer.hpp"
+
+#include <array>
+#include <cctype>
+
+namespace pcs_lint {
+namespace {
+
+bool is_ident_start(char c) {
+  return std::isalpha(static_cast<unsigned char>(c)) || c == '_';
+}
+
+bool is_ident_char(char c) {
+  return std::isalnum(static_cast<unsigned char>(c)) || c == '_';
+}
+
+// Multi-character punctuators, longest first so max-munch works (">>=" must
+// win over ">>", which must win over ">"). `::` and `==` being single tokens
+// matters to the rules: INV001 must not mistake `==` for an assignment.
+constexpr std::array<std::string_view, 23> kPuncts = {
+    "<<=", ">>=", "...", "->*", "::", "->", "==", "!=", "<=", ">=", "&&", "||",
+    "<<",  ">>",  "++",  "--",  "+=", "-=", "*=", "/=", "%=", "&=", "|=",
+};
+
+// String-literal prefixes; a trailing 'R' selects a raw string.
+constexpr std::array<std::string_view, 9> kStringPrefixes = {
+    "u8R", "uR", "UR", "LR", "R", "u8", "u", "U", "L",
+};
+
+struct Lexer {
+  std::string_view src;
+  std::size_t pos = 0;
+  int line = 1;
+  bool code_on_line = false;  // a token has been emitted on the current line
+  LexResult out;
+
+  char peek(std::size_t ahead = 0) const {
+    return pos + ahead < src.size() ? src[pos + ahead] : '\0';
+  }
+
+  void bump() {
+    if (src[pos] == '\n') {
+      ++line;
+      code_on_line = false;
+    }
+    ++pos;
+  }
+
+  void emit(TokKind kind, std::string text, int at_line) {
+    out.tokens.push_back({kind, std::move(text), at_line});
+    code_on_line = true;
+  }
+
+  void line_comment() {
+    const int start = line;
+    const bool trailing = code_on_line;
+    pos += 2;
+    const std::size_t begin = pos;
+    while (pos < src.size() && src[pos] != '\n') ++pos;
+    out.comments.push_back(
+        {std::string(src.substr(begin, pos - begin)), start, start, trailing});
+  }
+
+  void block_comment() {
+    const int start = line;
+    const bool trailing = code_on_line;
+    pos += 2;
+    const std::size_t begin = pos;
+    std::size_t end = pos;
+    while (pos < src.size()) {
+      if (peek() == '*' && peek(1) == '/') {
+        end = pos;
+        pos += 2;
+        break;
+      }
+      end = pos + 1;
+      bump();
+    }
+    out.comments.push_back(
+        {std::string(src.substr(begin, end - begin)), start, line, trailing});
+  }
+
+  // Quoted literal with escapes; also used for char literals.
+  void quoted(char quote) {
+    const int start = line;
+    const std::size_t begin = pos + 1;
+    bump();  // opening quote
+    while (pos < src.size() && peek() != quote) {
+      if (peek() == '\\' && pos + 1 < src.size()) bump();
+      bump();
+    }
+    const std::size_t end = pos;
+    if (pos < src.size()) bump();  // closing quote
+    emit(TokKind::kString, std::string(src.substr(begin, end - begin)), start);
+  }
+
+  // R"delim( ... )delim"
+  void raw_string() {
+    const int start = line;
+    bump();  // opening quote
+    std::string delim;
+    while (pos < src.size() && peek() != '(') {
+      delim += peek();
+      bump();
+    }
+    if (pos < src.size()) bump();  // '('
+    const std::string close = ")" + delim + "\"";
+    const std::size_t begin = pos;
+    std::size_t end = src.size();
+    while (pos < src.size()) {
+      if (src.compare(pos, close.size(), close) == 0) {
+        end = pos;
+        for (std::size_t i = 0; i < close.size(); ++i) bump();
+        break;
+      }
+      bump();
+    }
+    emit(TokKind::kString, std::string(src.substr(begin, end - begin)), start);
+  }
+
+  void number() {
+    const int start = line;
+    const std::size_t begin = pos;
+    while (pos < src.size()) {
+      const char c = peek();
+      if (is_ident_char(c) || c == '.') {
+        // Exponent signs: 1e+9, 0x1p-3.
+        if ((c == 'e' || c == 'E' || c == 'p' || c == 'P') &&
+            (peek(1) == '+' || peek(1) == '-')) {
+          ++pos;
+        }
+        ++pos;
+      } else if (c == '\'' && is_ident_char(peek(1))) {
+        pos += 2;  // digit separator, e.g. 20'000
+      } else {
+        break;
+      }
+    }
+    emit(TokKind::kNumber, std::string(src.substr(begin, pos - begin)), start);
+  }
+
+  void ident() {
+    const int start = line;
+    const std::size_t begin = pos;
+    while (pos < src.size() && is_ident_char(peek())) ++pos;
+    std::string text(src.substr(begin, pos - begin));
+    // A string-literal prefix glued to a quote is part of the literal.
+    if (peek() == '"') {
+      for (const auto& p : kStringPrefixes) {
+        if (text == p) {
+          if (text.back() == 'R') {
+            raw_string();
+          } else {
+            quoted('"');
+          }
+          return;
+        }
+      }
+    }
+    emit(TokKind::kIdent, std::move(text), start);
+  }
+
+  void punct() {
+    for (const auto& p : kPuncts) {
+      if (src.compare(pos, p.size(), p) == 0) {
+        emit(TokKind::kPunct, std::string(p), line);
+        pos += p.size();
+        return;
+      }
+    }
+    emit(TokKind::kPunct, std::string(1, peek()), line);
+    ++pos;
+  }
+
+  // `#include <ctime>` must not leak `ctime` as an identifier token (DET001
+  // keys off identifiers); the whole directive line is dropped.
+  bool include_directive() {
+    std::size_t p = pos + 1;
+    while (p < src.size() && (src[p] == ' ' || src[p] == '\t')) ++p;
+    if (src.compare(p, 7, "include") != 0) return false;
+    while (pos < src.size() && peek() != '\n') ++pos;
+    return true;
+  }
+
+  LexResult run() {
+    while (pos < src.size()) {
+      const char c = peek();
+      if (c == '\n' || std::isspace(static_cast<unsigned char>(c))) {
+        bump();
+      } else if (c == '#' && !code_on_line && include_directive()) {
+        // consumed up to end of line
+      } else if (c == '/' && peek(1) == '/') {
+        line_comment();
+      } else if (c == '/' && peek(1) == '*') {
+        block_comment();
+      } else if (c == '"') {
+        quoted('"');
+      } else if (c == '\'') {
+        quoted('\'');
+      } else if (std::isdigit(static_cast<unsigned char>(c))) {
+        number();
+      } else if (is_ident_start(c)) {
+        ident();
+      } else {
+        punct();
+      }
+    }
+    return std::move(out);
+  }
+};
+
+}  // namespace
+
+LexResult lex(std::string_view src) {
+  Lexer lexer;
+  lexer.src = src;
+  return lexer.run();
+}
+
+}  // namespace pcs_lint

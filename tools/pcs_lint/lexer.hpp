@@ -1,0 +1,38 @@
+#pragma once
+
+// Minimal C++ lexer for pcs-lint: splits a translation unit into identifier /
+// string / number / punctuator tokens plus a separate comment stream. Rules
+// match identifier tokens, never comment or string-literal text, so a comment
+// that merely *mentions* std::mt19937 does not trip DET003. Comments are kept
+// because suppression annotations (`// pcs-lint: allow(RULE) reason`) live in
+// them.
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace pcs_lint {
+
+enum class TokKind { kIdent, kString, kNumber, kPunct };
+
+struct Token {
+  TokKind kind;
+  std::string text;  // for kString: the literal's contents, quotes stripped
+  int line = 0;      // 1-based line the token starts on
+};
+
+struct Comment {
+  std::string text;  // without the // or /* */ markers
+  int line = 0;      // line the comment starts on
+  int end_line = 0;  // line the comment ends on (block comments span lines)
+  bool trailing = false;  // true when code precedes the comment on its line
+};
+
+struct LexResult {
+  std::vector<Token> tokens;
+  std::vector<Comment> comments;
+};
+
+LexResult lex(std::string_view src);
+
+}  // namespace pcs_lint

@@ -1,0 +1,134 @@
+#include <algorithm>
+#include <filesystem>
+#include <fstream>
+#include <map>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "lint.hpp"
+
+namespace pcs_lint {
+namespace {
+
+namespace fs = std::filesystem;
+
+// Directories scanned when no explicit file list is given. tools/pcs_lint
+// is deliberately excluded: its fixture corpus contains intentional
+// violations, and its rule tables name the very identifiers they hunt.
+constexpr const char* kDefaultDirs[] = {"src", "bench", "tests", "examples"};
+
+bool lintable_extension(const fs::path& p) {
+  const std::string ext = p.extension().string();
+  return ext == ".cpp" || ext == ".hpp" || ext == ".h" || ext == ".cc" ||
+         ext == ".hh";
+}
+
+bool read_file(const fs::path& p, std::string& out) {
+  std::ifstream in(p, std::ios::binary);
+  if (!in) return false;
+  std::ostringstream ss;
+  ss << in.rdbuf();
+  out = ss.str();
+  return true;
+}
+
+// Forward-slash path relative to root, for stable diagnostics and the
+// path-keyed exemptions.
+std::string rel_path(const fs::path& root, const fs::path& p) {
+  return fs::relative(p, root).generic_string();
+}
+
+}  // namespace
+
+LintResult run_lint(const LintOptions& opts) {
+  LintResult result;
+  const fs::path root(opts.root);
+
+  std::vector<fs::path> files;
+  const bool full_tree = opts.files.empty();
+  if (full_tree) {
+    for (const char* dir : kDefaultDirs) {
+      const fs::path base = root / dir;
+      std::error_code ec;
+      if (!fs::is_directory(base, ec)) continue;
+      for (const auto& entry : fs::recursive_directory_iterator(base, ec)) {
+        if (entry.is_regular_file() && lintable_extension(entry.path())) {
+          files.push_back(entry.path());
+        }
+      }
+    }
+  } else {
+    for (const std::string& f : opts.files) {
+      fs::path p(f);
+      files.push_back(p.is_absolute() ? p : root / p);
+    }
+  }
+  // Deterministic scan order regardless of directory-entry order.
+  std::sort(files.begin(), files.end());
+  files.erase(std::unique(files.begin(), files.end()), files.end());
+
+  const bool want_schema =
+      opts.rules.empty() || opts.rules.count("SCHEMA001") != 0;
+  const bool want_tokens =
+      opts.rules.empty() ||
+      opts.rules.size() > static_cast<std::size_t>(want_schema ? 1 : 0);
+
+  SchemaScan schema_scan;
+  std::map<std::string, Suppressions> suppressions;
+  std::vector<Diagnostic> raw;
+  for (const fs::path& file : files) {
+    std::string content;
+    if (!read_file(file, content)) {
+      result.io_errors.push_back(file.string());
+      continue;
+    }
+    ++result.files_scanned;
+    const std::string rel = rel_path(root, file);
+    const LexResult lx = lex(content);
+    // LINT001 diagnostics about malformed annotations bypass suppression.
+    suppressions.emplace(rel,
+                         collect_suppressions(lx, rel, result.diags));
+    if (want_tokens) lint_tokens(rel, lx, opts.rules, raw);
+    if (want_schema && rel.rfind("src/", 0) == 0) {
+      scan_schema_uses(rel, lx, schema_scan);
+    }
+  }
+
+  if (want_schema) {
+    const fs::path md = root / "TELEMETRY.md";
+    std::string content;
+    if (read_file(md, content)) {
+      check_schema(content, "TELEMETRY.md", schema_scan, full_tree, raw);
+    } else if (full_tree) {
+      result.diags.push_back({"SCHEMA001", "TELEMETRY.md", 1,
+                              "TELEMETRY.md not found under lint root '" +
+                                  opts.root + "'"});
+    }
+  }
+
+  for (Diagnostic& d : raw) {
+    const auto it = suppressions.find(d.file);
+    if (it != suppressions.end() && it->second.active(d.rule, d.line)) {
+      continue;
+    }
+    result.diags.push_back(std::move(d));
+  }
+  // The rule filter is authoritative: annotation-hygiene diagnostics
+  // (LINT001) are also dropped when not selected.
+  if (!opts.rules.empty()) {
+    std::erase_if(result.diags, [&opts](const Diagnostic& d) {
+      return opts.rules.count(d.rule) == 0;
+    });
+  }
+  std::sort(result.diags.begin(), result.diags.end(),
+            [](const Diagnostic& a, const Diagnostic& b) {
+              if (a.file != b.file) return a.file < b.file;
+              if (a.line != b.line) return a.line < b.line;
+              if (a.rule != b.rule) return a.rule < b.rule;
+              return a.message < b.message;
+            });
+  return result;
+}
+
+}  // namespace pcs_lint

@@ -1,0 +1,130 @@
+#pragma once
+
+// pcs-lint: determinism & invariant static analysis for the pcs-cache tree.
+//
+// The tool is a token-level (AST-lite) scanner driven by a rule registry.
+// Each rule has a stable ID, reports `file:line: ID: message` diagnostics,
+// and can be silenced per line or per file with an annotation that must
+// carry a written reason:
+//
+//   // pcs-lint: allow(DET001) reason why this line is exempt
+//   // pcs-lint: allow-file(DET001) reason why the whole file is exempt
+//
+// A trailing annotation suppresses its own line; an annotation on a line of
+// its own suppresses the next line that holds code. Annotations with an
+// unknown rule ID or no reason are themselves diagnosed (LINT001).
+//
+// Rules (see DESIGN.md §10 for the contract they enforce):
+//   DET001    no wall-clock/time sources (system_clock, steady_clock, time(),
+//             ...) -- replay determinism
+//   DET002    no iteration over unordered containers in files that write
+//             trace records or serialized output -- ordering determinism
+//   DET003    no std::rand / random_device / local std::mt19937 outside
+//             src/util/rng.* -- all randomness flows through derive_seed/Rng
+//   DET004    no float/double std::atomic accumulation outside RunAggregator
+//             (src/exp/experiment_runner.*) -- associativity determinism
+//   INV001    faulty-bits writes only in src/core/mechanism.cpp and
+//             src/cache/cache_level.cpp -- single-writer fault inclusion
+//   SCHEMA001 telemetry record/field string literals in src/ must match the
+//             TELEMETRY.md schema appendix, both directions, and the
+//             documented schema version must match kTelemetrySchemaVersion
+//   LINT001   malformed pcs-lint suppression annotation
+
+#include <map>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "lexer.hpp"
+
+namespace pcs_lint {
+
+struct Diagnostic {
+  std::string rule;
+  std::string file;  // path relative to the scan root
+  int line = 0;
+  std::string message;
+};
+
+std::string format(const Diagnostic& d);
+
+struct RuleInfo {
+  const char* id;
+  const char* summary;
+};
+
+const std::vector<RuleInfo>& rule_registry();
+bool is_known_rule(const std::string& id);
+
+// -- Suppressions ----------------------------------------------------------
+
+struct Suppressions {
+  std::set<std::string> file_rules;
+  std::set<std::pair<int, std::string>> line_rules;
+
+  bool active(const std::string& rule, int line) const;
+};
+
+// Parses `pcs-lint:` annotations out of the comment stream. Malformed
+// annotations append LINT001 diagnostics (which are never suppressible).
+Suppressions collect_suppressions(const LexResult& lx, const std::string& file,
+                                  std::vector<Diagnostic>& diags);
+
+// -- Token rules (DET001..DET004, INV001) ----------------------------------
+
+// Runs every token rule in `rules` (empty set = all) over one lexed file.
+// `rel_path` uses forward slashes relative to the scan root; path-based
+// exemptions (rng.*, mechanism.cpp, ...) key off it. Diagnostics are
+// appended unfiltered; the caller applies suppressions.
+void lint_tokens(const std::string& rel_path, const LexResult& lx,
+                 const std::set<std::string>& rules,
+                 std::vector<Diagnostic>& diags);
+
+// -- SCHEMA001 -------------------------------------------------------------
+
+struct SchemaUse {
+  std::string name;
+  std::string file;
+  int line = 0;
+};
+
+// Telemetry emissions accumulated over every scanned src/ file.
+struct SchemaScan {
+  std::vector<SchemaUse> types;   // TraceRecord rec("type") literals
+  std::vector<SchemaUse> fields;  // .field("name") literals
+  long version = -1;              // kTelemetrySchemaVersion = N
+  std::string version_file;
+  int version_line = 0;
+};
+
+void scan_schema_uses(const std::string& rel_path, const LexResult& lx,
+                      SchemaScan& scan);
+
+// Compares the accumulated emissions against the ```schema-fields appendix
+// of TELEMETRY.md (content in `telemetry_md`, reported as `md_rel_path`).
+// `both_directions` additionally reports documented-but-never-emitted
+// entries; it is disabled when only an explicit subset of files was scanned.
+void check_schema(const std::string& telemetry_md,
+                  const std::string& md_rel_path, const SchemaScan& scan,
+                  bool both_directions, std::vector<Diagnostic>& diags);
+
+// -- Driver ----------------------------------------------------------------
+
+struct LintOptions {
+  std::string root = ".";
+  // Explicit files to scan (relative to root). Empty = walk the default
+  // directories (src, bench, tests, examples) under root.
+  std::vector<std::string> files;
+  // Rule filter; empty = all rules.
+  std::set<std::string> rules;
+};
+
+struct LintResult {
+  std::vector<Diagnostic> diags;
+  int files_scanned = 0;
+  std::vector<std::string> io_errors;  // unreadable paths
+};
+
+LintResult run_lint(const LintOptions& opts);
+
+}  // namespace pcs_lint
