@@ -38,7 +38,7 @@ Outcome run(const SystemConfig& cfg, const char* wl, u64 refs,
     dpcs = sys.run(*t, rp);
   }
   return {1.0 - dpcs.total_cache_energy() / base.total_cache_energy(),
-          static_cast<double>(dpcs.cycles) / base.cycles - 1.0,
+          static_cast<double>(dpcs.cycles) / static_cast<double>(base.cycles) - 1.0,
           dpcs.l2.transitions + dpcs.l1d.transitions};
 }
 

@@ -45,7 +45,8 @@ Outcome run(double floor, const char* wl, u64 refs) {
   }
   return {vdd1,
           1.0 - dpcs.total_cache_energy() / base.total_cache_energy(),
-          static_cast<double>(dpcs.cycles) / base.cycles - 1.0};
+          static_cast<double>(dpcs.cycles) / static_cast<double>(base.cycles) -
+              1.0};
 }
 
 }  // namespace

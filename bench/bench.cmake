@@ -24,6 +24,7 @@ set(PCS_BENCHES
 foreach(b IN LISTS PCS_BENCHES)
   add_executable(bench_${b} bench/${b}.cpp)
   target_link_libraries(bench_${b} PRIVATE pcs)
+  target_compile_options(bench_${b} PRIVATE ${PCS_STRICT_WARNINGS})
   set_target_properties(bench_${b} PROPERTIES
     OUTPUT_NAME ${b}
     RUNTIME_OUTPUT_DIRECTORY ${CMAKE_BINARY_DIR}/bench)
@@ -31,6 +32,7 @@ endforeach()
 
 add_executable(bench_micro_simulator bench/micro_simulator.cpp)
 target_link_libraries(bench_micro_simulator PRIVATE pcs benchmark::benchmark)
+target_compile_options(bench_micro_simulator PRIVATE ${PCS_STRICT_WARNINGS})
 set_target_properties(bench_micro_simulator PROPERTIES
   OUTPUT_NAME micro_simulator
   RUNTIME_OUTPUT_DIRECTORY ${CMAKE_BINARY_DIR}/bench)

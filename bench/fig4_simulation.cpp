@@ -109,9 +109,11 @@ void report_config(const SystemConfig& cfg, const std::vector<Row>& rows) {
   double worst_s = 0.0, worst_d = 0.0;
   for (const auto& r : rows) {
     const double os =
-        static_cast<double>(r.spcs.cycles) / r.base.cycles - 1.0;
+        static_cast<double>(r.spcs.cycles) / static_cast<double>(r.base.cycles) -
+        1.0;
     const double od =
-        static_cast<double>(r.dpcs.cycles) / r.base.cycles - 1.0;
+        static_cast<double>(r.dpcs.cycles) / static_cast<double>(r.base.cycles) -
+        1.0;
     ovs.add(os);
     ovd.add(od);
     worst_s = std::max(worst_s, os);

@@ -7,6 +7,7 @@
 // scripts/run_bench.sh snapshots them into BENCH_micro.json per PR.
 #include <benchmark/benchmark.h>
 
+#include <span>
 #include <vector>
 
 #include "cache/cache_level.hpp"
@@ -75,6 +76,46 @@ void BM_FaultFieldSampling(benchmark::State& state) {
 }
 BENCHMARK(BM_FaultFieldSampling)->Arg(1024)->Arg(32768);
 
+// Retained scalar chain, so BENCH_micro.json carries the fast/reference pair
+// the differential tests pin bit-identical (tests/test_fault_equivalence).
+void BM_FaultFieldSamplingReference(benchmark::State& state) {
+  const BerModel ber(Technology::soi45());
+  const u64 blocks = static_cast<u64>(state.range(0));
+  Rng rng(3);
+  for (auto _ : state) {
+    auto field = CellFaultField::sample_fast_reference(ber, blocks, 512, rng);
+    benchmark::DoNotOptimize(field);
+  }
+  state.SetItemsProcessed(state.iterations() * static_cast<i64>(blocks));
+}
+BENCHMARK(BM_FaultFieldSamplingReference)->Arg(32768);
+
+void BM_GaussianBlock(benchmark::State& state) {
+  Rng rng(11);
+  std::vector<double> buf(4096);
+  for (auto _ : state) {
+    rng.gaussian_block(std::span<double>(buf));
+    benchmark::DoNotOptimize(buf.data());
+    benchmark::ClobberMemory();
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<i64>(buf.size()));
+}
+BENCHMARK(BM_GaussianBlock);
+
+void BM_GaussianScalar(benchmark::State& state) {
+  Rng rng(11);
+  std::vector<double> buf(4096);
+  for (auto _ : state) {
+    for (double& v : buf) v = rng.gaussian();
+    benchmark::DoNotOptimize(buf.data());
+    benchmark::ClobberMemory();
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<i64>(buf.size()));
+}
+BENCHMARK(BM_GaussianScalar);
+
 void BM_FaultMapBuild(benchmark::State& state) {
   const BerModel ber(Technology::soi45());
   Rng rng(4);
@@ -85,6 +126,49 @@ void BM_FaultMapBuild(benchmark::State& state) {
   }
 }
 BENCHMARK(BM_FaultMapBuild);
+
+void BM_FaultMapViable(benchmark::State& state) {
+  const BerModel ber(Technology::soi45());
+  Rng rng(4);
+  const auto field = CellFaultField::sample_fast(ber, 32768, 512, rng);
+  const u32 assoc = static_cast<u32>(state.range(0));
+  const FaultMap map({0.58, 0.71, 1.0}, field, assoc);
+  for (auto _ : state) {
+    for (u32 l = 1; l <= map.num_levels(); ++l) {
+      benchmark::DoNotOptimize(map.viable(assoc, l));
+    }
+  }
+}
+BENCHMARK(BM_FaultMapViable)->Arg(16);
+
+void BM_FaultMapViableReference(benchmark::State& state) {
+  const BerModel ber(Technology::soi45());
+  Rng rng(4);
+  const auto field = CellFaultField::sample_fast(ber, 32768, 512, rng);
+  const u32 assoc = static_cast<u32>(state.range(0));
+  const FaultMap map({0.58, 0.71, 1.0}, field, assoc);
+  for (auto _ : state) {
+    for (u32 l = 1; l <= map.num_levels(); ++l) {
+      benchmark::DoNotOptimize(map.viable_reference(assoc, l));
+    }
+  }
+}
+BENCHMARK(BM_FaultMapViableReference)->Arg(16);
+
+void BM_FaultyCountSweep(benchmark::State& state) {
+  const BerModel ber(Technology::soi45());
+  Rng rng(5);
+  auto field = CellFaultField::sample_fast(ber, 32768, 512, rng);
+  if (state.range(0) != 0) field.enable_sweep_index();
+  for (auto _ : state) {
+    u64 total = 0;
+    for (int i = 0; i < 100; ++i) {
+      total += field.faulty_count(0.45 + 0.005 * i);
+    }
+    benchmark::DoNotOptimize(total);
+  }
+}
+BENCHMARK(BM_FaultyCountSweep)->Arg(0)->Arg(1);
 
 void BM_TransitionProcedure(benchmark::State& state) {
   const auto tech = Technology::soi45();
@@ -230,6 +314,18 @@ void BM_MarchSsBist(benchmark::State& state) {
   state.SetItemsProcessed(state.iterations() * 64 * 1024);
 }
 BENCHMARK(BM_MarchSsBist);
+
+void BM_MarchSsBistReference(benchmark::State& state) {
+  const BerModel ber(Technology::soi45());
+  Rng rng(6);
+  SramArraySim sram(ber, 64 * 1024, rng);
+  sram.set_vdd(0.6);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(march_ss_reference(sram));
+  }
+  state.SetItemsProcessed(state.iterations() * 64 * 1024);
+}
+BENCHMARK(BM_MarchSsBistReference);
 
 }  // namespace
 

@@ -42,7 +42,7 @@ int main(int argc, char** argv) {
     // Dense ladder so the per-chip search has 10 mV resolution.
     std::vector<Volt> grid;
     for (Volt v = 0.45; v <= 1.0001; v += 0.01) grid.push_back(v);
-    const FaultMap map(grid, field);
+    const FaultMap map(grid, field, org.assoc);
 
     u32 best_floor = 0, best_spcs = 0;
     for (u32 l = 1; l <= map.num_levels(); ++l) {

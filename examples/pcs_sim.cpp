@@ -187,7 +187,7 @@ int main(int argc, char** argv) {
   if (tracing) {
     auto sink = make_trace_sink(o.trace_path);
     emit_trace_header(*sink);
-    for (const MemoryTraceSink& t : task_traces) t.replay_into(*sink);
+    for (const MemoryTraceSink& tr : task_traces) tr.replay_into(*sink);
   }
 
   for (u64 i = 0; i < kinds.size(); ++i) {

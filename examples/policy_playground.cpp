@@ -64,7 +64,9 @@ int main(int argc, char** argv) {
                  std::to_string(trace.current_phase()),
                  fmt_fixed(l2ctl.current_vdd(), 2) + " V",
                  fmt_pct(l2ctl.cache().effective_capacity(), 1),
-                 da ? fmt_pct(static_cast<double>(dm) / da, 1) : "-",
+                 da ? fmt_pct(static_cast<double>(dm) / static_cast<double>(da),
+                              1)
+                    : "-",
                  std::to_string(l2ctl.pcs_stats().transitions)});
     }
   }

@@ -1,0 +1,73 @@
+#!/usr/bin/env python3
+"""Render a markdown delta table between two BENCH_micro.json snapshots.
+
+Usage: bench_delta.py BASELINE.json CURRENT.json [--summary PATH]
+
+Compares ns/op per benchmark and prints a markdown table (new/removed
+benchmarks are called out). With --summary (or a GITHUB_STEP_SUMMARY
+environment variable) the table is also appended to that file, which is how
+the CI perf-smoke job surfaces the delta against the committed baseline in
+the job summary. Informational only -- CI timing noise on shared runners
+makes a hard gate flaky, so this never exits non-zero on regressions.
+"""
+
+import argparse
+import json
+import os
+import sys
+
+
+def load(path):
+    with open(path) as f:
+        return json.load(f).get("benchmarks", {})
+
+
+def fmt_ns(ns):
+    return f"{ns:,.0f}" if ns >= 100 else f"{ns:.2f}"
+
+
+def main():
+    ap = argparse.ArgumentParser()
+    ap.add_argument("baseline")
+    ap.add_argument("current")
+    ap.add_argument("--summary", default=os.environ.get("GITHUB_STEP_SUMMARY"))
+    args = ap.parse_args()
+
+    base = load(args.baseline)
+    cur = load(args.current)
+
+    lines = [
+        "### Micro-benchmark delta vs committed baseline",
+        "",
+        "| benchmark | baseline ns/op | current ns/op | delta |",
+        "|---|---:|---:|---:|",
+    ]
+    for name in sorted(set(base) | set(cur)):
+        b = base.get(name, {}).get("ns_per_op")
+        c = cur.get(name, {}).get("ns_per_op")
+        if b is None:
+            lines.append(f"| {name} | _new_ | {fmt_ns(c)} | - |")
+        elif c is None:
+            lines.append(f"| {name} | {fmt_ns(b)} | _removed_ | - |")
+        else:
+            pct = (c - b) / b * 100.0
+            marker = " :warning:" if pct > 25.0 else ""
+            lines.append(
+                f"| {name} | {fmt_ns(b)} | {fmt_ns(c)} | "
+                f"{pct:+.1f}%{marker} |"
+            )
+    lines += [
+        "",
+        "_Positive delta = slower than baseline. Informational only; "
+        "shared-runner timing noise makes a hard gate flaky._",
+        "",
+    ]
+    table = "\n".join(lines)
+    print(table)
+    if args.summary:
+        with open(args.summary, "a") as f:
+            f.write(table + "\n")
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -63,7 +63,7 @@ std::unique_ptr<PcsController> PcsSystem::make_controller(
   Rng rng(seed);
   CellFaultField field = CellFaultField::sample_fast(
       ber, lc.org.num_blocks(), lc.org.bits_per_block(), rng);
-  FaultMap map(ladder.levels, field);
+  FaultMap map(ladder.levels, field, lc.org.assoc);
 
   // A 1-in-100 die may violate the set constraint at the lowest levels;
   // DPCS simply never descends below the lowest viable level on that die.

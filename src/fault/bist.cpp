@@ -1,15 +1,52 @@
 #include "fault/bist.hpp"
 
 #include <algorithm>
+#include <bit>
 #include <cmath>
 #include <limits>
+#include <span>
 
 namespace pcs {
 
 SramArraySim::SramArraySim(const BerModel& ber, u64 num_cells, Rng& rng)
-    : fail_voltage_(num_cells), stored_(num_cells, 0) {
+    : fail_voltage_(num_cells),
+      stored_((num_cells + 63) / 64, 0),
+      stuck_mask_((num_cells + 63) / 64, 0),
+      faulty_mask_((num_cells + 63) / 64, 0),
+      tail_mask_(num_cells % 64 == 0 ? 0 : (1ULL << (num_cells % 64)) - 1) {
+  // Same draw sequence as the original per-cell rng.gaussian(mu, sigma) loop
+  // (gaussian_block's contract), batched for throughput.
+  constexpr u64 kChunk = 4096;
+  std::vector<double> buf(std::min(num_cells, kChunk));
+  for (u64 base = 0; base < num_cells; base += kChunk) {
+    const u64 todo = std::min(kChunk, num_cells - base);
+    rng.gaussian_block(std::span<double>(buf.data(), todo), ber.mu(),
+                       ber.sigma());
+    for (u64 i = 0; i < todo; ++i) {
+      fail_voltage_[base + i] = static_cast<float>(buf[i]);
+    }
+  }
   for (u64 i = 0; i < num_cells; ++i) {
-    fail_voltage_[i] = static_cast<float>(rng.gaussian(ber.mu(), ber.sigma()));
+    if (stuck_value(i)) stuck_mask_[i >> 6] |= 1ULL << (i & 63);
+  }
+  rebuild_faulty_mask();
+}
+
+void SramArraySim::set_vdd(Volt vdd) noexcept {
+  vdd_ = vdd;
+  rebuild_faulty_mask();
+}
+
+void SramArraySim::rebuild_faulty_mask() noexcept {
+  const u64 n = fail_voltage_.size();
+  for (u64 w = 0; w < faulty_mask_.size(); ++w) {
+    const u64 base = w * 64;
+    const u64 lim = std::min<u64>(64, n - base);
+    u64 m = 0;
+    for (u64 b = 0; b < lim; ++b) {
+      m |= vdd_ <= fail_voltage_[base + b] ? 1ULL << b : 0ULL;
+    }
+    faulty_mask_[w] = m;
   }
 }
 
@@ -25,12 +62,18 @@ bool SramArraySim::stuck_value(u64 cell) const noexcept {
 }
 
 void SramArraySim::write(u64 cell, bool value) noexcept {
-  if (!truly_faulty(cell)) stored_[cell] = value ? 1 : 0;
+  if (truly_faulty(cell)) return;
+  const u64 bit = 1ULL << (cell & 63);
+  if (value) {
+    stored_[cell >> 6] |= bit;
+  } else {
+    stored_[cell >> 6] &= ~bit;
+  }
 }
 
 bool SramArraySim::read(u64 cell) const noexcept {
   if (truly_faulty(cell)) return stuck_value(cell);
-  return stored_[cell] != 0;
+  return ((stored_[cell >> 6] >> (cell & 63)) & 1) != 0;
 }
 
 namespace {
@@ -46,10 +89,8 @@ struct MarchElement {
   std::vector<MarchOp> ops;
 };
 
-}  // namespace
-
-BistResult march_ss(SramArraySim& sram) {
-  const std::vector<MarchElement> elements = {
+const std::vector<MarchElement>& march_ss_elements() {
+  static const std::vector<MarchElement> elements = {
       {+1, {{false, false}}},
       {+1, {{true, false}, {true, false}, {false, false}, {true, false}, {false, true}}},
       {+1, {{true, true}, {true, true}, {false, true}, {true, true}, {false, false}}},
@@ -57,12 +98,55 @@ BistResult march_ss(SramArraySim& sram) {
       {-1, {{true, true}, {true, true}, {false, true}, {true, true}, {false, false}}},
       {+1, {{true, false}}},
   };
+  return elements;
+}
 
+}  // namespace
+
+BistResult march_ss(SramArraySim& sram) {
+  // Word-parallel evaluation of the element table. The fault model has no
+  // inter-cell coupling (each cell's read/write behaviour depends only on its
+  // own state), so the per-cell op sequence -- which both walks preserve --
+  // fully determines every cell's outcome, and neither the element's address
+  // order (elem.dir) nor interleaving across cells can change the result.
+  // That licenses running each op across all words before the next op.
+  BistResult result;
+  const u64 n = sram.num_cells();
+  const u64 nw = sram.num_words();
+  std::vector<u64> flagged(nw, 0);
+
+  for (const auto& elem : march_ss_elements()) {
+    for (const auto& op : elem.ops) {
+      if (op.is_read) {
+        result.reads += n;
+        const u64 expect = op.value ? ~0ULL : 0ULL;
+        for (u64 w = 0; w < nw; ++w) {
+          flagged[w] |= (sram.read_word(w) ^ expect) & sram.valid_mask(w);
+        }
+      } else {
+        result.writes += n;
+        for (u64 w = 0; w < nw; ++w) sram.write_word(w, op.value);
+      }
+    }
+  }
+
+  for (u64 w = 0; w < nw; ++w) {
+    u64 f = flagged[w];
+    while (f != 0) {
+      result.faulty_cells.push_back(
+          w * 64 + static_cast<u64>(std::countr_zero(f)));
+      f &= f - 1;
+    }
+  }
+  return result;
+}
+
+BistResult march_ss_reference(SramArraySim& sram) {
   BistResult result;
   std::vector<u8> flagged(sram.num_cells(), 0);
   const u64 n = sram.num_cells();
 
-  for (const auto& elem : elements) {
+  for (const auto& elem : march_ss_elements()) {
     for (u64 k = 0; k < n; ++k) {
       const u64 cell = elem.dir > 0 ? k : n - 1 - k;
       for (const auto& op : elem.ops) {

@@ -7,6 +7,13 @@
 // sequence and reports every cell that produced a wrong read. Voltage-induced
 // noise-margin failures are modelled as stuck-at faults (value deterministic
 // per cell), which March SS detects completely.
+//
+// Storage is packed 64 cells per u64 word with precomputed per-word faulty
+// and stuck-value masks, so march_ss() applies each element operation as a
+// word-wide mask expression (~64x fewer iterations than the per-cell walk,
+// kept as march_ss_reference) while reporting identical fault addresses and
+// op counts.  The per-cell model has no inter-cell coupling, so element
+// address order cannot affect the outcome; see DESIGN.md section 11.
 #pragma once
 
 #include <vector>
@@ -27,7 +34,9 @@ class SramArraySim {
   SramArraySim(const BerModel& ber, u64 num_cells, Rng& rng);
 
   /// Sets the array supply; faulty cells (vdd <= Vf) become stuck.
-  void set_vdd(Volt vdd) noexcept { vdd_ = vdd; }
+  /// Rebuilds the per-word faulty masks (O(cells), amortized over the
+  /// O(cells) March pass that follows).
+  void set_vdd(Volt vdd) noexcept;
   Volt vdd() const noexcept { return vdd_; }
 
   u64 num_cells() const noexcept { return fail_voltage_.size(); }
@@ -43,11 +52,39 @@ class SramArraySim {
 
   Volt fail_voltage(u64 cell) const noexcept { return fail_voltage_[cell]; }
 
+  // -- word-wide interface (64 cells per word, cell = word*64 + bit) --
+
+  u64 num_words() const noexcept { return stored_.size(); }
+
+  /// Bits beyond num_cells() in the last word are zero here.
+  u64 valid_mask(u64 word) const noexcept {
+    return word + 1 < stored_.size() || tail_mask_ == 0 ? ~0ULL : tail_mask_;
+  }
+
+  /// Word-wide read: stored bits where the cell works, stuck values where it
+  /// is faulty at the current supply.  Bit-for-bit equal to 64 read() calls.
+  u64 read_word(u64 word) const noexcept {
+    return (stored_[word] & ~faulty_mask_[word]) |
+           (stuck_mask_[word] & faulty_mask_[word]);
+  }
+
+  /// Word-wide fill: writes `value` to every working cell of the word,
+  /// leaving stuck cells untouched.  Equal to 64 write() calls.
+  void write_word(u64 word, bool value) noexcept {
+    const u64 v = value ? ~0ULL : 0ULL;
+    stored_[word] =
+        (stored_[word] & faulty_mask_[word]) | (v & ~faulty_mask_[word]);
+  }
+
  private:
   bool stuck_value(u64 cell) const noexcept;
+  void rebuild_faulty_mask() noexcept;
 
   std::vector<float> fail_voltage_;
-  std::vector<u8> stored_;
+  std::vector<u64> stored_;       // packed, bit i of word w = cell w*64+i
+  std::vector<u64> stuck_mask_;   // hashed per-cell stuck polarity
+  std::vector<u64> faulty_mask_;  // vdd_ <= Vf, rebuilt by set_vdd
+  u64 tail_mask_ = 0;             // valid bits of the last word (0 = full)
   Volt vdd_ = 1.0;
 };
 
@@ -61,7 +98,13 @@ struct BistResult {
 /// Runs March SS {up(w0); up(r0,r0,w0,r0,w1); up(r1,r1,w1,r1,w0);
 /// down(r0,r0,w0,r0,w1); down(r1,r1,w1,r1,w0); updown(r0)} at the array's
 /// current supply voltage and returns every cell with a miscompare.
+/// Word-parallel; identical output (addresses and op counts) to
+/// march_ss_reference.
 BistResult march_ss(SramArraySim& sram);
+
+/// The original cell-at-a-time March SS walk, kept as the executable spec
+/// march_ss is differentially tested against (tests/test_fault_equivalence).
+BistResult march_ss_reference(SramArraySim& sram);
 
 /// Convenience: characterizes a whole data array block-by-block. Runs March
 /// SS at each voltage in `vdds` and returns, per block, the highest voltage

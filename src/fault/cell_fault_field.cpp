@@ -2,20 +2,26 @@
 
 #include <algorithm>
 #include <cmath>
+#include <span>
 
 #include "util/mathx.hpp"
+#include "util/vecmath.hpp"
 
 namespace pcs {
 
 CellFaultField CellFaultField::sample_exact(const BerModel& ber,
                                             u64 num_blocks, u32 bits_per_block,
                                             Rng& rng) {
+  // Batched form of sample_exact_reference: gaussian_block draws the exact
+  // same sequence as per-cell gaussian(mu, sigma) calls (including the
+  // cached Box-Muller deviate carrying across block boundaries), and the
+  // running max over the buffer is the same left-to-right std::max fold.
   std::vector<float> vf(num_blocks);
+  std::vector<double> cells(bits_per_block);
   for (u64 b = 0; b < num_blocks; ++b) {
+    rng.gaussian_block(std::span<double>(cells), ber.mu(), ber.sigma());
     double max_vf = -1e9;
-    for (u32 i = 0; i < bits_per_block; ++i) {
-      max_vf = std::max(max_vf, rng.gaussian(ber.mu(), ber.sigma()));
-    }
+    for (double v : cells) max_vf = std::max(max_vf, v);
     vf[b] = static_cast<float>(max_vf);
   }
   return CellFaultField(std::move(vf), bits_per_block);
@@ -26,9 +32,50 @@ CellFaultField CellFaultField::sample_fast(const BerModel& ber, u64 num_blocks,
   // If M = max of n iid N(mu, sigma), then P[M <= x] = Phi(z)^n with
   // z = (x - mu)/sigma. Sampling u ~ U(0,1) and solving Phi(z)^n = u gives
   // the tail probability p = Q(z) = 1 - u^(1/n), computed stably via expm1.
+  //
+  // The uniforms are drawn in blocks (same sequence as per-block uniform()
+  // calls) and the log/expm1/inv_q chain runs over the contiguous buffer
+  // (vecmath::sample_vf_block, bit-identical to the scalar chain in
+  // sample_fast_reference).
+  std::vector<float> vf(num_blocks);
+  const double n = static_cast<double>(bits_per_block);
+  constexpr u64 kChunk = 4096;
+  std::vector<double> u(std::min(num_blocks, kChunk));
+  for (u64 base = 0; base < num_blocks; base += kChunk) {
+    const u64 todo = std::min(kChunk, num_blocks - base);
+    rng.uniform_block(std::span<double>(u.data(), todo));
+    vecmath::sample_vf_block(u.data(), todo, n, ber.mu(), ber.sigma(),
+                             vf.data() + base);
+  }
+  return CellFaultField(std::move(vf), bits_per_block);
+}
+
+CellFaultField CellFaultField::sample_exact_reference(const BerModel& ber,
+                                                      u64 num_blocks,
+                                                      u32 bits_per_block,
+                                                      Rng& rng) {
+  std::vector<float> vf(num_blocks);
+  for (u64 b = 0; b < num_blocks; ++b) {
+    double max_vf = -1e9;
+    for (u32 i = 0; i < bits_per_block; ++i) {
+      max_vf = std::max(
+          max_vf,
+          // pcs-lint: allow(DET005) reference impl: scalar draws are the spec
+          rng.gaussian(ber.mu(), ber.sigma()));
+    }
+    vf[b] = static_cast<float>(max_vf);
+  }
+  return CellFaultField(std::move(vf), bits_per_block);
+}
+
+CellFaultField CellFaultField::sample_fast_reference(const BerModel& ber,
+                                                     u64 num_blocks,
+                                                     u32 bits_per_block,
+                                                     Rng& rng) {
   std::vector<float> vf(num_blocks);
   const double n = static_cast<double>(bits_per_block);
   for (u64 b = 0; b < num_blocks; ++b) {
+    // pcs-lint: allow(DET005) reference impl: scalar draws are the spec
     double u = rng.uniform();
     if (u <= 0.0) u = 1e-300;
     const double p = -std::expm1(std::log(u) / n);
@@ -38,7 +85,20 @@ CellFaultField CellFaultField::sample_fast(const BerModel& ber, u64 num_blocks,
   return CellFaultField(std::move(vf), bits_per_block);
 }
 
+void CellFaultField::enable_sweep_index() {
+  if (!sorted_vf_.empty() || vf_.empty()) return;
+  sorted_vf_ = vf_;
+  std::sort(sorted_vf_.begin(), sorted_vf_.end());
+}
+
 u64 CellFaultField::faulty_count(Volt vdd) const noexcept {
+  if (!sorted_vf_.empty()) {
+    // Count of blocks with vdd <= vf == count of sorted entries >= vdd.
+    const auto it = std::lower_bound(
+        sorted_vf_.begin(), sorted_vf_.end(), vdd,
+        [](float v, Volt key) { return static_cast<Volt>(v) < key; });
+    return static_cast<u64>(sorted_vf_.end() - it);
+  }
   u64 n = 0;
   for (float v : vf_) {
     if (vdd <= v) ++n;

@@ -21,14 +21,28 @@ class CellFaultField {
  public:
   /// Exact sampling: draws every cell's failure voltage and takes the block
   /// max. O(blocks * bits_per_block); use for small arrays and validation.
+  /// Draws Gaussians in blocks (Rng::gaussian_block); bit-identical to
+  /// sample_exact_reference.
   static CellFaultField sample_exact(const BerModel& ber, u64 num_blocks,
                                      u32 bits_per_block, Rng& rng);
 
   /// Order-statistic sampling: draws each block's max directly from the
   /// distribution of the maximum of `bits_per_block` Gaussians. O(blocks);
   /// statistically identical to sample_exact (verified by tests).
+  /// Runs the log/expm1/inv_q_function chain over contiguous draw blocks
+  /// (vecmath::sample_vf_block); bit-identical to sample_fast_reference.
   static CellFaultField sample_fast(const BerModel& ber, u64 num_blocks,
                                     u32 bits_per_block, Rng& rng);
+
+  /// Reference implementations: the original scalar per-draw loops, kept as
+  /// the spec the batched paths are differentially tested against
+  /// (tests/test_fault_equivalence).  Same draw sequence, same bits.
+  static CellFaultField sample_exact_reference(const BerModel& ber,
+                                               u64 num_blocks,
+                                               u32 bits_per_block, Rng& rng);
+  static CellFaultField sample_fast_reference(const BerModel& ber,
+                                              u64 num_blocks,
+                                              u32 bits_per_block, Rng& rng);
 
   u64 num_blocks() const noexcept { return vf_.size(); }
   u32 bits_per_block() const noexcept { return bits_per_block_; }
@@ -41,8 +55,15 @@ class CellFaultField {
     return vdd <= vf_[block];
   }
 
-  /// Number of faulty blocks at `vdd`.
+  /// Number of faulty blocks at `vdd`.  O(blocks) by default; after
+  /// enable_sweep_index() it is O(log blocks) per query.
   u64 faulty_count(Volt vdd) const noexcept;
+
+  /// Builds a sorted copy of the failure voltages so repeated
+  /// faulty_count()/effective_capacity() sweeps (chip binning, yield curves)
+  /// answer via binary search instead of a full scan.  Call once after
+  /// construction, before any concurrent sharing; idempotent.
+  void enable_sweep_index();
 
   /// Fraction of non-faulty blocks at `vdd` (measured effective capacity).
   double effective_capacity(Volt vdd) const noexcept;
@@ -53,6 +74,7 @@ class CellFaultField {
 
  private:
   std::vector<float> vf_;
+  std::vector<float> sorted_vf_;  // ascending; empty until enable_sweep_index
   u32 bits_per_block_;
 };
 

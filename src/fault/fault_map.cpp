@@ -6,8 +6,8 @@
 namespace pcs {
 
 FaultMap::FaultMap(std::vector<Volt> levels_ascending,
-                   const CellFaultField& field)
-    : levels_(std::move(levels_ascending)) {
+                   const CellFaultField& field, u32 assoc_hint)
+    : levels_(std::move(levels_ascending)), assoc_hint_(assoc_hint) {
   code_.resize(field.num_blocks());
   std::vector<float> vf(field.num_blocks());
   for (u64 b = 0; b < field.num_blocks(); ++b) {
@@ -17,8 +17,8 @@ FaultMap::FaultMap(std::vector<Volt> levels_ascending,
 }
 
 FaultMap::FaultMap(std::vector<Volt> levels_ascending,
-                   std::span<const float> block_fail_voltages)
-    : levels_(std::move(levels_ascending)) {
+                   std::span<const float> block_fail_voltages, u32 assoc_hint)
+    : levels_(std::move(levels_ascending)), assoc_hint_(assoc_hint) {
   code_.resize(block_fail_voltages.size());
   build_from_voltages(block_fail_voltages);
 }
@@ -30,22 +30,41 @@ void FaultMap::build_from_voltages(std::span<const float> vf) {
     throw std::invalid_argument("levels must be strictly ascending");
   }
   const u32 n = num_levels();
-  faulty_at_level_.assign(n, 0);
+  // Compare in float so a measured failure voltage exactly at a level
+  // voltage counts as faulty there (cells fail at V <= Vf).  The thresholds
+  // ascend, so "count of levels <= vf" equals the length of the true prefix
+  // the reference level loop walked -- computed branchlessly here.
+  std::vector<float> thr(n);
+  for (u32 l = 0; l < n; ++l) thr[l] = static_cast<float>(levels_[l]);
+  std::vector<u64> code_hist(static_cast<std::size_t>(n) + 1, 0);
   for (u64 b = 0; b < vf.size(); ++b) {
-    // Code = number of levels whose voltage is <= the block's failure
-    // voltage; by inclusion those are exactly levels 1..code.
-    u8 c = 0;
-    for (u32 l = 0; l < n; ++l) {
-      // Compare in float so a measured failure voltage exactly at a level
-      // voltage counts as faulty there (cells fail at V <= Vf).
-      if (static_cast<float>(levels_[l]) <= vf[b]) {
-        c = static_cast<u8>(l + 1);
-      } else {
-        break;
+    const float v = vf[b];
+    u32 c = 0;
+    for (u32 l = 0; l < n; ++l) c += thr[l] <= v ? 1u : 0u;
+    code_[b] = static_cast<u8>(c);
+    ++code_hist[c];
+  }
+  // faulty_count(L) = #blocks with code >= L: one suffix sum over the code
+  // histogram instead of up-to-N increments per block.
+  faulty_at_level_.assign(n, 0);
+  u64 running = 0;
+  for (u32 l = n; l >= 1; --l) {
+    running += code_hist[l];
+    faulty_at_level_[l - 1] = running;
+  }
+  // Viability summary for the hinted associativity: a set is all-faulty at
+  // level L iff L <= min(code in set), so max-of-set-minima decides
+  // viability for every level at once.
+  max_min_code_ = 0;
+  if (assoc_hint_ > 0 && !code_.empty()) {
+    const u64 sets = code_.size() / assoc_hint_;
+    for (u64 s = 0; s < sets; ++s) {
+      u8 min_code = 255;
+      for (u32 w = 0; w < assoc_hint_; ++w) {
+        min_code = std::min(min_code, code_[s * assoc_hint_ + w]);
       }
+      max_min_code_ = std::max(max_min_code_, min_code);
     }
-    code_[b] = c;
-    for (u32 l = 1; l <= c; ++l) ++faulty_at_level_[l - 1];
   }
 }
 
@@ -60,6 +79,11 @@ double FaultMap::effective_capacity(u32 level) const noexcept {
 }
 
 bool FaultMap::viable(u32 assoc, u32 level) const noexcept {
+  if (assoc != 0 && assoc == assoc_hint_) return level > max_min_code_;
+  return viable_reference(assoc, level);
+}
+
+bool FaultMap::viable_reference(u32 assoc, u32 level) const noexcept {
   const u64 sets = code_.size() / assoc;
   for (u64 s = 0; s < sets; ++s) {
     bool any_good = false;

@@ -26,11 +26,18 @@ class FaultMap {
   /// Builds from a manufactured fault field: block b is faulty at level L
   /// iff levels[L-1] <= field.block_fail_voltage(b).
   /// `levels_ascending` must be strictly ascending voltages.
-  FaultMap(std::vector<Volt> levels_ascending, const CellFaultField& field);
+  ///
+  /// `assoc_hint` (optional): the set associativity the map will be queried
+  /// with.  When non-zero, the build precomputes each set's minimum code and
+  /// the maximum of those minima, collapsing viable(assoc_hint, level) to a
+  /// single comparison and lowest_level_with_capacity to O(levels).  Queries
+  /// with a different assoc fall back to the reference scan.
+  FaultMap(std::vector<Volt> levels_ascending, const CellFaultField& field,
+           u32 assoc_hint = 0);
 
   /// Builds from measured per-block failure voltages (e.g. BIST output).
   FaultMap(std::vector<Volt> levels_ascending,
-           std::span<const float> block_fail_voltages);
+           std::span<const float> block_fail_voltages, u32 assoc_hint = 0);
 
   u32 num_levels() const noexcept { return static_cast<u32>(levels_.size()); }
   u64 num_blocks() const noexcept { return code_.size(); }
@@ -54,7 +61,19 @@ class FaultMap {
   /// True if, with blocks laid out set-major (block = set*assoc + way),
   /// every set keeps at least one non-faulty block at `level` -- the
   /// viability constraint of the mechanism (section 3.1).
+  ///
+  /// O(1) when `assoc` matches the construction-time assoc_hint: a set is
+  /// all-faulty at `level` iff level <= min(code in set), so the map is
+  /// viable iff level > max over sets of that minimum (fault inclusion makes
+  /// this exact, see DESIGN.md section 11).  Otherwise O(sets * assoc).
   bool viable(u32 assoc, u32 level) const noexcept;
+
+  /// The original per-set scan, kept as the executable spec viable() is
+  /// differentially tested against (tests/test_fault_equivalence).
+  bool viable_reference(u32 assoc, u32 level) const noexcept;
+
+  /// Associativity the O(1) viability summary was built for (0 = none).
+  u32 assoc_hint() const noexcept { return assoc_hint_; }
 
   /// Lowest viable level with effective capacity >= `min_capacity`
   /// (0 if none) -- the SPCS selection applied to one manufactured chip.
@@ -72,6 +91,8 @@ class FaultMap {
   std::vector<Volt> levels_;
   std::vector<u8> code_;
   std::vector<u64> faulty_at_level_;  // index L-1 -> count of code >= L
+  u32 assoc_hint_ = 0;
+  u8 max_min_code_ = 0;  // max over sets of min(code in set), for assoc_hint_
 };
 
 }  // namespace pcs

@@ -82,7 +82,7 @@ std::unique_ptr<PcsController> MultiPcsSystem::make_controller(
   Rng rng(seed);
   CellFaultField field = CellFaultField::sample_fast(
       ber, lc.org.num_blocks(), lc.org.bits_per_block(), rng);
-  FaultMap map(ladder.levels, field);
+  FaultMap map(ladder.levels, field, lc.org.assoc);
 
   u32 min_viable = ladder.spcs_level;
   for (u32 lvl = 1; lvl <= ladder.spcs_level; ++lvl) {

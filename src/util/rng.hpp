@@ -7,6 +7,7 @@
 
 #include <array>
 #include <cstddef>
+#include <span>
 
 #include "util/types.hpp"
 
@@ -74,6 +75,21 @@ class Rng {
 
   /// Normal deviate with the given mean and standard deviation.
   double gaussian(double mean, double stddev) noexcept;
+
+  /// Fills `out` with exactly the values `out.size()` consecutive uniform()
+  /// calls would produce -- the draw sequence and results are bit-identical;
+  /// only the call overhead is amortized.
+  void uniform_block(std::span<double> out) noexcept;
+
+  /// Fills `out` with exactly the values `out.size()` consecutive gaussian()
+  /// calls would produce, including consuming/leaving the cached second
+  /// Box-Muller deviate the same way the scalar loop would.  The log() calls
+  /// are batched through vecmath (bit-identical; see vecmath.hpp).
+  void gaussian_block(std::span<double> out) noexcept;
+
+  /// Block version of gaussian(mean, stddev); same equivalence guarantee.
+  void gaussian_block(std::span<double> out, double mean,
+                      double stddev) noexcept;
 
   /// Derives an independent child generator; `salt` decorrelates children
   /// created from the same parent state.

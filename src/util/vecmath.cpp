@@ -1,0 +1,83 @@
+#include "util/vecmath.hpp"
+
+#include <cmath>
+#include <mutex>
+
+#include "util/mathx.hpp"
+#include "util/vecmath_detail.hpp"
+
+namespace pcs::vecmath_detail {
+
+namespace {
+
+void exp_scalar(const double* in, double* out, std::size_t count) {
+  for (std::size_t i = 0; i < count; ++i) out[i] = std::exp(in[i]);
+}
+void log_scalar(const double* in, double* out, std::size_t count) {
+  for (std::size_t i = 0; i < count; ++i) out[i] = std::log(in[i]);
+}
+void expm1_scalar(const double* in, double* out, std::size_t count) {
+  for (std::size_t i = 0; i < count; ++i) out[i] = std::expm1(in[i]);
+}
+void erfc_scalar(const double* in, double* out, std::size_t count) {
+  for (std::size_t i = 0; i < count; ++i) out[i] = std::erfc(in[i]);
+}
+
+void sample_vf_scalar(const double* u_draws, std::size_t count,
+                      double bits_per_block, double mu, double sigma,
+                      float* vf_out) {
+  for (std::size_t i = 0; i < count; ++i)
+    vf_out[i] = sample_vf_one(u_draws[i], bits_per_block, mu, sigma);
+}
+
+const Kernels& kernels() {
+  static const Kernels k = [] {
+    Kernels out{exp_scalar, log_scalar, expm1_scalar, erfc_scalar,
+                sample_vf_scalar, false};
+#if defined(PCS_HAVE_VECMATH_AVX2)
+    // The AVX2 TU is compiled with -mavx2 -mfma; only enter it on capable
+    // hardware.  (This TU is baseline x86-64, so the check itself is safe.)
+    if (__builtin_cpu_supports("avx2") && __builtin_cpu_supports("fma"))
+      try_init_avx2(out);
+#endif
+    return out;
+  }();
+  return k;
+}
+
+}  // namespace
+
+float sample_vf_one(double u, double bits_per_block, double mu, double sigma) {
+  if (u <= 0.0) u = 1e-300;
+  const double p = -std::expm1(std::log(u) / bits_per_block);
+  const double z = inv_q_function(p);
+  return static_cast<float>(mu + sigma * z);
+}
+
+}  // namespace pcs::vecmath_detail
+
+namespace pcs::vecmath {
+
+using vecmath_detail::kernels;
+
+bool fast_math_active() { return kernels().active; }
+
+void exp_block(const double* in, double* out, std::size_t count) {
+  kernels().exp_b(in, out, count);
+}
+void log_block(const double* in, double* out, std::size_t count) {
+  kernels().log_b(in, out, count);
+}
+void expm1_block(const double* in, double* out, std::size_t count) {
+  kernels().expm1_b(in, out, count);
+}
+void erfc_block(const double* in, double* out, std::size_t count) {
+  kernels().erfc_b(in, out, count);
+}
+void sample_vf_block(const double* u_draws, std::size_t count,
+                     double bits_per_block, double mu, double sigma,
+                     float* vf_out) {
+  kernels().sample(u_draws, count, bits_per_block, mu, sigma, vf_out);
+}
+
+}  // namespace pcs::vecmath

@@ -1,0 +1,854 @@
+// AVX2 backend for pcs::vecmath.
+//
+// Strategy (see DESIGN.md §11): the scalar hot chain in
+// CellFaultField::sample_fast spends nearly all of its time inside four
+// libm entry points (exp, log, expm1, erfc).  Auto-vectorization cannot
+// touch those calls, and any "approximately equal" vector math library
+// would break the repo's byte-stability contract.  Instead, this file
+// re-implements the *exact* glibc algorithms those entry points dispatch
+// to on x86-64 (the FMA variants of exp/log/expm1 and the classic
+// fdlibm-derived erfc), as 4-lane AVX2 kernels:
+//
+//  * The polynomial coefficients and lookup tables are not compiled in.
+//    At startup we locate them inside the running libm's mapped image
+//    (/proc/self/maps) by numeric signature -- so the kernels use the very
+//    same table bits the scalar calls use.
+//  * Every kernel is then verified bit-for-bit against its std::
+//    counterpart over a dense domain sweep.  Any mismatch (older glibc,
+//    different dispatch, layout change) disables the whole backend and
+//    vecmath falls back to scalar loops.
+//  * Each kernel carries an input "envelope" (the argument range its
+//    transcription covers).  Out-of-envelope lanes are flagged in a poison
+//    mask and recomputed with the scalar libm call, so results are
+//    identical even for inputs the vector path does not handle.
+//
+// FP discipline: this TU is compiled with -ffp-contract=off and uses only
+// explicit intrinsics, so the compiler cannot fuse or reassociate anything.
+// FMA appears exactly where the glibc FMA builds use it; everything else is
+// plain IEEE mul/add/sub/div/sqrt, which vector lanes evaluate bit-
+// identically to scalar.
+#include "util/vecmath_detail.hpp"
+
+#if defined(PCS_HAVE_VECMATH_AVX2)
+
+#include <immintrin.h>
+
+#include <cinttypes>
+#include <cmath>
+#include <cstdint>
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <string>
+#include <vector>
+
+namespace pcs::vecmath_detail {
+namespace {
+
+using std::size_t;
+using std::uint64_t;
+
+// ---------------------------------------------------------------------------
+// Discovered libm data
+// ---------------------------------------------------------------------------
+
+struct LibmData {
+  // __exp_data (FMA build): 128 pairs {tail, sbits} + header constants.
+  const double* exp_tab = nullptr;
+  double inv_ln2_n = 0, exp_shift = 0, neg_ln2_hi_n = 0, neg_ln2_lo_n = 0;
+  double exp_c2 = 0, exp_c3 = 0, exp_c4 = 0, exp_c5 = 0;
+
+  // __log_data (FMA build): 128 pairs {invc, logc} + header constants.
+  const double* log_tab = nullptr;
+  double ln2_hi = 0, ln2_lo = 0;
+  double log_b[5] = {0};   // poly for the table path
+  double log_a[11] = {0};  // poly for the near-1 path (log_a[0] == -0.5)
+
+  // expm1 |x| < 0.5*ln2 rational coefficients.
+  double q1 = 0, q2 = 0, q3 = 0, q4 = 0, q5 = 0;
+
+  // erfc rational coefficients for 1.25 <= x < 1/0.35 (ra/sa) and
+  // 1/0.35 <= x < 28 (rb/sb), stored exactly as the compiled code stores
+  // them (the R-polynomials keep some coefficients negated because the
+  // machine code uses subtraction at those sites).
+  double ra_c1 = 0, ra_c0n = 0, ra_c3 = 0, ra_c2n = 0;
+  double ra_c5 = 0, ra_c4n = 0, ra_c7 = 0, ra_c6n = 0;
+  double sa1 = 0, sa2 = 0, sa3 = 0, sa4 = 0, sa5 = 0, sa6 = 0, sa7 = 0,
+         sa8 = 0;
+  double rb_c1 = 0, rb_c0n = 0, rb_c3 = 0, rb_c2n = 0;
+  double rb_c5 = 0, rb_c4n = 0, rb_c6 = 0;
+  double sb1 = 0, sb2 = 0, sb3 = 0, sb4 = 0, sb5 = 0, sb6 = 0, sb7 = 0;
+};
+
+LibmData g_libm;  // written once under the vecmath init magic-static
+
+inline uint64_t as_u64(double x) {
+  uint64_t u;
+  std::memcpy(&u, &x, sizeof(u));
+  return u;
+}
+inline double as_f64(uint64_t u) {
+  double x;
+  std::memcpy(&x, &u, sizeof(x));
+  return x;
+}
+
+struct Region {
+  const char* lo;
+  const char* hi;
+};
+
+// Readable mapped segments of the process's libm image.
+std::vector<Region> libm_regions() {
+  std::vector<Region> out;
+  std::ifstream maps("/proc/self/maps");
+  std::string line;
+  while (std::getline(maps, line)) {
+    if (line.find("/libm.so") == std::string::npos &&
+        line.find("/libm-") == std::string::npos)
+      continue;
+    uintptr_t lo = 0, hi = 0;
+    char perms[5] = {0};
+    if (std::sscanf(line.c_str(), "%" SCNxPTR "-%" SCNxPTR " %4s", &lo, &hi,
+                    perms) != 3)
+      continue;
+    if (perms[0] != 'r' || hi <= lo) continue;
+    out.push_back(
+        Region{reinterpret_cast<const char*>(lo), reinterpret_cast<const char*>(hi)});
+  }
+  return out;
+}
+
+inline double load_f64(const char* p) {
+  double x;
+  std::memcpy(&x, p, sizeof(x));
+  return x;
+}
+inline uint64_t load_u64(const char* p) {
+  uint64_t x;
+  std::memcpy(&x, p, sizeof(x));
+  return x;
+}
+
+// --- exp table: 128 pairs {tail_i, sbits_i} with
+//     asdouble(sbits_i + (i << 45)) ~= 2^(i/128) and |tail_i| tiny.
+bool find_exp_table(const std::vector<Region>& regions, LibmData& d) {
+  constexpr int kN = 128;
+  constexpr size_t kHeader = 14 * sizeof(double);
+  for (const Region& reg : regions) {
+    if (reg.hi - reg.lo < static_cast<ptrdiff_t>(kHeader + 2 * kN * 8)) continue;
+    const char* last = reg.hi - 2 * kN * 8;
+    for (const char* p = reg.lo + kHeader; p <= last; p += 8) {
+      const double t0 = load_f64(p);
+      const double s0 = as_f64(load_u64(p + 8));
+      if (!(std::fabs(t0) < 1e-7) || !(std::fabs(s0 - 1.0) < 1e-3)) continue;
+      bool ok = true;
+      for (int i = 0; i < kN && ok; ++i) {
+        const double tail = load_f64(p + 16 * i);
+        const double want = std::exp2(static_cast<double>(i) / kN);
+        const double got =
+            as_f64(load_u64(p + 16 * i + 8) + (static_cast<uint64_t>(i) << 45));
+        ok = std::fabs(tail) < 1e-7 && std::fabs(got - want) < 1e-8 * want;
+      }
+      if (!ok) continue;
+      const char* h = p - kHeader;  // header precedes the table
+      const double inv_ln2_n = load_f64(h);
+      const double neg_hi = load_f64(h + 8);
+      const double neg_lo = load_f64(h + 16);
+      const double c2 = load_f64(h + 24), c3 = load_f64(h + 32);
+      const double c4 = load_f64(h + 40), c5 = load_f64(h + 48);
+      const double shift = load_f64(h + 56);
+      if (std::fabs(inv_ln2_n - 184.6649652337873) > 1e-6) continue;
+      if (as_u64(shift) != 0x4338000000000000ULL) continue;  // 0x1.8p52
+      if (std::fabs(neg_hi + 0.00541521234811171) > 1e-8) continue;
+      if (std::fabs(c2 - 0.5) > 1e-6 || std::fabs(c3 - 1.0 / 6.0) > 1e-6)
+        continue;
+      d.exp_tab = reinterpret_cast<const double*>(p);
+      d.inv_ln2_n = inv_ln2_n;
+      d.exp_shift = shift;
+      d.neg_ln2_hi_n = neg_hi;
+      d.neg_ln2_lo_n = neg_lo;
+      d.exp_c2 = c2;
+      d.exp_c3 = c3;
+      d.exp_c4 = c4;
+      d.exp_c5 = c5;
+      return true;
+    }
+  }
+  return false;
+}
+
+// --- log table: 128 pairs {invc_i, logc_i}; the FMA build normalizes the
+// mantissa against OFF = 0x3fe6000000000000, so bucket midpoints satisfy
+// z_mid * invc ~= 1.  Several tables in libm look similar (there is also a
+// non-FMA build with a different OFF); we collect every candidate and let
+// bit-verification pick the one the scalar std::log actually dispatches to.
+constexpr uint64_t kLogOff = 0x3fe6000000000000ULL;
+
+std::vector<const char*> find_log_table_candidates(
+    const std::vector<Region>& regions) {
+  constexpr int kN = 128;
+  constexpr size_t kHeader = 18 * sizeof(double);
+  std::vector<const char*> cands;
+  for (const Region& reg : regions) {
+    if (reg.hi - reg.lo < static_cast<ptrdiff_t>(kHeader + 2 * kN * 8)) continue;
+    const char* last = reg.hi - 2 * kN * 8;
+    for (const char* p = reg.lo + kHeader; p <= last; p += 8) {
+      const double invc0 = load_f64(p);
+      if (!(invc0 > 1.2 && invc0 < 1.6)) continue;
+      bool ok = true;
+      for (int i = 0; i < kN && ok; ++i) {
+        const double invc = load_f64(p + 16 * i);
+        const double logc = load_f64(p + 16 * i + 8);
+        if (!(invc > 0.5 && invc < 2.0)) {
+          ok = false;
+          break;
+        }
+        const double z_mid =
+            as_f64(kLogOff + (static_cast<uint64_t>(i) << 45) + (1ULL << 44));
+        ok = std::fabs(z_mid * invc - 1.0) < 0.03 &&
+             std::fabs(logc + std::log(invc)) < 1e-5;
+      }
+      if (!ok) continue;
+      const double ln2_hi = load_f64(p - kHeader);
+      const double a0 = load_f64(p - 11 * 8);
+      if (std::fabs(ln2_hi - 0.6931471805599453) > 1e-9) continue;
+      if (a0 != -0.5) continue;
+      cands.push_back(p);
+    }
+  }
+  return cands;
+}
+
+void adopt_log_candidate(const char* p, LibmData& d) {
+  d.log_tab = reinterpret_cast<const double*>(p);
+  const char* h = p - 18 * 8;
+  d.ln2_hi = load_f64(h);
+  d.ln2_lo = load_f64(h + 8);
+  for (int i = 0; i < 5; ++i) d.log_b[i] = load_f64(h + 16 + 8 * i);
+  for (int i = 0; i < 11; ++i) d.log_a[i] = load_f64(h + 56 + 8 * i);
+}
+
+// --- scalar coefficient discovery (expm1 + erfc): the values are scattered
+// as individual rodata doubles (the compiler reorders them), so we scan the
+// image for the nearest match to each known coefficient.  Targets carry
+// enough digits to disambiguate near-twins (e.g. the ra0/rb0 pair differs
+// only in the 8th digit); the tolerance still absorbs small cross-version
+// coefficient drift, and bit-verification is the final arbiter.
+struct ScalarTarget {
+  double approx;
+  double* dest;
+  double best = 1e9;
+};
+
+bool find_scalar_constants(const std::vector<Region>& regions, LibmData& d) {
+  ScalarTarget t[] = {
+      {-0.033333333333333132, &d.q1},     {0.0015873015872548146, &d.q2},
+      {-7.9365075786748794e-05, &d.q3},   {4.0082178273293624e-06, &d.q4},
+      {-2.0109921818362437e-07, &d.q5},   {-0.69385857270718176, &d.ra_c1},
+      {0.0098649440348471482, &d.ra_c0n}, {-62.375332450326006, &d.ra_c3},
+      {10.558626225323291, &d.ra_c2n},    {-184.60509290671104, &d.ra_c5},
+      {162.39666946257347, &d.ra_c4n},    {-9.8143293441691455, &d.ra_c7},
+      {81.287435506306593, &d.ra_c6n},    {19.651271667439257, &d.sa1},
+      {137.65775414351904, &d.sa2},       {434.56587747522923, &d.sa3},
+      {645.38727173326788, &d.sa4},       {429.00814002756783, &d.sa5},
+      {108.63500554177944, &d.sa6},       {6.5702497703192817, &d.sa7},
+      {-0.060424415214858099, &d.sa8},    {-0.79928323768052301, &d.rb_c1},
+      {0.0098649429247000993, &d.rb_c0n}, {-160.63638485582192, &d.rb_c3},
+      {17.757954917754752, &d.rb_c2n},    {-1025.0951316110772, &d.rb_c5},
+      {637.56644336838963, &d.rb_c4n},    {-483.5191916086514, &d.rb_c6},
+      {30.338060743482458, &d.sb1},       {325.79251299657392, &d.sb2},
+      {1536.729586084437, &d.sb3},        {3199.8582195085955, &d.sb4},
+      {2553.0504064331644, &d.sb5},       {474.52854120695537, &d.sb6},
+      {-22.440952446585818, &d.sb7},
+  };
+  for (const Region& reg : regions) {
+    const char* last = reg.hi - 8;
+    for (const char* p = reg.lo; p <= last; p += 8) {
+      const double v = load_f64(p);
+      if (!std::isfinite(v) || v == 0.0) continue;
+      for (ScalarTarget& tt : t) {
+        const double err = std::fabs(v - tt.approx) / std::fabs(tt.approx);
+        if (err < 1e-5 && err < tt.best) {
+          tt.best = err;
+          *tt.dest = v;
+        }
+      }
+    }
+  }
+  for (const ScalarTarget& tt : t)
+    if (tt.best > 1e-5) return false;
+  return true;
+}
+
+// ---------------------------------------------------------------------------
+// 4-lane kernels.  Each accumulates out-of-envelope lanes into *poison
+// (all-ones lanes); poisoned lanes produce unspecified values and must be
+// recomputed by the caller with the scalar libm call.
+// ---------------------------------------------------------------------------
+
+inline __m256i cmpge_u64(__m256i a, __m256i b) {  // a >= b, unsigned
+  const __m256i bias = _mm256_set1_epi64x(static_cast<long long>(0x8000000000000000ULL));
+  const __m256i ax = _mm256_xor_si256(a, bias);
+  const __m256i bx = _mm256_xor_si256(b, bias);
+  return _mm256_or_si256(_mm256_cmpgt_epi64(ax, bx), _mm256_cmpeq_epi64(ax, bx));
+}
+
+inline void poison_or(__m256d* poison, __m256i mask) {
+  *poison = _mm256_or_pd(*poison, _mm256_castsi256_pd(mask));
+}
+inline void poison_or(__m256d* poison, __m256d mask) {
+  *poison = _mm256_or_pd(*poison, mask);
+}
+
+// exp: transcription of glibc's __exp (FMA build, __exp_data tables).
+// Envelope: 2^-54 <= |x| < 500 (no overflow/underflow/tiny special paths).
+inline __m256d exp4(__m256d x, __m256d* poison) {
+  const LibmData& d = g_libm;
+  const __m256d ax = _mm256_andnot_pd(_mm256_set1_pd(-0.0), x);
+  poison_or(poison, _mm256_cmp_pd(ax, _mm256_set1_pd(500.0), _CMP_NLT_UQ));
+  poison_or(poison, _mm256_cmp_pd(ax, _mm256_set1_pd(0x1p-54), _CMP_LT_OQ));
+
+  const __m256d z = _mm256_mul_pd(_mm256_set1_pd(d.inv_ln2_n), x);
+  const __m256d shift = _mm256_set1_pd(d.exp_shift);
+  __m256d kd = _mm256_add_pd(z, shift);
+  const __m256i ki = _mm256_castpd_si256(kd);
+  kd = _mm256_sub_pd(kd, shift);
+  __m256d r = _mm256_add_pd(x, _mm256_mul_pd(kd, _mm256_set1_pd(d.neg_ln2_hi_n)));
+  r = _mm256_add_pd(r, _mm256_mul_pd(kd, _mm256_set1_pd(d.neg_ln2_lo_n)));
+
+  const __m256i idx =
+      _mm256_slli_epi64(_mm256_and_si256(ki, _mm256_set1_epi64x(127)), 1);
+  const __m256d tail = _mm256_i64gather_pd(d.exp_tab, idx, 8);
+  const __m256i sbits_base = _mm256_i64gather_epi64(
+      reinterpret_cast<const long long*>(d.exp_tab),
+      _mm256_add_epi64(idx, _mm256_set1_epi64x(1)), 8);
+  const __m256i sbits = _mm256_add_epi64(sbits_base, _mm256_slli_epi64(ki, 45));
+  const __m256d scale = _mm256_castsi256_pd(sbits);
+
+  const __m256d r2 = _mm256_mul_pd(r, r);
+  // tmp = tail + r + r2*(C2 + r*C3) + r2*r2*(C4 + r*C5), left-associated.
+  __m256d tmp = _mm256_add_pd(tail, r);
+  tmp = _mm256_add_pd(
+      tmp, _mm256_mul_pd(r2, _mm256_add_pd(_mm256_set1_pd(d.exp_c2),
+                                           _mm256_mul_pd(r, _mm256_set1_pd(d.exp_c3)))));
+  tmp = _mm256_add_pd(
+      tmp, _mm256_mul_pd(_mm256_mul_pd(r2, r2),
+                         _mm256_add_pd(_mm256_set1_pd(d.exp_c4),
+                                       _mm256_mul_pd(r, _mm256_set1_pd(d.exp_c5)))));
+  return _mm256_fmadd_pd(scale, tmp, scale);  // the one FMA in __exp's tail
+}
+
+// log: transcription of glibc's __log (FMA build, __log_data tables), both
+// the near-1 polynomial path and the table path, blended per lane.
+// Envelope: positive, normal, finite x.
+inline __m256d log4(__m256d x, __m256d* poison) {
+  const LibmData& d = g_libm;
+  const __m256i ix = _mm256_castpd_si256(x);
+  const __m256i top16 = _mm256_srli_epi64(ix, 48);
+  // valid iff 0x0010 <= top16 <= 0x7fef (positive normal finite)
+  poison_or(poison,
+            _mm256_cmpgt_epi64(_mm256_set1_epi64x(0x0010), top16));
+  poison_or(poison,
+            _mm256_cmpgt_epi64(top16, _mm256_set1_epi64x(0x7fef)));
+
+  // near-1 band: (u64)(ix - asu(0.9375)) <= 0x308ffffffffff
+  const __m256i near_rel =
+      _mm256_sub_epi64(ix, _mm256_set1_epi64x(0x3FEE000000000000LL));
+  const __m256i is_near =
+      cmpge_u64(_mm256_set1_epi64x(0x000308ffffffffffLL), near_rel);
+
+  // ---- table path ----
+  const __m256i tmp = _mm256_sub_epi64(ix, _mm256_set1_epi64x(static_cast<long long>(kLogOff)));
+  const __m256i i7 =
+      _mm256_and_si256(_mm256_srli_epi64(tmp, 45), _mm256_set1_epi64x(127));
+  // kd = (double)(int64)(tmp >> 52): arithmetic shift emulated via the high
+  // dwords, then converted through int32 exactly like the scalar code.
+  const __m256i hi_dw = _mm256_srai_epi32(_mm256_srli_epi64(tmp, 32), 20);
+  const __m256i pack_idx = _mm256_setr_epi32(0, 2, 4, 6, 0, 0, 0, 0);
+  const __m128i k32 =
+      _mm256_castsi256_si128(_mm256_permutevar8x32_epi32(hi_dw, pack_idx));
+  const __m256d kd = _mm256_cvtepi32_pd(k32);
+  const __m256i iz = _mm256_sub_epi64(
+      tmp, _mm256_and_si256(tmp, _mm256_set1_epi64x(static_cast<long long>(0xfffULL << 52))));
+  const __m256d zt = _mm256_castsi256_pd(
+      _mm256_add_epi64(iz, _mm256_set1_epi64x(static_cast<long long>(kLogOff))));
+  const __m256i pair = _mm256_slli_epi64(i7, 1);
+  const __m256d invc = _mm256_i64gather_pd(d.log_tab, pair, 8);
+  const __m256d logc = _mm256_i64gather_pd(
+      d.log_tab, _mm256_add_epi64(pair, _mm256_set1_epi64x(1)), 8);
+  const __m256d rt = _mm256_fmadd_pd(zt, invc, _mm256_set1_pd(-1.0));
+  const __m256d w = _mm256_fmadd_pd(kd, _mm256_set1_pd(d.ln2_hi), logc);
+  const __m256d hi_t = _mm256_add_pd(w, rt);
+  const __m256d lo_t = _mm256_fmadd_pd(
+      kd, _mm256_set1_pd(d.ln2_lo), _mm256_add_pd(_mm256_sub_pd(w, hi_t), rt));
+  const __m256d rt2 = _mm256_mul_pd(rt, rt);
+  const __m256d rt3 = _mm256_mul_pd(rt, rt2);
+  const __m256d y_t = _mm256_fmadd_pd(
+      rt3,
+      _mm256_fmadd_pd(rt2,
+                      _mm256_fmadd_pd(rt, _mm256_set1_pd(d.log_b[4]),
+                                      _mm256_set1_pd(d.log_b[3])),
+                      _mm256_fmadd_pd(rt, _mm256_set1_pd(d.log_b[2]),
+                                      _mm256_set1_pd(d.log_b[1]))),
+      _mm256_fmadd_pd(rt2, _mm256_set1_pd(d.log_b[0]), lo_t));
+  const __m256d res_tab = _mm256_add_pd(y_t, hi_t);
+
+  // ---- near-1 path ----
+  const __m256d r = _mm256_sub_pd(x, _mm256_set1_pd(1.0));
+  const __m256d r2 = _mm256_mul_pd(r, r);
+  const __m256d r3 = _mm256_mul_pd(r, r2);
+  const double* A = d.log_a;
+  __m256d tb = _mm256_fmadd_pd(_mm256_set1_pd(A[8]), r, _mm256_set1_pd(A[7]));
+  tb = _mm256_fmadd_pd(r2, _mm256_set1_pd(A[9]), tb);
+  tb = _mm256_fmadd_pd(r3, _mm256_set1_pd(A[10]), tb);
+  __m256d ta = _mm256_fmadd_pd(_mm256_set1_pd(A[5]), r, _mm256_set1_pd(A[4]));
+  ta = _mm256_fmadd_pd(_mm256_set1_pd(A[6]), r2, ta);
+  const __m256d tb2 = _mm256_fmadd_pd(tb, r3, ta);
+  __m256d tc = _mm256_fmadd_pd(_mm256_set1_pd(A[2]), r, _mm256_set1_pd(A[1]));
+  tc = _mm256_fmadd_pd(_mm256_set1_pd(A[3]), r2, tc);
+  const __m256d c2v = _mm256_fmadd_pd(tb2, r3, tc);
+  // split r = rhi + rlo (Dekker via 2^27), then hi/lo compensation
+  const __m256d big = _mm256_set1_pd(0x1p27);
+  const __m256d wp = _mm256_fmadd_pd(r, big, r);
+  const __m256d rhi = _mm256_fnmadd_pd(big, r, wp);
+  const __m256d rlo = _mm256_sub_pd(r, rhi);
+  const __m256d rhi2 = _mm256_mul_pd(rhi, rhi);
+  const __m256d a0 = _mm256_set1_pd(A[0]);  // -0.5
+  const __m256d hi_n = _mm256_fmadd_pd(rhi2, a0, r);
+  const __m256d lo_n = _mm256_fmadd_pd(rhi2, a0, _mm256_sub_pd(r, hi_n));
+  const __m256d lo2 = _mm256_fmadd_pd(_mm256_mul_pd(a0, rlo),
+                                      _mm256_add_pd(rhi, r), lo_n);
+  const __m256d y_n = _mm256_fmadd_pd(c2v, r3, lo2);
+  const __m256d res_near = _mm256_add_pd(hi_n, y_n);
+
+  return _mm256_blendv_pd(res_tab, res_near, _mm256_castsi256_pd(is_near));
+}
+
+// expm1: transcription of glibc's expm1 (FMA build), |x| < 0.5*ln2 branch
+// (k == 0: no argument reduction).  Envelope: 2^-54 < |x|, high word
+// strictly below 0x3fd62e42.
+inline __m256d expm1_4(__m256d x, __m256d* poison) {
+  const LibmData& d = g_libm;
+  const __m256i hx = _mm256_and_si256(_mm256_srli_epi64(_mm256_castpd_si256(x), 32),
+                                      _mm256_set1_epi64x(0x7fffffff));
+  poison_or(poison, _mm256_cmpgt_epi64(_mm256_set1_epi64x(0x3c900000), hx));
+  poison_or(poison,
+            _mm256_cmpgt_epi64(hx, _mm256_set1_epi64x(0x3fd62e41)));
+
+  const __m256d hfx = _mm256_mul_pd(_mm256_set1_pd(0.5), x);
+  const __m256d hxs = _mm256_mul_pd(x, hfx);
+  const __m256d q23 =
+      _mm256_fmadd_pd(_mm256_set1_pd(d.q3), hxs, _mm256_set1_pd(d.q2));
+  const __m256d q45 =
+      _mm256_fmadd_pd(_mm256_set1_pd(d.q5), hxs, _mm256_set1_pd(d.q4));
+  const __m256d hxs2 = _mm256_mul_pd(hxs, hxs);
+  const __m256d hxs4 = _mm256_mul_pd(hxs2, hxs2);
+  const __m256d r1 = _mm256_fmadd_pd(
+      hxs4, q45,
+      _mm256_fmadd_pd(hxs2, q23,
+                      _mm256_fmadd_pd(hxs, _mm256_set1_pd(d.q1),
+                                      _mm256_set1_pd(1.0))));
+  const __m256d t = _mm256_fnmadd_pd(hfx, r1, _mm256_set1_pd(3.0));
+  const __m256d num = _mm256_sub_pd(r1, t);
+  const __m256d den = _mm256_fnmadd_pd(x, t, _mm256_set1_pd(6.0));
+  const __m256d e = _mm256_mul_pd(_mm256_div_pd(num, den), hxs);
+  return _mm256_sub_pd(x, _mm256_fmsub_pd(e, x, hxs));
+}
+
+// erfc: transcription of glibc's erfc (fdlibm lineage, SSE2 build) for
+// positive 1.25 <= x < 28.  The two internal exp calls dispatch to the FMA
+// exp in the scalar build, i.e. to exp4 here; their envelopes compose.
+inline __m256d erfc4(__m256d x, __m256d* poison) {
+  const LibmData& d = g_libm;
+  const __m256i hx64 = _mm256_srli_epi64(_mm256_castpd_si256(x), 32);
+  // positive and 0x3ff40000 <= hx <= 0x403bffff
+  poison_or(poison, _mm256_cmpgt_epi64(_mm256_set1_epi64x(0x3ff40000), hx64));
+  poison_or(poison,
+            _mm256_cmpgt_epi64(hx64, _mm256_set1_epi64x(0x403bffff)));
+
+  const __m256d one = _mm256_set1_pd(1.0);
+  const __m256d x2 = _mm256_mul_pd(x, x);
+  const __m256d s = _mm256_div_pd(one, x2);
+  const __m256d s2 = _mm256_mul_pd(s, s);
+  const __m256d s4 = _mm256_mul_pd(s2, s2);
+  const __m256d s6 = _mm256_mul_pd(s2, s4);
+
+  // 1.25 <= x < 1/0.35 branch (ra/sa)
+  const __m256d s8 = _mm256_mul_pd(s4, s4);
+  __m256d r_a = _mm256_add_pd(
+      _mm256_mul_pd(_mm256_sub_pd(_mm256_mul_pd(s, _mm256_set1_pd(d.ra_c3)),
+                                  _mm256_set1_pd(d.ra_c2n)),
+                    s2),
+      _mm256_sub_pd(_mm256_mul_pd(s, _mm256_set1_pd(d.ra_c1)),
+                    _mm256_set1_pd(d.ra_c0n)));
+  r_a = _mm256_add_pd(
+      r_a, _mm256_mul_pd(_mm256_sub_pd(_mm256_mul_pd(s, _mm256_set1_pd(d.ra_c5)),
+                                       _mm256_set1_pd(d.ra_c4n)),
+                         s4));
+  r_a = _mm256_add_pd(
+      r_a, _mm256_mul_pd(_mm256_sub_pd(_mm256_mul_pd(s, _mm256_set1_pd(d.ra_c7)),
+                                       _mm256_set1_pd(d.ra_c6n)),
+                         s6));
+  __m256d s_a = _mm256_add_pd(
+      _mm256_mul_pd(_mm256_add_pd(_mm256_mul_pd(_mm256_set1_pd(d.sa3), s),
+                                  _mm256_set1_pd(d.sa2)),
+                    s2),
+      _mm256_add_pd(one, _mm256_mul_pd(_mm256_set1_pd(d.sa1), s)));
+  s_a = _mm256_add_pd(
+      s_a, _mm256_mul_pd(_mm256_add_pd(_mm256_mul_pd(_mm256_set1_pd(d.sa5), s),
+                                       _mm256_set1_pd(d.sa4)),
+                         s4));
+  s_a = _mm256_add_pd(
+      _mm256_mul_pd(_mm256_add_pd(_mm256_mul_pd(s, _mm256_set1_pd(d.sa7)),
+                                  _mm256_set1_pd(d.sa6)),
+                    s6),
+      s_a);
+  s_a = _mm256_add_pd(s_a, _mm256_mul_pd(_mm256_set1_pd(d.sa8), s8));
+
+  // 1/0.35 <= x < 28 branch (rb/sb)
+  __m256d r_b = _mm256_add_pd(
+      _mm256_mul_pd(_mm256_sub_pd(_mm256_mul_pd(s, _mm256_set1_pd(d.rb_c3)),
+                                  _mm256_set1_pd(d.rb_c2n)),
+                    s2),
+      _mm256_sub_pd(_mm256_mul_pd(s, _mm256_set1_pd(d.rb_c1)),
+                    _mm256_set1_pd(d.rb_c0n)));
+  r_b = _mm256_add_pd(
+      r_b, _mm256_mul_pd(_mm256_sub_pd(_mm256_mul_pd(s, _mm256_set1_pd(d.rb_c5)),
+                                       _mm256_set1_pd(d.rb_c4n)),
+                         s4));
+  r_b = _mm256_add_pd(r_b, _mm256_mul_pd(_mm256_set1_pd(d.rb_c6), s6));
+  __m256d s_b = _mm256_add_pd(
+      _mm256_mul_pd(_mm256_add_pd(_mm256_mul_pd(_mm256_set1_pd(d.sb3), s),
+                                  _mm256_set1_pd(d.sb2)),
+                    s2),
+      _mm256_add_pd(one, _mm256_mul_pd(_mm256_set1_pd(d.sb1), s)));
+  s_b = _mm256_add_pd(
+      s_b, _mm256_mul_pd(_mm256_add_pd(_mm256_mul_pd(_mm256_set1_pd(d.sb5), s),
+                                       _mm256_set1_pd(d.sb4)),
+                         s4));
+  s_b = _mm256_add_pd(
+      s_b, _mm256_mul_pd(_mm256_add_pd(_mm256_mul_pd(s, _mm256_set1_pd(d.sb7)),
+                                       _mm256_set1_pd(d.sb6)),
+                         s6));
+
+  const __m256i use_a =
+      _mm256_cmpgt_epi64(_mm256_set1_epi64x(0x4006db6d), hx64);
+  const __m256d rr = _mm256_blendv_pd(r_b, r_a, _mm256_castsi256_pd(use_a));
+  const __m256d ss = _mm256_blendv_pd(s_b, s_a, _mm256_castsi256_pd(use_a));
+
+  // z = x with the low mantissa word cleared; r = exp(-z*z - 0.5625) *
+  // exp((z-x)*(z+x) + R/S); result = r / x.
+  const __m256d z = _mm256_castsi256_pd(
+      _mm256_and_si256(_mm256_castpd_si256(x),
+                       _mm256_set1_epi64x(static_cast<long long>(0xffffffff00000000ULL))));
+  const __m256d nz = _mm256_xor_pd(z, _mm256_set1_pd(-0.0));
+  const __m256d e1 = exp4(
+      _mm256_sub_pd(_mm256_mul_pd(nz, z), _mm256_set1_pd(0.5625)), poison);
+  const __m256d q = _mm256_div_pd(rr, ss);
+  const __m256d e2 = exp4(
+      _mm256_add_pd(_mm256_mul_pd(_mm256_sub_pd(z, x), _mm256_add_pd(z, x)), q),
+      poison);
+  return _mm256_div_pd(_mm256_mul_pd(e2, e1), x);
+}
+
+// ---------------------------------------------------------------------------
+// Block wrappers: 4-lane main loop + scalar patch-up of poisoned lanes and
+// the tail.  in == out aliasing is allowed (inputs are captured in registers
+// before the store).
+// ---------------------------------------------------------------------------
+
+template <__m256d (*Kern)(__m256d, __m256d*), double (*Ref)(double)>
+void block_loop(const double* in, double* out, size_t count) {
+  size_t i = 0;
+  for (; i + 4 <= count; i += 4) {
+    const __m256d x = _mm256_loadu_pd(in + i);
+    __m256d poison = _mm256_setzero_pd();
+    const __m256d r = Kern(x, &poison);
+    _mm256_storeu_pd(out + i, r);
+    const int pm = _mm256_movemask_pd(poison);
+    if (pm != 0) {
+      alignas(32) double xs[4];
+      _mm256_store_pd(xs, x);
+      for (int l = 0; l < 4; ++l)
+        if ((pm & (1 << l)) != 0) out[i + static_cast<size_t>(l)] = Ref(xs[l]);
+    }
+  }
+  for (; i < count; ++i) out[i] = Ref(in[i]);
+}
+
+double ref_exp(double x) { return std::exp(x); }
+double ref_log(double x) { return std::log(x); }
+double ref_expm1(double x) { return std::expm1(x); }
+double ref_erfc(double x) { return std::erfc(x); }
+
+void exp_block_avx2(const double* in, double* out, size_t count) {
+  block_loop<exp4, ref_exp>(in, out, count);
+}
+void log_block_avx2(const double* in, double* out, size_t count) {
+  block_loop<log4, ref_log>(in, out, count);
+}
+void expm1_block_avx2(const double* in, double* out, size_t count) {
+  block_loop<expm1_4, ref_expm1>(in, out, count);
+}
+void erfc_block_avx2(const double* in, double* out, size_t count) {
+  block_loop<erfc4, ref_erfc>(in, out, count);
+}
+
+// ---------------------------------------------------------------------------
+// Fused fail-voltage chain (see CellFaultField::sample_fast_reference and
+// mathx.cpp).  Per lane, all in registers:
+//   u' = (u <= 0 ? 1e-300 : u)
+//   p  = -expm1(log(u') / n)
+//   [Acklam lower-tail inverse-normal, p < 0.02425 only]
+//   q  = sqrt(-2*log(p));  x = -(poly_c(q) / poly_d(q))
+//   2x Halley: e = 0.5*erfc(x/sqrt 2) - p; pdf = inv_sqrt_2pi*exp((-0.5*x)*x)
+//              u_h = e/pdf; x += u_h / (1 - 0.5*x*u_h)
+//   vf = float(mu + sigma*x)
+// Lanes with p >= 0.02425 (probability ~3.5e-6 per draw at n=512), p <= 0,
+// p >= 1, or any kernel out of envelope are poisoned and recomputed with the
+// scalar reference.  The Acklam coefficients mirror mathx.cpp verbatim.
+// ---------------------------------------------------------------------------
+
+void sample_vf_block_avx2(const double* u_draws, size_t count,
+                          double bits_per_block, double mu, double sigma,
+                          float* vf_out) {
+  static constexpr double kA_c[6] = {-7.784894002430293e-03, -3.223964580411365e-01,
+                                     -2.400758277161838e+00, -2.549732539343734e+00,
+                                     4.374664141464968e+00,  2.938163982698783e+00};
+  static constexpr double kA_d[4] = {7.784695709041462e-03, 3.224671290700398e-01,
+                                     2.445134137142996e+00, 3.754408661907416e+00};
+  static constexpr double kPLow = 0.02425;
+  static constexpr double kInvSqrt2Pi = 0.3989422804014327;
+  static constexpr double kSqrt2 = 1.4142135623730951;  // std::sqrt(2.0)
+
+  // Processed stage-by-stage over chunks of 64 so every stage is a tight
+  // loop of 16 independent vectors: the chain's long latency (log -> expm1
+  // -> Acklam -> 2x Halley with div/sqrt) pipelines across elements instead
+  // of serializing per element.  Intermediates live in L1 stack buffers.
+  constexpr size_t kChunk = 64;
+  const __m256d vzero = _mm256_setzero_pd();
+  const __m256d vone = _mm256_set1_pd(1.0);
+  const __m256d vn = _mm256_set1_pd(bits_per_block);
+
+  alignas(32) double ubuf[kChunk], pbuf[kChunk], xbuf[kChunk];
+
+  for (size_t base = 0; base < count; base += kChunk) {
+    const size_t n_elems = count - base < kChunk ? count - base : kChunk;
+    const size_t nv = (n_elems + 3) / 4;  // vectors, incl. padded tail
+    std::memcpy(ubuf, u_draws + base, n_elems * sizeof(double));
+    for (size_t j = n_elems; j < 4 * nv; ++j) ubuf[j] = 0.5;  // benign pad
+    uint64_t poison_bits = 0;
+
+    // log(u) with the u <= 0 guard; then p = -expm1(log(u)/n)
+    for (size_t v = 0; v < nv; ++v) {
+      __m256d u = _mm256_load_pd(ubuf + 4 * v);
+      u = _mm256_blendv_pd(u, _mm256_set1_pd(1e-300),
+                           _mm256_cmp_pd(u, vzero, _CMP_LE_OQ));
+      __m256d poison = _mm256_setzero_pd();
+      const __m256d lg = log4(u, &poison);
+      _mm256_store_pd(pbuf + 4 * v, _mm256_div_pd(lg, vn));
+      poison_bits |= static_cast<uint64_t>(_mm256_movemask_pd(poison)) << (4 * v);
+    }
+    for (size_t v = 0; v < nv; ++v) {
+      __m256d poison = _mm256_setzero_pd();
+      const __m256d m1 = expm1_4(_mm256_load_pd(pbuf + 4 * v), &poison);
+      const __m256d p = _mm256_xor_pd(m1, _mm256_set1_pd(-0.0));
+      poison_or(&poison, _mm256_cmp_pd(p, vzero, _CMP_LE_OQ));
+      poison_or(&poison, _mm256_cmp_pd(p, vone, _CMP_NLT_UQ));
+      poison_or(&poison, _mm256_cmp_pd(p, _mm256_set1_pd(kPLow), _CMP_NLT_UQ));
+      _mm256_store_pd(pbuf + 4 * v, p);
+      poison_bits |= static_cast<uint64_t>(_mm256_movemask_pd(poison)) << (4 * v);
+    }
+    // Acklam lower-tail seed: x = -(poly_c(q)/poly_d(q)), q = sqrt(-2 log p)
+    for (size_t v = 0; v < nv; ++v) {
+      __m256d poison = _mm256_setzero_pd();
+      const __m256d p = _mm256_load_pd(pbuf + 4 * v);
+      const __m256d q = _mm256_sqrt_pd(
+          _mm256_mul_pd(_mm256_set1_pd(-2.0), log4(p, &poison)));
+      __m256d num = _mm256_set1_pd(kA_c[0]);
+      for (int k = 1; k < 6; ++k)
+        num = _mm256_add_pd(_mm256_mul_pd(num, q), _mm256_set1_pd(kA_c[k]));
+      __m256d den = _mm256_set1_pd(kA_d[0]);
+      for (int k = 1; k < 4; ++k)
+        den = _mm256_add_pd(_mm256_mul_pd(den, q), _mm256_set1_pd(kA_d[k]));
+      den = _mm256_add_pd(_mm256_mul_pd(den, q), vone);
+      _mm256_store_pd(xbuf + 4 * v,
+                      _mm256_xor_pd(_mm256_div_pd(num, den), _mm256_set1_pd(-0.0)));
+      poison_bits |= static_cast<uint64_t>(_mm256_movemask_pd(poison)) << (4 * v);
+    }
+    // Two Halley refinements toward Q(x) = p
+    for (int halley = 0; halley < 2; ++halley) {
+      for (size_t v = 0; v < nv; ++v) {
+        __m256d poison = _mm256_setzero_pd();
+        __m256d x = _mm256_load_pd(xbuf + 4 * v);
+        const __m256d p = _mm256_load_pd(pbuf + 4 * v);
+        const __m256d ec =
+            erfc4(_mm256_div_pd(x, _mm256_set1_pd(kSqrt2)), &poison);
+        const __m256d e =
+            _mm256_sub_pd(_mm256_mul_pd(_mm256_set1_pd(0.5), ec), p);
+        const __m256d pdf = _mm256_mul_pd(
+            _mm256_set1_pd(kInvSqrt2Pi),
+            exp4(_mm256_mul_pd(_mm256_mul_pd(_mm256_set1_pd(-0.5), x), x),
+                 &poison));
+        const __m256d uh = _mm256_div_pd(e, pdf);
+        const __m256d denom = _mm256_sub_pd(
+            vone, _mm256_mul_pd(_mm256_mul_pd(_mm256_set1_pd(0.5), x), uh));
+        x = _mm256_add_pd(x, _mm256_div_pd(uh, denom));
+        _mm256_store_pd(xbuf + 4 * v, x);
+        poison_bits |= static_cast<uint64_t>(_mm256_movemask_pd(poison)) << (4 * v);
+      }
+    }
+    // vf = float(mu + sigma * x), then patch poisoned lanes via the scalar
+    // reference from the original draws.
+    for (size_t v = 0; v < nv; ++v) {
+      const __m256d vf64 = _mm256_add_pd(
+          _mm256_set1_pd(mu),
+          _mm256_mul_pd(_mm256_set1_pd(sigma), _mm256_load_pd(xbuf + 4 * v)));
+      alignas(16) float lanes[4];
+      _mm_store_ps(lanes, _mm256_cvtpd_ps(vf64));
+      const size_t remain = n_elems - 4 * v < 4 ? n_elems - 4 * v : 4;
+      std::memcpy(vf_out + base + 4 * v, lanes, remain * sizeof(float));
+    }
+    if (poison_bits != 0) {
+      for (size_t j = 0; j < n_elems; ++j)
+        if ((poison_bits >> j) & 1)
+          vf_out[base + j] =
+              sample_vf_one(u_draws[base + j], bits_per_block, mu, sigma);
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Init-time bit-verification.  Deterministic point sets (splitmix64 — test
+// sweep generation, not simulation randomness).
+// ---------------------------------------------------------------------------
+
+inline uint64_t mix_next(uint64_t& s) {
+  s += 0x9E3779B97F4A7C15ULL;
+  uint64_t z = s;
+  z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ULL;
+  z = (z ^ (z >> 27)) * 0x94D049BB133111EBULL;
+  return z ^ (z >> 31);
+}
+inline double mix_u01(uint64_t& s) {
+  return static_cast<double>(mix_next(s) >> 11) * 0x1.0p-53;
+}
+
+bool verify_block(BlockFn fast, double (*ref)(double),
+                  const std::vector<double>& pts) {
+  std::vector<double> got(pts.size());
+  fast(pts.data(), got.data(), pts.size());
+  for (size_t i = 0; i < pts.size(); ++i) {
+    const double want = ref(pts[i]);
+    if (as_u64(got[i]) != as_u64(want) &&
+        !(std::isnan(got[i]) && std::isnan(want)))
+      return false;
+  }
+  return true;
+}
+
+bool verify_all() {
+  uint64_t seed = 0x5EC5A11DF00DULL;
+  {
+    std::vector<double> pts;
+    for (int i = 0; i < 60000; ++i) {
+      const double sign = (mix_next(seed) & 1) != 0 ? 1.0 : -1.0;
+      if ((i & 1) != 0)
+        pts.push_back(sign * mix_u01(seed) * 520.0);
+      else  // log-uniform magnitudes down into the tiny/poison region
+        pts.push_back(sign * std::exp2(mix_u01(seed) * 70.0 - 60.0));
+    }
+    const double edge[] = {0.0,      -0.0,     1.0,   -1.0,  0x1p-54,
+                           -0x1p-54, 499.999,  -499.999, 511.9, -700.0,
+                           710.0,    0.5625,   -0.5625};
+    pts.insert(pts.end(), std::begin(edge), std::end(edge));
+    if (!verify_block(exp_block_avx2, ref_exp, pts)) return false;
+  }
+  {
+    std::vector<double> pts;
+    for (int i = 0; i < 30000; ++i) pts.push_back(mix_u01(seed));
+    for (int i = 0; i < 20000; ++i)  // near-1 band both sides
+      pts.push_back(0.93 + mix_u01(seed) * 0.15);
+    for (int i = 0; i < 20000; ++i)  // wide dynamic range
+      pts.push_back(std::exp2(mix_u01(seed) * 2000.0 - 1000.0));
+    const double edge[] = {1.0,     0.9375,  1.0644, 0.0,    -1.0,
+                           0x1p-1050, 2.0,   4e-3,   1e-300, 1e300};
+    pts.insert(pts.end(), std::begin(edge), std::end(edge));
+    if (!verify_block(log_block_avx2, ref_log, pts)) return false;
+  }
+  {
+    std::vector<double> pts;
+    for (int i = 0; i < 40000; ++i) {
+      const double sign = (mix_next(seed) & 1) != 0 ? 1.0 : -1.0;
+      if ((i & 1) != 0)
+        pts.push_back(sign * mix_u01(seed) * 0.35);
+      else
+        pts.push_back(sign * std::exp2(mix_u01(seed) * 60.0 - 58.0));
+    }
+    const double edge[] = {0.0, 0.34657, -0.34657, 1.0, -1.0, 0x1p-55};
+    pts.insert(pts.end(), std::begin(edge), std::end(edge));
+    if (!verify_block(expm1_block_avx2, ref_expm1, pts)) return false;
+  }
+  {
+    std::vector<double> pts;
+    for (int i = 0; i < 30000; ++i) pts.push_back(1.25 + mix_u01(seed) * 26.7);
+    for (int i = 0; i < 10000; ++i)  // dense where the sampler lives
+      pts.push_back(0.7 + mix_u01(seed) * 6.0);
+    const double edge[] = {1.25, 2.857142857142857, 2.8571428, 27.99,
+                           28.0, 1.2499, 0.5, 6.0};
+    pts.insert(pts.end(), std::begin(edge), std::end(edge));
+    if (!verify_block(erfc_block_avx2, ref_erfc, pts)) return false;
+  }
+  {
+    // fused chain vs the scalar reference, at every block size the models use
+    std::vector<double> us;
+    for (int i = 0; i < 20000; ++i) us.push_back(mix_u01(seed));
+    us.push_back(0.0);
+    us.push_back(1e-9);  // deep tail -> p > p_low -> poison path
+    us.push_back(1.0 - 0x1p-53);
+    for (double n : {512.0, 64.0, 4096.0}) {
+      std::vector<float> got(us.size()), want(us.size());
+      sample_vf_block_avx2(us.data(), us.size(), n, 0.62, 0.035, got.data());
+      for (size_t i = 0; i < us.size(); ++i)
+        want[i] = sample_vf_one(us[i], n, 0.62, 0.035);
+      for (size_t i = 0; i < us.size(); ++i) {
+        uint32_t a, b;
+        std::memcpy(&a, &got[i], 4);
+        std::memcpy(&b, &want[i], 4);
+        if (a != b && !(std::isnan(got[i]) && std::isnan(want[i])))
+          return false;
+      }
+    }
+  }
+  return true;
+}
+
+}  // namespace
+
+bool try_init_avx2(Kernels& k) {
+  const std::vector<Region> regions = libm_regions();
+  if (regions.empty()) return false;
+  LibmData d;
+  if (!find_exp_table(regions, d)) return false;
+  if (!find_scalar_constants(regions, d)) return false;
+  const std::vector<const char*> log_cands = find_log_table_candidates(regions);
+  for (const char* cand : log_cands) {
+    adopt_log_candidate(cand, d);
+    g_libm = d;
+    if (verify_all()) {
+      k.exp_b = exp_block_avx2;
+      k.log_b = log_block_avx2;
+      k.expm1_b = expm1_block_avx2;
+      k.erfc_b = erfc_block_avx2;
+      k.sample = sample_vf_block_avx2;
+      k.active = true;
+      return true;
+    }
+  }
+  return false;
+}
+
+}  // namespace pcs::vecmath_detail
+
+#endif  // PCS_HAVE_VECMATH_AVX2

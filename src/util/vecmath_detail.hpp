@@ -1,0 +1,35 @@
+// Internal plumbing between the vecmath dispatcher (vecmath.cpp) and the
+// optional AVX2 backend (vecmath_avx2.cpp, compiled with -mavx2 -mfma
+// -ffp-contract=off on x86-64 only).  Not installed; not part of the API.
+#pragma once
+
+#include <cstddef>
+
+namespace pcs::vecmath_detail {
+
+using BlockFn = void (*)(const double*, double*, std::size_t);
+using SampleFn = void (*)(const double*, std::size_t, double, double, double,
+                          float*);
+
+struct Kernels {
+  BlockFn exp_b;
+  BlockFn log_b;
+  BlockFn expm1_b;
+  BlockFn erfc_b;
+  SampleFn sample;
+  bool active;
+};
+
+/// Scalar reference for one fail-voltage draw (the exact chain from
+/// CellFaultField::sample_fast_reference); also used by the AVX2 backend to
+/// patch up lanes that fall outside a kernel's verified envelope.
+float sample_vf_one(double u, double bits_per_block, double mu, double sigma);
+
+#if defined(PCS_HAVE_VECMATH_AVX2)
+/// Attempt libm table discovery + bit-verification; on success overwrite the
+/// function pointers in `k` with the AVX2 kernels and set k.active.  Returns
+/// k.active.  Defined in vecmath_avx2.cpp.
+bool try_init_avx2(Kernels& k);
+#endif
+
+}  // namespace pcs::vecmath_detail

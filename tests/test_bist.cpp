@@ -129,7 +129,9 @@ TEST(CharacterizeBlocks, InclusionAcrossTestedLevels) {
   for (float v : vf) {
     const bool at09 = 0.9f <= v;
     const bool at07 = 0.7f <= v;
-    if (at09) EXPECT_TRUE(at07);
+    if (at09) {
+      EXPECT_TRUE(at07);
+    }
   }
 }
 

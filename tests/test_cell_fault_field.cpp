@@ -42,7 +42,9 @@ TEST(CellFaultField, CapacityMonotoneInVdd) {
   double prev = -1.0;
   for (Volt v = 1.0; v >= 0.4; v -= 0.05) {
     const double cap = f.effective_capacity(v);
-    if (prev >= 0.0) EXPECT_LE(cap, prev + 1e-12);
+    if (prev >= 0.0) {
+      EXPECT_LE(cap, prev + 1e-12);
+    }
     prev = cap;
   }
 }

@@ -1,0 +1,263 @@
+// Differential tests pinning the batched/word-parallel fault pipeline
+// bit-identical to the retained scalar references.
+//
+// The fast paths (Rng block draws + vecmath sampling chain, histogram
+// fault-map build with the O(1) viability summary, word-parallel March SS)
+// must agree with their *_reference counterparts to the last bit: same
+// output bytes, same draw counts, same RNG state afterwards. Randomized
+// over sizes, associativities, and every VDD level count Table 2 uses, so a
+// divergence anywhere in the chain shows up as a concrete mismatch here
+// before it can silently shift a figure.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstring>
+#include <span>
+#include <vector>
+
+#include "fault/ber_model.hpp"
+#include "fault/bist.hpp"
+#include "fault/cell_fault_field.hpp"
+#include "fault/fault_map.hpp"
+#include "tech/technology.hpp"
+#include "util/rng.hpp"
+#include "util/vecmath.hpp"
+
+namespace pcs {
+namespace {
+
+bool same_float_bits(float a, float b) {
+  u32 ua = 0, ub = 0;
+  std::memcpy(&ua, &a, sizeof(ua));
+  std::memcpy(&ub, &b, sizeof(ub));
+  return ua == ub;
+}
+
+void expect_fields_identical(const CellFaultField& fast,
+                             const CellFaultField& ref) {
+  ASSERT_EQ(fast.num_blocks(), ref.num_blocks());
+  for (u64 b = 0; b < fast.num_blocks(); ++b) {
+    const auto vf = static_cast<float>(fast.block_fail_voltage(b));
+    const auto vr = static_cast<float>(ref.block_fail_voltage(b));
+    ASSERT_TRUE(same_float_bits(vf, vr))
+        << "block " << b << ": " << vf << " vs " << vr;
+  }
+}
+
+void expect_rng_state_identical(Rng& a, Rng& b) {
+  // Indirect state probe: identical internal state iff the next draws agree.
+  for (int i = 0; i < 8; ++i) ASSERT_EQ(a.next_u64(), b.next_u64());
+}
+
+TEST(RngBlocks, UniformBlockMatchesScalarSequence) {
+  for (std::size_t n : {0u, 1u, 7u, 64u, 65u, 1000u}) {
+    Rng a(42), b(42);
+    std::vector<double> block(n), scalar(n);
+    a.uniform_block(std::span<double>(block));
+    for (double& v : scalar) v = b.uniform();
+    for (std::size_t i = 0; i < n; ++i) ASSERT_EQ(block[i], scalar[i]);
+    expect_rng_state_identical(a, b);
+  }
+}
+
+TEST(RngBlocks, GaussianBlockMatchesScalarSequence) {
+  // Odd/even lengths and back-to-back calls exercise the cached Box-Muller
+  // deviate carrying across block boundaries.
+  for (std::size_t n : {0u, 1u, 2u, 3u, 64u, 255u, 1001u}) {
+    Rng a(99), b(99);
+    std::vector<double> block(n), scalar(n);
+    for (int round = 0; round < 3; ++round) {
+      a.gaussian_block(std::span<double>(block));
+      for (double& v : scalar) v = b.gaussian();
+      for (std::size_t i = 0; i < n; ++i) {
+        ASSERT_EQ(block[i], scalar[i]) << "n=" << n << " round=" << round;
+      }
+    }
+    expect_rng_state_identical(a, b);
+  }
+}
+
+TEST(RngBlocks, GaussianBlockScaledMatchesScalarSequence) {
+  Rng a(7), b(7);
+  std::vector<double> block(333), scalar(333);
+  a.gaussian_block(std::span<double>(block), 0.62, 0.04);
+  for (double& v : scalar) v = b.gaussian(0.62, 0.04);
+  for (std::size_t i = 0; i < block.size(); ++i) {
+    ASSERT_EQ(block[i], scalar[i]);
+  }
+  expect_rng_state_identical(a, b);
+}
+
+TEST(FaultEquivalence, SampleFastMatchesReference) {
+  const BerModel ber(Technology::soi45());
+  for (u64 blocks : {1ull, 63ull, 4096ull, 4097ull, 20000ull}) {
+    for (u32 bits : {64u, 512u}) {
+      Rng ra(blocks * 31 + bits), rb(blocks * 31 + bits);
+      const auto fast = CellFaultField::sample_fast(ber, blocks, bits, ra);
+      const auto ref =
+          CellFaultField::sample_fast_reference(ber, blocks, bits, rb);
+      expect_fields_identical(fast, ref);
+      expect_rng_state_identical(ra, rb);
+    }
+  }
+}
+
+TEST(FaultEquivalence, SampleExactMatchesReference) {
+  const BerModel ber(Technology::soi45());
+  for (u64 blocks : {1ull, 17ull, 256ull}) {
+    for (u32 bits : {1u, 7u, 64u, 513u}) {
+      Rng ra(blocks * 131 + bits), rb(blocks * 131 + bits);
+      const auto exact = CellFaultField::sample_exact(ber, blocks, bits, ra);
+      const auto ref =
+          CellFaultField::sample_exact_reference(ber, blocks, bits, rb);
+      expect_fields_identical(exact, ref);
+      expect_rng_state_identical(ra, rb);
+    }
+  }
+}
+
+TEST(FaultEquivalence, FaultyCountSweepIndexMatchesScan) {
+  const BerModel ber(Technology::soi45());
+  Rng rng(5);
+  auto plain = CellFaultField::sample_fast(ber, 8192, 512, rng);
+  auto indexed = plain;
+  indexed.enable_sweep_index();
+  indexed.enable_sweep_index();  // idempotent
+  for (int i = 0; i <= 400; ++i) {
+    const Volt v = 0.40 + 0.001 * i;
+    ASSERT_EQ(indexed.faulty_count(v), plain.faulty_count(v)) << "vdd=" << v;
+    ASSERT_EQ(indexed.effective_capacity(v), plain.effective_capacity(v));
+  }
+}
+
+// Table 2 evaluates N in {1, 2, 3, 4, 8}; sweep those level counts with the
+// associativities the cache organizations use.
+TEST(FaultEquivalence, ViableMatchesReferenceAcrossOrgs) {
+  const BerModel ber(Technology::soi45());
+  const std::vector<Volt> full = {0.54, 0.58, 0.62, 0.66,
+                                  0.71, 0.80, 0.90, 1.00};
+  for (u32 num_levels : {1u, 2u, 3u, 4u, 8u}) {
+    const std::vector<Volt> levels(full.begin(), full.begin() + num_levels);
+    for (u32 assoc : {1u, 16u, 32u}) {
+      Rng rng(num_levels * 100 + assoc);
+      const auto field = CellFaultField::sample_fast(ber, 8192, 512, rng);
+      const FaultMap hinted(levels, field, assoc);
+      const FaultMap unhinted(levels, field);
+      ASSERT_EQ(hinted.assoc_hint(), assoc);
+      for (u32 l = 1; l <= num_levels; ++l) {
+        ASSERT_EQ(hinted.viable(assoc, l), hinted.viable_reference(assoc, l))
+            << "N=" << num_levels << " assoc=" << assoc << " level=" << l;
+        // A query with a different assoc must fall back, not misuse the hint.
+        const u32 other = assoc == 1 ? 16 : assoc / 2;
+        ASSERT_EQ(hinted.viable(other, l), unhinted.viable(other, l));
+        ASSERT_EQ(hinted.faulty_count(l), unhinted.faulty_count(l));
+        ASSERT_EQ(hinted.code(0), unhinted.code(0));
+      }
+      ASSERT_EQ(hinted.lowest_level_with_capacity(assoc, 0.99),
+                unhinted.lowest_level_with_capacity(assoc, 0.99));
+    }
+  }
+}
+
+// Adversarial maps (hand-built codes) where viability flips exactly at the
+// max-of-set-minima boundary.
+TEST(FaultEquivalence, ViableHandBuiltBoundaries) {
+  const std::vector<Volt> levels = {0.5, 0.6, 0.7, 0.8};
+  // vf just below/at each level: codes become 0..4 in a controlled pattern.
+  const std::vector<float> vf = {0.45f, 0.55f, 0.65f, 0.75f,   // set 0
+                                 0.85f, 0.85f, 0.85f, 0.85f,   // set 1: dead
+                                 0.45f, 0.45f, 0.45f, 0.45f};  // set 2
+  for (u32 assoc : {1u, 2u, 4u}) {
+    const FaultMap hinted(levels, std::span<const float>(vf), assoc);
+    for (u32 l = 1; l <= 4; ++l) {
+      ASSERT_EQ(hinted.viable(assoc, l), hinted.viable_reference(assoc, l))
+          << "assoc=" << assoc << " level=" << l;
+    }
+  }
+}
+
+TEST(FaultEquivalence, MarchSsMatchesReference) {
+  const BerModel ber(Technology::soi45());
+  // Sizes straddle word boundaries (partial last word, exactly one word,
+  // multi-word); voltages span none-faulty to heavily-faulty regimes.
+  for (u64 cells : {1ull, 63ull, 64ull, 65ull, 1000ull, 16384ull}) {
+    Rng rng(cells * 7);
+    SramArraySim sram(ber, cells, rng);
+    for (Volt v : {0.40, 0.55, 0.60, 0.66, 0.75, 1.00}) {
+      sram.set_vdd(v);
+      const BistResult fast = march_ss(sram);
+      sram.set_vdd(v);  // re-arm: both passes start from identical state
+      const BistResult ref = march_ss_reference(sram);
+      ASSERT_EQ(fast.reads, ref.reads) << "cells=" << cells << " v=" << v;
+      ASSERT_EQ(fast.writes, ref.writes);
+      ASSERT_EQ(fast.faulty_cells, ref.faulty_cells)
+          << "cells=" << cells << " v=" << v;
+    }
+  }
+}
+
+TEST(FaultEquivalence, SramCtorDrawSequenceMatchesScalar) {
+  const BerModel ber(Technology::soi45());
+  for (u64 cells : {1ull, 4095ull, 4096ull, 5000ull}) {
+    Rng ra(cells), rb(cells);
+    SramArraySim sram(ber, cells, ra);
+    for (u64 i = 0; i < cells; ++i) {
+      const auto expect =
+          static_cast<float>(rb.gaussian(ber.mu(), ber.sigma()));
+      ASSERT_TRUE(same_float_bits(static_cast<float>(sram.fail_voltage(i)),
+                                  expect))
+          << "cell " << i;
+    }
+    expect_rng_state_identical(ra, rb);
+  }
+}
+
+TEST(FaultEquivalence, WordInterfaceMatchesCellInterface) {
+  const BerModel ber(Technology::soi45());
+  Rng rng(12);
+  SramArraySim sram(ber, 777, rng);
+  sram.set_vdd(0.6);
+  for (u64 w = 0; w < sram.num_words(); ++w) sram.write_word(w, true);
+  for (u64 w = 0; w < sram.num_words(); ++w) {
+    const u64 word = sram.read_word(w);
+    for (u64 b = 0; b < 64 && w * 64 + b < sram.num_cells(); ++b) {
+      ASSERT_EQ(((word >> b) & 1) != 0, sram.read(w * 64 + b));
+    }
+  }
+  // Per-cell writes land in the packed words.
+  sram.write(5, false);
+  if (!sram.truly_faulty(5)) {
+    ASSERT_EQ((sram.read_word(0) >> 5) & 1, 0u);
+  }
+}
+
+// The vecmath kernels themselves: block results equal scalar std:: calls in
+// both the accelerated and fallback modes (this must hold whether or not
+// fast_math_active(), so CI machines with a different libm stay green).
+TEST(FaultEquivalence, VecmathBlocksMatchScalar) {
+  Rng rng(31);
+  std::vector<double> xs(513);
+  for (double& x : xs) x = (rng.uniform() - 0.5) * 12.0;
+  std::vector<double> out(xs.size());
+
+  vecmath::exp_block(xs.data(), out.data(), xs.size());
+  for (std::size_t i = 0; i < xs.size(); ++i) {
+    ASSERT_EQ(out[i], std::exp(xs[i])) << "exp(" << xs[i] << ")";
+  }
+  vecmath::expm1_block(xs.data(), out.data(), xs.size());
+  for (std::size_t i = 0; i < xs.size(); ++i) {
+    ASSERT_EQ(out[i], std::expm1(xs[i]));
+  }
+  for (double& x : xs) x = rng.uniform() * 30.0 + 1e-9;
+  vecmath::log_block(xs.data(), out.data(), xs.size());
+  for (std::size_t i = 0; i < xs.size(); ++i) {
+    ASSERT_EQ(out[i], std::log(xs[i]));
+  }
+  vecmath::erfc_block(xs.data(), out.data(), xs.size());
+  for (std::size_t i = 0; i < xs.size(); ++i) {
+    ASSERT_EQ(out[i], std::erfc(xs[i]));
+  }
+}
+
+}  // namespace
+}  // namespace pcs

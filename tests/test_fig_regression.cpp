@@ -87,9 +87,11 @@ TEST_F(FigRegression, SavingsStayInPaperShapeBand) {
 TEST_F(FigRegression, PerfOverheadBounded) {
   for (const auto& r : *rows_) {
     const double os =
-        static_cast<double>(r.spcs.cycles) / r.base.cycles - 1.0;
+        static_cast<double>(r.spcs.cycles) / static_cast<double>(r.base.cycles) -
+        1.0;
     const double od =
-        static_cast<double>(r.dpcs.cycles) / r.base.cycles - 1.0;
+        static_cast<double>(r.dpcs.cycles) / static_cast<double>(r.base.cycles) -
+        1.0;
     // SPCS never transitions mid-run: overhead stays in the noise band.
     EXPECT_LT(os, 0.05) << r.base.config_name << "/" << r.base.workload;
     // DPCS bound: paper 2.6% (A) / 4.4% (B) on an OoO core; our blocking

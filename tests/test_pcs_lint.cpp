@@ -2,7 +2,7 @@
 // tools/pcs_lint/fixtures and asserts exact diagnostic IDs and lines,
 // including suppression-annotation handling. The corpus has at least one
 // true positive (bad_tree) and one clean case (good_tree) per rule
-// DET001-DET004, INV001, SCHEMA001.
+// DET001-DET005, INV001, SCHEMA001.
 
 #include <gtest/gtest.h>
 
@@ -35,7 +35,7 @@ LintResult lint_tree(const std::string& tree) {
 
 TEST(PcsLint, BadTreeReportsExactDiagnostics) {
   const LintResult result = lint_tree("bad_tree");
-  EXPECT_EQ(result.files_scanned, 7);
+  EXPECT_EQ(result.files_scanned, 8);
   EXPECT_TRUE(result.io_errors.empty());
   const std::vector<std::string> expected = {
       "SCHEMA001@TELEMETRY.md:3",          // version mismatch (doc 1, src 2)
@@ -50,6 +50,11 @@ TEST(PcsLint, BadTreeReportsExactDiagnostics) {
       "DET003@src/det003_rng.cpp:7",       // random_device
       "DET003@src/det003_rng.cpp:9",       // std::rand()
       "DET004@src/det004_atomic.cpp:4",    // atomic<double>
+      "DET005@src/fault/det005_scalar_draw.cpp:5",   // rng.uniform()
+      "DET005@src/fault/det005_scalar_draw.cpp:6",   // rng.gaussian(mu, s)
+      "DET005@src/fault/det005_scalar_draw.cpp:7",   // prng->next_u64()
+      "DET005@src/fault/det005_scalar_draw.cpp:8",   // rng.uniform_int(8)
+      "DET005@src/fault/det005_scalar_draw.cpp:9",   // rng.bernoulli(0.5)
       "INV001@src/inv001_writer.cpp:7",    // faulty_bits_[set] |=
       "INV001@src/inv001_writer.cpp:8",    // faulty_bits_.clear()
       "LINT001@src/lint001_suppress.cpp:5",   // allow() without reason
@@ -76,9 +81,10 @@ TEST(PcsLint, GoodTreeIsClean) {
   // sorted-drain of an unordered map in a serializing file, Rng facade use
   // plus raw engines inside src/util/rng.*, atomic<double> inside the
   // RunAggregator home, faulty-bits writes inside the single-writer set,
-  // and fully documented telemetry emissions.
+  // block/fork Rng use (plus an annotated scalar reference) in the fault hot
+  // path, and fully documented telemetry emissions.
   const LintResult result = lint_tree("good_tree");
-  EXPECT_EQ(result.files_scanned, 8);
+  EXPECT_EQ(result.files_scanned, 9);
   EXPECT_TRUE(result.io_errors.empty());
   EXPECT_EQ(keys(result), std::vector<std::string>{});
 }
@@ -128,9 +134,9 @@ TEST(PcsLint, IncludeDirectivesDoNotLeakHeaderNames) {
 }
 
 TEST(PcsLint, RegistryListsAllRules) {
-  const std::vector<std::string> want = {"DET001", "DET002",    "DET003",
-                                         "DET004", "INV001",    "SCHEMA001",
-                                         "LINT001"};
+  const std::vector<std::string> want = {"DET001",    "DET002",  "DET003",
+                                         "DET004",    "DET005",  "INV001",
+                                         "SCHEMA001", "LINT001"};
   std::vector<std::string> got;
   for (const pcs_lint::RuleInfo& r : pcs_lint::rule_registry()) {
     got.push_back(r.id);

@@ -106,7 +106,9 @@ TEST_P(SeedSweep, InclusionThroughPipeline) {
   const FaultMap map(levels, field);
   for (u64 b = 0; b < map.num_blocks(); ++b) {
     for (u32 l = 2; l <= map.num_levels(); ++l) {
-      if (map.faulty_at(b, l)) ASSERT_TRUE(map.faulty_at(b, l - 1));
+      if (map.faulty_at(b, l)) {
+        ASSERT_TRUE(map.faulty_at(b, l - 1));
+      }
     }
   }
 }

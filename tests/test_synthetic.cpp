@@ -100,7 +100,8 @@ TEST(Synthetic, RefsPerInstructionApproximatelyRespected) {
       ++insts;  // the reference itself is an instruction
     }
   }
-  EXPECT_NEAR(static_cast<double>(data) / insts, 0.25, 0.02);
+  EXPECT_NEAR(static_cast<double>(data) / static_cast<double>(insts), 0.25,
+              0.02);
 }
 
 TEST(Synthetic, PhasesAdvanceAndLoop) {
@@ -187,7 +188,9 @@ TEST(Synthetic, StreamPhaseSweepsForward) {
   for (int i = 0; i < 100; ++i) {
     ASSERT_TRUE(t.next(e));
     if (e.ref.ifetch) continue;
-    if (!first) EXPECT_EQ(e.ref.addr, prev + 64);
+    if (!first) {
+      EXPECT_EQ(e.ref.addr, prev + 64);
+    }
     prev = e.ref.addr;
     first = false;
   }

@@ -75,8 +75,12 @@ TEST(System, PerformanceOverheadWithinPaperEnvelope) {
     const auto base = run_one(cfg, PolicyKind::kBaseline, wl);
     const auto spcs = run_one(cfg, PolicyKind::kStatic, wl);
     const auto dpcs = run_one(cfg, PolicyKind::kDynamic, wl);
-    const double ov_s = static_cast<double>(spcs.cycles) / base.cycles - 1.0;
-    const double ov_d = static_cast<double>(dpcs.cycles) / base.cycles - 1.0;
+    const double ov_s = static_cast<double>(spcs.cycles) /
+                            static_cast<double>(base.cycles) -
+                        1.0;
+    const double ov_d = static_cast<double>(dpcs.cycles) /
+                            static_cast<double>(base.cycles) -
+                        1.0;
     EXPECT_LT(ov_s, 0.03) << wl;  // paper: <= 2.8% for SPCS
     EXPECT_LT(ov_d, 0.08) << wl;  // paper: <= 4.4% for DPCS (we allow slack)
     EXPECT_GT(ov_s, -0.02) << wl;
@@ -138,7 +142,8 @@ TEST(System, FaultPlacementBarelyMatters) {
   const double ea = a.total_cache_energy();
   for (const auto& r : {b, c}) {
     EXPECT_NEAR(r.total_cache_energy() / ea, 1.0, 0.02);
-    EXPECT_NEAR(static_cast<double>(r.cycles) / a.cycles, 1.0, 0.02);
+    EXPECT_NEAR(static_cast<double>(r.cycles) / static_cast<double>(a.cycles),
+                1.0, 0.02);
   }
 }
 

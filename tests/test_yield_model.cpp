@@ -75,7 +75,9 @@ TEST(YieldModel, MinVddSatisfiesTarget) {
   EXPECT_GE(m.yield(v), 0.99);
   // One step below must violate the target (v is minimal), unless v is the
   // floor already.
-  if (v > 0.301) EXPECT_LT(m.yield(v - 0.01), 0.99);
+  if (v > 0.301) {
+    EXPECT_LT(m.yield(v - 0.01), 0.99);
+  }
 }
 
 TEST(YieldModel, CapacityRuleBindsAtSpcsPoint) {

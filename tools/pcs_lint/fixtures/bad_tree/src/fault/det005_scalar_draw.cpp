@@ -1,0 +1,11 @@
+// DET005 true positives: scalar Rng draws in the fault hot path.
+#include "util/rng.hpp"
+
+double sample(pcs::Rng& rng, pcs::Rng* prng) {
+  double acc = rng.uniform();
+  acc += rng.gaussian(0.62, 0.04);
+  acc += static_cast<double>(prng->next_u64() & 1);
+  acc += static_cast<double>(rng.uniform_int(8));
+  if (rng.bernoulli(0.5)) acc += 1.0;
+  return acc;
+}

@@ -1,0 +1,20 @@
+// DET005 clean cases: block draws in the hot path, a fork() handoff, and an
+// annotated reference implementation keeping its scalar draw.
+#include <span>
+#include <vector>
+
+#include "util/rng.hpp"
+
+std::vector<double> sample_block(pcs::Rng& rng) {
+  std::vector<double> out(256);
+  rng.uniform_block(std::span<double>(out));
+  rng.gaussian_block(std::span<double>(out), 0.62, 0.04);
+  pcs::Rng child = rng.fork(7);
+  (void)child;
+  return out;
+}
+
+double sample_reference(pcs::Rng& rng) {
+  // pcs-lint: allow(DET005) reference impl: scalar draws are the spec
+  return rng.uniform();
+}

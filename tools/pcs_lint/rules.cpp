@@ -259,6 +259,38 @@ void rule_det003(const std::string& path, const std::vector<Token>& toks,
   }
 }
 
+// ---------------------------------------------------------------- DET005 --
+
+// Scalar Rng draw methods. The batched fault pipeline (PR 5) draws through
+// Rng::uniform_block/gaussian_block so the transcendental chain runs over
+// contiguous arrays; a stray scalar draw in the fault hot path silently
+// serializes it again. fork() and the *_block entry points stay allowed.
+const std::set<std::string, std::less<>> kScalarDrawCalls = {
+    "uniform", "gaussian", "next_u64", "uniform_int", "bernoulli"};
+
+bool det005_hot_path(const std::string& path) {
+  return path.find("src/fault/") != std::string::npos;
+}
+
+void rule_det005(const std::string& path, const std::vector<Token>& toks,
+                 std::vector<Diagnostic>& diags) {
+  if (!det005_hot_path(path)) return;
+  for (size_t i = 0; i + 2 < toks.size(); ++i) {
+    if (!is_punct(toks[i], ".") && !is_punct(toks[i], "->")) continue;
+    const Token& method = toks[i + 1];
+    if (method.kind != TokKind::kIdent ||
+        kScalarDrawCalls.count(method.text) == 0) {
+      continue;
+    }
+    if (!is_punct(toks[i + 2], "(")) continue;
+    add(diags, "DET005", path, method.line,
+        "scalar Rng draw '" + method.text +
+            "()' in the fault hot path; draw through uniform_block/"
+            "gaussian_block (or annotate a reference implementation with "
+            "'pcs-lint: allow(DET005) <reason>')");
+  }
+}
+
 // ---------------------------------------------------------------- DET004 --
 
 bool det004_exempt(const std::string& path) {
@@ -362,6 +394,9 @@ const std::vector<RuleInfo>& rule_registry() {
       {"DET004",
        "no float/double atomic accumulation outside RunAggregator "
        "(associativity determinism)"},
+      {"DET005",
+       "no scalar Rng draws in the fault hot path (src/fault/*); use the "
+       "block draw APIs"},
       {"INV001",
        "faulty-bits writes only in mechanism.cpp/cache_level.cpp "
        "(single-writer fault inclusion)"},
@@ -498,6 +533,7 @@ void lint_tokens(const std::string& rel_path, const LexResult& lx,
   if (want("DET002")) rule_det002(rel_path, lx.tokens, diags);
   if (want("DET003")) rule_det003(rel_path, lx.tokens, diags);
   if (want("DET004")) rule_det004(rel_path, lx.tokens, diags);
+  if (want("DET005")) rule_det005(rel_path, lx.tokens, diags);
   if (want("INV001")) rule_inv001(rel_path, lx.tokens, diags);
 }
 
