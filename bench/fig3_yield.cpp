@@ -12,11 +12,13 @@
 // at every thread count).
 #include <algorithm>
 #include <cstdlib>
+#include <cstring>
 #include <iostream>
 #include <vector>
 
 #include "baselines/ecc.hpp"
 #include "baselines/fft_cache.hpp"
+#include "exp/sweep_engine.hpp"
 #include "exp/thread_pool.hpp"
 #include "fault/cell_fault_field.hpp"
 #include "fault/yield_model.hpp"
@@ -25,7 +27,22 @@
 
 using namespace pcs;
 
-int main() {
+int main(int argc, char** argv) {
+  // --sweep-lanes: run the Monte-Carlo cross-check through the sweep
+  // engine's fused kernels (chip_fail_voltages_mc + one-pass
+  // yield_pass_counts) instead of the inline per-voltage count_if scans.
+  // Output is byte-identical (pinned by tests/test_fig_regression.cpp);
+  // the banner goes to stderr so stdout can be cmp'd against scalar.
+  bool sweep_lanes = false;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--sweep-lanes") == 0) {
+      sweep_lanes = true;
+    } else {
+      std::cerr << "usage: " << argv[0] << " [--sweep-lanes]\n";
+      return 2;
+    }
+  }
+  if (sweep_lanes) std::cerr << "fig3d: lane-parallel MC kernels\n";
   const auto tech = Technology::soi45();
   const CacheOrg org{64 * 1024, 4, 64, 31};
   BerModel ber(tech);
@@ -88,33 +105,44 @@ int main() {
   }
   if (trials == 0) return 0;  // PCS_TRIALS=0 opts out of the cross-check
   const u64 mc_seed = 7;
-  const std::vector<float> chip_vf = parallel_index_map(
-      pcs_thread_count(), trials, [&](u64 i) -> float {
-        Rng rng(derive_seed(mc_seed, 0, i));
-        const auto field = CellFaultField::sample_fast(
-            ber, org.num_blocks(), org.bits_per_block(), rng);
-        float worst_set = 0.0f;
-        for (u64 s = 0; s < org.num_sets(); ++s) {
-          float best_way = 2.0f;  // above any physical failure voltage
-          for (u32 w = 0; w < org.assoc; ++w) {
-            best_way = std::min(
-                best_way, static_cast<float>(
-                              field.block_fail_voltage(s * org.assoc + w)));
+  const std::vector<double> probes = {0.60, 0.625, 0.65, 0.70, 0.75};
+  std::vector<float> chip_vf;
+  std::vector<u64> pass_counts(probes.size(), 0);
+  if (sweep_lanes) {
+    chip_vf = chip_fail_voltages_mc(trials, mc_seed, ber, org,
+                                    pcs_thread_count());
+    pass_counts = yield_pass_counts(chip_vf, probes);
+  } else {
+    chip_vf = parallel_index_map(
+        pcs_thread_count(), trials, [&](u64 i) -> float {
+          Rng rng(derive_seed(mc_seed, 0, i));
+          const auto field = CellFaultField::sample_fast(
+              ber, org.num_blocks(), org.bits_per_block(), rng);
+          float worst_set = 0.0f;
+          for (u64 s = 0; s < org.num_sets(); ++s) {
+            float best_way = 2.0f;  // above any physical failure voltage
+            for (u32 w = 0; w < org.assoc; ++w) {
+              best_way = std::min(
+                  best_way, static_cast<float>(
+                                field.block_fail_voltage(s * org.assoc + w)));
+            }
+            worst_set = std::max(worst_set, best_way);
           }
-          worst_set = std::max(worst_set, best_way);
-        }
-        return worst_set;
-      });
+          return worst_set;
+        });
+    for (std::size_t k = 0; k < probes.size(); ++k) {
+      pass_counts[k] = static_cast<u64>(
+          std::count_if(chip_vf.begin(), chip_vf.end(),
+                        [&](float vf) { return probes[k] > vf; }));
+    }
+  }
 
   std::cout << "\nMonte-Carlo cross-check (" << fmt_count(trials)
             << " manufactured dies):\n";
   TextTable mc({"VDD (V)", "analytic yield", "empirical yield"});
-  for (Volt v : {0.60, 0.625, 0.65, 0.70, 0.75}) {
-    const u64 pass = static_cast<u64>(
-        std::count_if(chip_vf.begin(), chip_vf.end(),
-                      [&](float vf) { return v > vf; }));
-    mc.add_row({fmt_fixed(v, 3), fmt_pct(pcs_yield.yield(v), 2),
-                fmt_pct(static_cast<double>(pass) /
+  for (std::size_t k = 0; k < probes.size(); ++k) {
+    mc.add_row({fmt_fixed(probes[k], 3), fmt_pct(pcs_yield.yield(probes[k]), 2),
+                fmt_pct(static_cast<double>(pass_counts[k]) /
                             static_cast<double>(trials),
                         2)});
   }

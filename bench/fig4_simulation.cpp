@@ -17,12 +17,14 @@
 // (TELEMETRY.md); its deterministic section is likewise byte-identical at
 // every thread count.
 #include <cstdlib>
+#include <cstring>
 #include <iostream>
 #include <memory>
 #include <vector>
 
 #include "core/system.hpp"
 #include "exp/experiment_runner.hpp"
+#include "exp/sweep_engine.hpp"
 #include "telemetry/trace_sink.hpp"
 #include "util/stats.hpp"
 #include "util/table.hpp"
@@ -36,6 +38,12 @@ struct Row {
   std::string name;
   SimReport base, spcs, dpcs;
 };
+
+/// 0 = scalar ExperimentRunner; >0 = SweepRunner with that many lanes per
+/// shard. Both paths produce byte-identical stdout (pinned by the golden
+/// regression and the CI cmp smoke); the sweep path just decodes each trace
+/// once per shard instead of once per grid point.
+u32 g_sweep_lanes = 0;
 
 // Fans the whole 2x16x3 grid across the pool; reports come back in grid
 // order (config-major, workload, then baseline/SPCS/DPCS), so rows[c][w]
@@ -59,8 +67,15 @@ std::vector<std::vector<Row>> run_grid(u64 refs) {
     sink = make_trace_sink(path);
     emit_trace_header(*sink);
   }
-  const std::vector<SimReport> reports = ExperimentRunner().run(
-      grid, sink.get());
+  std::vector<SimReport> reports;
+  if (g_sweep_lanes > 0) {
+    SweepOptions opt;
+    opt.num_threads = 0;  // pcs_thread_count(), same default as the runner
+    opt.max_lanes = g_sweep_lanes;
+    reports = SweepRunner(opt).run(grid, sink.get());
+  } else {
+    reports = ExperimentRunner().run(grid, sink.get());
+  }
 
   const u64 num_wl = spec_profile_names().size();
   std::vector<std::vector<Row>> rows(2, std::vector<Row>(num_wl));
@@ -155,12 +170,29 @@ void report_config(const SystemConfig& cfg, const std::vector<Row>& rows) {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
   // Default scaled so the biggest (Config B) caches reach DPCS steady state
   // within the measured window; PCS_REFS trades fidelity for wall clock.
   u64 refs = 2'000'000;
   if (const char* env = std::getenv("PCS_REFS")) {
     refs = std::strtoull(env, nullptr, 10);
+  }
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--sweep-lanes") == 0) {
+      g_sweep_lanes = 16;
+      if (i + 1 < argc && argv[i + 1][0] != '-') {
+        g_sweep_lanes = static_cast<u32>(
+            std::strtoul(argv[++i], nullptr, 10));
+      }
+    } else {
+      std::cerr << "usage: " << argv[0] << " [--sweep-lanes [N]]\n";
+      return 2;
+    }
+  }
+  if (g_sweep_lanes > 0) {
+    // Banner on stderr so stdout stays byte-identical to the scalar path.
+    std::cerr << "fig4: lane-parallel sweep engine, " << g_sweep_lanes
+              << " lanes per shard\n";
   }
   std::cout << "== FIG4: gem5-style simulation sweep (" << fmt_count(refs)
             << " measured refs per run; set PCS_REFS to change) ==\n";

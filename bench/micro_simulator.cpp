@@ -14,7 +14,10 @@
 #include "cache/hierarchy.hpp"
 #include "cache/replacement.hpp"
 #include "core/mechanism.hpp"
+#include "core/system.hpp"
 #include "core/vdd_levels.hpp"
+#include "exp/experiment_runner.hpp"
+#include "exp/sweep_engine.hpp"
 #include "fault/bist.hpp"
 #include "fault/cell_fault_field.hpp"
 #include "fault/fault_map.hpp"
@@ -302,6 +305,84 @@ void BM_SyntheticDataAddr(benchmark::State& state) {
   state.SetItemsProcessed(state.iterations());
 }
 BENCHMARK(BM_SyntheticDataAddr);
+
+// ---- Lane-parallel sweep engine -------------------------------------------
+
+/// Tier A throughput: one decoded op stream replayed into N resident lane
+/// caches (the voltage-explorer path). Items = lane-updates, so comparing
+/// against BM_CacheLevelAccess gives the per-update cost of lane sharing.
+void BM_SweepLanesReplay(benchmark::State& state) {
+  const u32 num_lanes = static_cast<u32>(state.range(0));
+  std::vector<CacheLaneSweep::LaneSpec> specs;
+  for (u32 l = 0; l < num_lanes; ++l) {
+    specs.push_back({"lane" + std::to_string(l),
+                     CacheOrg{64 * 1024, 4, 64, 31}, "lru"});
+  }
+  CacheLaneSweep lanes(specs);
+  Rng rng(21);
+  std::vector<CacheOp> ops(4096);
+  for (auto& op : ops) {
+    const u64 r = rng.next_u64();
+    op.kind = CacheOp::Kind::kAccess;
+    op.addr = (r >> 7) & (256 * 1024 - 1);
+    op.write = (r >> 6) & 1;
+  }
+  for (auto _ : state) {
+    lanes.replay(ops.data(), ops.size());
+    benchmark::ClobberMemory();
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<i64>(ops.size()) * num_lanes);
+}
+BENCHMARK(BM_SweepLanesReplay)->Arg(1)->Arg(8)->Arg(16);
+
+namespace sweep_bench {
+
+/// Miniature Fig. 4 grid (1 config x 2 workloads x 3 policies, 20k refs):
+/// the scalar/lane-parallel pair below runs it through each engine at one
+/// thread, so their ratio is the single-core speedup of shared trace
+/// decode + fused dispatch (the full-sweep number lives in BENCH_sweep.json
+/// via scripts/run_bench.sh).
+ExperimentGrid mini_grid() {
+  RunParams rp;
+  rp.max_refs = 20'000;
+  rp.warmup_refs = 5'000;
+  ExperimentGrid grid;
+  grid.add_config(SystemConfig::config_a())
+      .add_workload("hmmer")
+      .add_workload("libquantum")
+      .add_policy(PolicyKind::kBaseline)
+      .add_policy(PolicyKind::kStatic)
+      .add_policy(PolicyKind::kDynamic)
+      .seeds(1, 42)
+      .params(rp);
+  return grid;
+}
+
+}  // namespace sweep_bench
+
+void BM_Fig4SweepScalar(benchmark::State& state) {
+  const auto grid = sweep_bench::mini_grid();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(ExperimentRunner(1).run(grid));
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<i64>(grid.size()) * 25'000);
+}
+BENCHMARK(BM_Fig4SweepScalar);
+
+void BM_Fig4SweepLanes(benchmark::State& state) {
+  const auto grid = sweep_bench::mini_grid();
+  SweepOptions opt;
+  opt.num_threads = 1;
+  opt.max_lanes = 16;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(SweepRunner(opt).run(grid));
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<i64>(grid.size()) * 25'000);
+}
+BENCHMARK(BM_Fig4SweepLanes);
 
 void BM_MarchSsBist(benchmark::State& state) {
   const BerModel ber(Technology::soi45());

@@ -3,22 +3,107 @@
 // and access-time inflation -- then show where the selection procedure
 // places VDD1 (min-VDD) and VDD2 (the SPCS point).
 //
-//   ./build/examples/voltage_explorer [size_kb] [assoc]
+//   ./build/examples/voltage_explorer [size_kb] [assoc] [--sweep-lanes]
+//
+// --sweep-lanes appends a lane-parallel behavioral sweep: one manufactured
+// fault field, one lane per ladder level (each lane's faulty blocks are the
+// blocks whose fail voltage that level cannot clear), all lanes driven by
+// ONE decode of a synthetic workload through exp/sweep_engine's
+// CacheLaneSweep -- so the miss-rate/capacity cost of each candidate VDD is
+// measured on the same address stream in a single pass.
 #include <cstdio>
 #include <cstdlib>
 #include <iostream>
+#include <memory>
+#include <string>
+#include <vector>
 
+#include "cache/trace_source.hpp"
 #include "cachemodel/cache_power_model.hpp"
 #include "core/vdd_levels.hpp"
+#include "exp/sweep_engine.hpp"
+#include "fault/cell_fault_field.hpp"
 #include "fault/yield_model.hpp"
+#include "util/rng.hpp"
 #include "util/table.hpp"
+#include "workload/spec_profiles.hpp"
 
 using namespace pcs;
 
+namespace {
+
+/// Per-ladder-level lane sweep: measures each candidate VDD's demand miss
+/// rate and surviving capacity against one die and one address stream.
+void sweep_ladder_lanes(const CacheOrg& org, const BerModel& ber,
+                        const VddLadder& ladder) {
+  const u64 chip_seed = 1, trace_seed = 42;
+  Rng rng(chip_seed);
+  const auto field = CellFaultField::sample_fast(
+      ber, org.num_blocks(), org.bits_per_block(), rng);
+
+  std::vector<CacheLaneSweep::LaneSpec> specs;
+  for (u32 l = 1; l <= ladder.num_levels(); ++l) {
+    specs.push_back({"vdd" + std::to_string(l), org, "lru"});
+  }
+  CacheLaneSweep lanes(specs);
+
+  // A block survives level l iff vdd(l) > its fail voltage -- the same
+  // pass predicate as the Fig. 3d yield kernels.
+  for (u32 l = 1; l <= ladder.num_levels(); ++l) {
+    CacheLevel& c = lanes.lane(l - 1);
+    for (u64 s = 0; s < org.num_sets(); ++s) {
+      for (u32 w = 0; w < org.assoc; ++w) {
+        if (!(ladder.vdd(l) > field.block_fail_voltage(s * org.assoc + w))) {
+          c.set_block_faulty(s, w, true);
+        }
+      }
+    }
+  }
+
+  // One decode, broadcast to every lane.
+  const u64 kRefs = 500'000;
+  auto trace = make_spec_trace("mcf", trace_seed);
+  TraceEvent ev;
+  CacheOp op;
+  op.kind = CacheOp::Kind::kAccess;
+  for (u64 n = 0; n < kRefs && trace->next(ev); ++n) {
+    op.addr = ev.ref.addr;
+    op.write = ev.ref.write;
+    lanes.step(op);
+  }
+
+  std::printf("\nlane sweep: %u ladder levels x %s refs (mcf), one decode\n\n",
+              ladder.num_levels(), fmt_count(kRefs).c_str());
+  TextTable t({"lane", "VDD (V)", "faulty blocks", "capacity", "miss rate",
+               "bypasses"});
+  for (u32 l = 1; l <= ladder.num_levels(); ++l) {
+    const CacheLevel& c = lanes.lane(l - 1);
+    t.add_row({c.name(), fmt_fixed(ladder.vdd(l), 2),
+               std::to_string(c.faulty_block_count()),
+               fmt_pct(c.effective_capacity(), 2),
+               fmt_pct(c.stats().miss_rate(), 2),
+               std::to_string(c.stats().bypasses)});
+  }
+  t.print(std::cout);
+}
+
+}  // namespace
+
 int main(int argc, char** argv) {
-  const u64 size_kb = argc > 1 ? std::strtoull(argv[1], nullptr, 10) : 2048;
-  const u32 assoc =
-      argc > 2 ? static_cast<u32>(std::strtoul(argv[2], nullptr, 10)) : 8;
+  bool sweep_lanes = false;
+  std::vector<const char*> pos;
+  for (int i = 1; i < argc; ++i) {
+    if (std::string(argv[i]) == "--sweep-lanes") {
+      sweep_lanes = true;
+    } else {
+      pos.push_back(argv[i]);
+    }
+  }
+  const u64 size_kb = pos.size() > 0 ? std::strtoull(pos[0], nullptr, 10)
+                                     : 2048;
+  const u32 assoc = pos.size() > 1
+                        ? static_cast<u32>(std::strtoul(pos[1], nullptr, 10))
+                        : 8;
 
   const CacheOrg org{size_kb * 1024, assoc, 64, 31};
   org.validate();
@@ -51,5 +136,7 @@ int main(int argc, char** argv) {
   }
   std::printf("  fault map: %u FM bits + 1 Faulty bit per block\n",
               ladder.fm_bits());
+
+  if (sweep_lanes) sweep_ladder_lanes(org, ber, ladder);
   return 0;
 }

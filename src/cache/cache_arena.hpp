@@ -1,0 +1,81 @@
+// Pooled backing store for SoA cache state shared by many cache levels.
+//
+// The sweep engine (exp/sweep_engine) evaluates N cache configurations per
+// decoded trace event. Giving every lane's CacheLevel its own heap
+// allocations scatters the per-set tag rows and packed masks across the
+// address space; a CacheArena instead pools them into three typed slabs
+// (u64: tags + packed-LRU permutations, u32: valid/dirty/faulty masks +
+// tree-PLRU bits, u8: wide byte-rank LRU state). Lanes constructed in order
+// from one arena land back to back, so walking lane k's state after lane
+// k-1's stays on the same pages -- the "SoA-across-configs" layout of
+// DESIGN.md section 12.
+//
+// Usage: sum CacheLevel::storage_spec() over every level to be bound,
+// reserve() once, then construct the CacheLevels with the arena pointer.
+// reserve() is single-shot on purpose: growing a slab would move memory out
+// from under previously bound levels.
+#pragma once
+
+#include <stdexcept>
+#include <vector>
+
+#include "util/types.hpp"
+
+namespace pcs {
+
+/// Fixed-capacity typed slabs handed out in construction order.
+class CacheArena {
+ public:
+  /// Element counts one consumer needs from each slab.
+  struct Spec {
+    u64 u64s = 0;
+    u64 u32s = 0;
+    u64 u8s = 0;
+
+    Spec& operator+=(const Spec& o) noexcept {
+      u64s += o.u64s;
+      u32s += o.u32s;
+      u8s += o.u8s;
+      return *this;
+    }
+  };
+
+  /// Allocates the slabs (zero-filled). Call exactly once, before any
+  /// take_*(); re-reserving would invalidate handed-out pointers.
+  void reserve(const Spec& total) {
+    if (reserved_) {
+      throw std::logic_error("CacheArena::reserve called twice");
+    }
+    pool_u64_.assign(total.u64s, 0);
+    pool_u32_.assign(total.u32s, 0);
+    pool_u8_.assign(total.u8s, 0);
+    reserved_ = true;
+  }
+
+  bool reserved() const noexcept { return reserved_; }
+
+  u64* take_u64(u64 n) { return take(pool_u64_, used_u64_, n); }
+  u32* take_u32(u64 n) { return take(pool_u32_, used_u32_, n); }
+  u8* take_u8(u64 n) { return take(pool_u8_, used_u8_, n); }
+
+ private:
+  template <class T>
+  T* take(std::vector<T>& pool, u64& used, u64 n) {
+    if (!reserved_ || used + n > pool.size()) {
+      throw std::length_error("CacheArena slab over-committed");
+    }
+    T* p = pool.data() + used;
+    used += n;
+    return p;
+  }
+
+  bool reserved_ = false;
+  std::vector<u64> pool_u64_;
+  std::vector<u32> pool_u32_;
+  std::vector<u8> pool_u8_;
+  u64 used_u64_ = 0;
+  u64 used_u32_ = 0;
+  u64 used_u8_ = 0;
+};
+
+}  // namespace pcs

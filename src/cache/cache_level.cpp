@@ -5,12 +5,46 @@
 #include <cstring>
 #include <stdexcept>
 
+#include "cache/cache_level_inl.hpp"
 #include "telemetry/trace_sink.hpp"
 
 namespace pcs {
 
+namespace {
+
+/// ceil(log2(assoc)): the tag-row stride shift. Non-power-of-two widths pad
+/// the row up so `set << shift` indexing stays branch-free (17 -> 32, 24 ->
+/// 32 entries per row; the extra slots are never addressed).
+u32 row_shift(u32 assoc) {
+  return assoc <= 1 ? 0u : static_cast<u32>(std::bit_width(assoc - 1));
+}
+
+bool is_pow2(u32 x) { return x != 0 && (x & (x - 1)) == 0; }
+
+}  // namespace
+
+CacheArena::Spec CacheLevel::storage_spec(const CacheOrg& org,
+                                          const char* replacement) {
+  const u64 sets = org.num_sets();
+  CacheArena::Spec spec;
+  spec.u64s = sets << row_shift(org.assoc);  // tags (padded rows)
+  spec.u32s = 3 * sets;                      // valid + dirty + faulty masks
+  const std::string n = replacement;
+  if (n == "lru") {
+    if (org.assoc <= 16) {
+      spec.u64s += sets;  // packed permutations
+    } else {
+      spec.u8s += sets << row_shift(org.assoc);  // wide byte ranks
+    }
+  } else {
+    spec.u32s += sets;  // tree-PLRU node bits
+  }
+  return spec;
+}
+
 CacheLevel::CacheLevel(std::string name, const CacheOrg& org,
-                       u32 hit_latency_cycles, const char* replacement)
+                       u32 hit_latency_cycles, const char* replacement,
+                       CacheArena* arena)
     : name_(std::move(name)), org_(org), hit_latency_(hit_latency_cycles) {
   org_.validate();
   if (org_.assoc > 32) {
@@ -19,200 +53,69 @@ CacheLevel::CacheLevel(std::string name, const CacheOrg& org,
 
   offset_bits_ = org_.offset_bits();
   tag_shift_ = org_.offset_bits() + org_.index_bits();
-  assoc_shift_ = static_cast<u32>(std::countr_zero(org_.assoc));
+  assoc_shift_ = row_shift(org_.assoc);
   set_mask_ = org_.num_sets() - 1;
   way_mask_ = org_.assoc == 32 ? 0xFFFFFFFFu : (1u << org_.assoc) - 1;
 
   const u64 sets = org_.num_sets();
-  tags_.assign(org_.num_blocks(), 0);
-  valid_bits_.assign(sets, 0);
-  dirty_bits_.assign(sets, 0);
-  faulty_bits_.assign(sets, 0);
+  const u64 tag_slots = sets << assoc_shift_;
 
   const std::string n = replacement;
   if (n == "lru") {
-    if (org_.assoc <= 16) {
-      repl_kind_ = ReplKind::kLruPacked;
-      lru_perm_.assign(sets, packed_lru::kIdentity);
-    } else {
-      repl_kind_ = ReplKind::kLruWide;
-      lru_rank_wide_.resize(sets << assoc_shift_);
-      for (u64 s = 0; s < sets; ++s) {
-        for (u32 w = 0; w < org_.assoc; ++w) {
-          lru_rank_wide_[(s << assoc_shift_) + w] = static_cast<u8>(w);
-        }
-      }
-    }
+    repl_kind_ = org_.assoc <= 16 ? ReplKind::kLruPacked : ReplKind::kLruWide;
   } else if (n == "tree-plru") {
+    if (!is_pow2(org_.assoc)) {
+      throw std::invalid_argument(
+          "tree-plru requires power-of-two associativity");
+    }
     repl_kind_ = ReplKind::kTreePlru;
-    plru_bits_.assign(sets, 0);
   } else {
     throw std::invalid_argument("unknown replacement policy: " + n);
   }
-}
 
-// ---- Devirtualized replacement operations ---------------------------------
-
-/// Hit path: recency rank *before* promotion (the DPCS utility monitor's
-/// stack distance), then promote.
-template <CacheLevel::ReplKind K>
-u32 CacheLevel::hit_rank_and_touch(u64 set, u32 way) {
-  if constexpr (K == ReplKind::kLruPacked) {
-    u64& perm = lru_perm_[set];
-    const u32 rank = packed_lru::rank_of(perm, way);
-    perm = packed_lru::touch(perm, rank, way);
-    return rank;
-  } else if constexpr (K == ReplKind::kLruWide) {
-    u8* r = &lru_rank_wide_[set << assoc_shift_];
-    const u8 old = r[way];
-    for (u32 w = 0; w < org_.assoc; ++w) {
-      if (r[w] < old) ++r[w];
+  // Bind storage: carve the already-zeroed arena slabs, or own zero-filled
+  // vectors with the same layout. Pointer arithmetic past here is identical
+  // for both backings.
+  if (arena != nullptr) {
+    tags_ = arena->take_u64(tag_slots);
+    valid_bits_ = arena->take_u32(sets);
+    dirty_bits_ = arena->take_u32(sets);
+    faulty_bits_ = arena->take_u32(sets);
+    if (repl_kind_ == ReplKind::kLruPacked) {
+      lru_perm_ = arena->take_u64(sets);
+    } else if (repl_kind_ == ReplKind::kLruWide) {
+      lru_rank_wide_ = arena->take_u8(tag_slots);
+    } else {
+      plru_bits_ = arena->take_u32(sets);
     }
-    r[way] = 0;
-    return old;
   } else {
-    plru_bits_[set] = packed_plru::touch(plru_bits_[set], org_.assoc, way);
-    return 0;  // tree-PLRU has no exact recency order
-  }
-}
-
-template <CacheLevel::ReplKind K>
-void CacheLevel::repl_touch(u64 set, u32 way) {
-  if constexpr (K == ReplKind::kLruPacked) {
-    u64& perm = lru_perm_[set];
-    perm = packed_lru::touch(perm, packed_lru::rank_of(perm, way), way);
-  } else if constexpr (K == ReplKind::kLruWide) {
-    u8* r = &lru_rank_wide_[set << assoc_shift_];
-    const u8 old = r[way];
-    for (u32 w = 0; w < org_.assoc; ++w) {
-      if (r[w] < old) ++r[w];
+    const auto spec = storage_spec(org_, replacement);
+    own_u64_.assign(spec.u64s, 0);
+    own_u32_.assign(spec.u32s, 0);
+    own_u8_.assign(spec.u8s, 0);
+    tags_ = own_u64_.data();
+    valid_bits_ = own_u32_.data();
+    dirty_bits_ = valid_bits_ + sets;
+    faulty_bits_ = dirty_bits_ + sets;
+    if (repl_kind_ == ReplKind::kLruPacked) {
+      lru_perm_ = tags_ + tag_slots;
+    } else if (repl_kind_ == ReplKind::kLruWide) {
+      lru_rank_wide_ = own_u8_.data();
+    } else {
+      plru_bits_ = faulty_bits_ + sets;
     }
-    r[way] = 0;
-  } else {
-    plru_bits_[set] = packed_plru::touch(plru_bits_[set], org_.assoc, way);
   }
-}
 
-template <CacheLevel::ReplKind K>
-u32 CacheLevel::repl_victim(u64 set, u32 allowed) const {
-  if constexpr (K == ReplKind::kLruPacked) {
-    return packed_lru::victim(lru_perm_[set], org_.assoc, allowed);
-  } else if constexpr (K == ReplKind::kLruWide) {
-    const u8* r = &lru_rank_wide_[set << assoc_shift_];
-    u32 best = org_.assoc;
-    u32 best_rank = 0;
-    for (u32 w = 0; w < org_.assoc; ++w) {
-      if (!(allowed & (1u << w))) continue;
-      if (best == org_.assoc || r[w] > best_rank) {
-        best = w;
-        best_rank = r[w];
+  // Initial replacement order: way 0 MRU .. way assoc-1 LRU.
+  if (repl_kind_ == ReplKind::kLruPacked) {
+    std::fill(lru_perm_, lru_perm_ + sets, packed_lru::kIdentity);
+  } else if (repl_kind_ == ReplKind::kLruWide) {
+    for (u64 s = 0; s < sets; ++s) {
+      for (u32 w = 0; w < org_.assoc; ++w) {
+        lru_rank_wide_[(s << assoc_shift_) + w] = static_cast<u8>(w);
       }
     }
-    return best;
-  } else {
-    return packed_plru::victim(plru_bits_[set], org_.assoc, allowed);
   }
-}
-
-// ---- Access paths ---------------------------------------------------------
-
-template <CacheLevel::ReplKind K>
-CacheLevel::AccessResult CacheLevel::access_impl(u64 addr, bool write) {
-  ++stats_.accesses;
-  if (write) {
-    ++stats_.writes;
-  } else {
-    ++stats_.reads;
-  }
-
-  const u64 set = set_of(addr);
-  const u64 tag = tag_of(addr);
-  const u64* tags = &tags_[set << assoc_shift_];
-
-  AccessResult res;
-  for (u32 vm = valid_bits_[set]; vm != 0; vm &= vm - 1) {
-    const u32 w = static_cast<u32>(std::countr_zero(vm));
-    if (tags[w] == tag) {
-      ++stats_.hits;
-      ++stats_.hits_by_rank[hit_rank_and_touch<K>(set, w)];
-      res.hit = true;
-      dirty_bits_[set] |= static_cast<u32>(write) << w;
-      return res;
-    }
-  }
-
-  ++stats_.misses;
-
-  const u32 allowed = way_mask_ & ~faulty_bits_[set];
-  const u32 victim = repl_victim<K>(set, allowed);
-  if (victim >= org_.assoc) {
-    // Every way in the set is faulty: serve from below without caching.
-    ++stats_.bypasses;
-    res.bypassed = true;
-    return res;
-  }
-
-  const u32 vbit = 1u << victim;
-  if (valid_bits_[set] & vbit) {
-    ++stats_.evictions;
-    if (dirty_bits_[set] & vbit) {
-      res.writeback = true;
-      res.writeback_addr =
-          (tags[victim] << tag_shift_) | (set << offset_bits_);
-      ++stats_.writebacks_out;
-    }
-  }
-  valid_bits_[set] |= vbit;
-  dirty_bits_[set] = write ? dirty_bits_[set] | vbit : dirty_bits_[set] & ~vbit;
-  tags_[(set << assoc_shift_) + victim] = tag;
-  ++stats_.fills;
-  res.filled = true;
-  repl_touch<K>(set, victim);
-  return res;
-}
-
-template <CacheLevel::ReplKind K>
-CacheLevel::AccessResult CacheLevel::receive_writeback_impl(u64 addr) {
-  ++stats_.writebacks_in;
-  const u64 set = set_of(addr);
-  const u64 tag = tag_of(addr);
-  const u64* tags = &tags_[set << assoc_shift_];
-
-  AccessResult res;
-  for (u32 vm = valid_bits_[set]; vm != 0; vm &= vm - 1) {
-    const u32 w = static_cast<u32>(std::countr_zero(vm));
-    if (tags[w] == tag) {
-      res.hit = true;
-      dirty_bits_[set] |= 1u << w;
-      repl_touch<K>(set, w);
-      return res;
-    }
-  }
-
-  // Write-allocate the incoming block.
-  const u32 allowed = way_mask_ & ~faulty_bits_[set];
-  const u32 victim = repl_victim<K>(set, allowed);
-  if (victim >= org_.assoc) {
-    res.bypassed = true;  // falls through to the level below
-    return res;
-  }
-  const u32 vbit = 1u << victim;
-  if (valid_bits_[set] & vbit) {
-    ++stats_.evictions;
-    if (dirty_bits_[set] & vbit) {
-      res.writeback = true;
-      res.writeback_addr =
-          (tags[victim] << tag_shift_) | (set << offset_bits_);
-      ++stats_.writebacks_out;
-    }
-  }
-  valid_bits_[set] |= vbit;
-  dirty_bits_[set] |= vbit;
-  tags_[(set << assoc_shift_) + victim] = tag;
-  ++stats_.fills;
-  res.filled = true;
-  repl_touch<K>(set, victim);
-  return res;
 }
 
 CacheLevel::AccessResult CacheLevel::access(u64 addr, bool write) {
@@ -281,8 +184,9 @@ bool CacheLevel::invalidate(u64 set, u32 way) {
 }
 
 void CacheLevel::reset() {
-  std::fill(valid_bits_.begin(), valid_bits_.end(), 0u);
-  std::fill(dirty_bits_.begin(), dirty_bits_.end(), 0u);
+  const u64 sets = org_.num_sets();
+  std::fill(valid_bits_, valid_bits_ + sets, 0u);
+  std::fill(dirty_bits_, dirty_bits_ + sets, 0u);
 }
 
 void CacheLevel::emit_stats(TraceSink& sink,
@@ -308,5 +212,20 @@ double CacheLevel::effective_capacity() const noexcept {
   return 1.0 - static_cast<double>(faulty_count_) /
                    static_cast<double>(org_.num_blocks());
 }
+
+// Instantiate the three dispatch targets here so TUs that include only
+// cache_level.hpp link against these definitions.
+template CacheLevel::AccessResult CacheLevel::access_impl<
+    CacheLevel::ReplKind::kLruPacked>(u64, bool);
+template CacheLevel::AccessResult
+    CacheLevel::access_impl<CacheLevel::ReplKind::kLruWide>(u64, bool);
+template CacheLevel::AccessResult
+    CacheLevel::access_impl<CacheLevel::ReplKind::kTreePlru>(u64, bool);
+template CacheLevel::AccessResult CacheLevel::receive_writeback_impl<
+    CacheLevel::ReplKind::kLruPacked>(u64);
+template CacheLevel::AccessResult
+    CacheLevel::receive_writeback_impl<CacheLevel::ReplKind::kLruWide>(u64);
+template CacheLevel::AccessResult
+    CacheLevel::receive_writeback_impl<CacheLevel::ReplKind::kTreePlru>(u64);
 
 }  // namespace pcs

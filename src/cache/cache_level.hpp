@@ -17,12 +17,20 @@
 // nibble permutation, packed-u32 tree-PLRU). Results are bit-identical to
 // the virtual-policy AoS implementation, which survives as the reference
 // model in tests/test_cache_equivalence.cpp.
+//
+// Storage may be bound to an external CacheArena (SoA-across-configs; see
+// cache_arena.hpp and DESIGN.md section 12) so that the sweep engine's N
+// lane caches share three pooled slabs instead of 7N small heap blocks.
+// The associativity is any value in 1..32 -- not necessarily a power of
+// two; tag rows are padded to the next power of two so set indexing stays
+// a shift (odd widths use the wide byte-rank LRU).
 #pragma once
 
 #include <array>
 #include <string>
 #include <vector>
 
+#include "cache/cache_arena.hpp"
 #include "cache/replacement.hpp"
 #include "cachemodel/cache_org.hpp"
 #include "util/types.hpp"
@@ -63,6 +71,9 @@ struct CacheLevelStats {
     return accesses + fills + writebacks_in + transition_writebacks;
   }
 
+  /// Exact field-wise equality (differential suites compare engines).
+  bool operator==(const CacheLevelStats&) const = default;
+
   /// Component-wise difference (for excluding a warm-up window).
   CacheLevelStats operator-(const CacheLevelStats& rhs) const noexcept {
     CacheLevelStats d;
@@ -88,9 +99,34 @@ struct CacheLevelStats {
 /// A single set-associative cache level.
 class CacheLevel {
  public:
-  /// `replacement` is "lru" (paper default) or "tree-plru".
+  /// Devirtualized replacement dispatch: chosen once at construction.
+  /// Public so the fused sweep paths (cache_level_inl.hpp, Hierarchy::
+  /// access_t, exp/sweep_engine) can hoist the dispatch out of their event
+  /// loops; not otherwise a stable API.
+  enum class ReplKind : u8 {
+    kLruPacked,  ///< true LRU, u64 nibble permutation (assoc <= 16)
+    kLruWide,    ///< true LRU, byte ranks (non-pow2 or 16 < assoc <= 32)
+    kTreePlru,   ///< tree pseudo-LRU, u32 node bits (pow2 assoc only)
+  };
+
+  /// `replacement` is "lru" (paper default) or "tree-plru". When `arena` is
+  /// non-null all per-set state is carved from it (the arena must have been
+  /// reserve()d with at least this level's storage_spec()); otherwise the
+  /// level owns its storage. Either way the level must not outlive the
+  /// arena it is bound to.
   CacheLevel(std::string name, const CacheOrg& org, u32 hit_latency_cycles,
-             const char* replacement = "lru");
+             const char* replacement = "lru", CacheArena* arena = nullptr);
+
+  /// Slab element counts a level with this shape consumes from an arena.
+  static CacheArena::Spec storage_spec(const CacheOrg& org,
+                                       const char* replacement = "lru");
+
+  // External-storage pointers make copying unsafe; moving is fine (vector
+  // heap buffers are stable across moves).
+  CacheLevel(const CacheLevel&) = delete;
+  CacheLevel& operator=(const CacheLevel&) = delete;
+  CacheLevel(CacheLevel&&) = default;
+  CacheLevel& operator=(CacheLevel&&) = default;
 
   /// Outcome of one demand access (lookup + allocate-on-miss).
   struct AccessResult {
@@ -99,6 +135,8 @@ class CacheLevel {
     bool writeback = false;  ///< a dirty victim was evicted
     u64 writeback_addr = 0;
     bool bypassed = false;   ///< no usable way in the set; not cached
+
+    bool operator==(const AccessResult&) const = default;
   };
 
   /// Performs a demand read/write of the block containing `addr`.
@@ -106,6 +144,19 @@ class CacheLevel {
 
   /// Receives a writeback from the level above (write-allocates).
   AccessResult receive_writeback(u64 addr);
+
+  // ---- Fused dispatch (see cache_level_inl.hpp) ---------------------------
+  // Bodies of the K-specialized access paths live in cache_level_inl.hpp;
+  // include it to inline them into an event loop that has hoisted the
+  // repl_kind() dispatch (Hierarchy::access_t, the sweep engine). The
+  // un-templated access()/receive_writeback() above dispatch per call and
+  // are the reference the fused paths must match bit for bit.
+  template <ReplKind K>
+  AccessResult access_impl(u64 addr, bool write);
+  template <ReplKind K>
+  AccessResult receive_writeback_impl(u64 addr);
+
+  ReplKind repl_kind() const noexcept { return repl_kind_; }
 
   // ---- PCS mechanism interface -------------------------------------------
 
@@ -173,19 +224,8 @@ class CacheLevel {
   u32 way_mask() const noexcept { return way_mask_; }
 
  private:
-  /// Devirtualized replacement dispatch: chosen once at construction.
-  enum class ReplKind : u8 {
-    kLruPacked,  ///< true LRU, u64 nibble permutation (assoc <= 16)
-    kLruWide,    ///< true LRU, byte ranks (16 < assoc <= 32)
-    kTreePlru,   ///< tree pseudo-LRU, u32 node bits
-  };
-
   u64 tag_of(u64 addr) const noexcept { return addr >> tag_shift_; }
 
-  template <ReplKind K>
-  AccessResult access_impl(u64 addr, bool write);
-  template <ReplKind K>
-  AccessResult receive_writeback_impl(u64 addr);
   template <ReplKind K>
   u32 hit_rank_and_touch(u64 set, u32 way);
   template <ReplKind K>
@@ -200,21 +240,26 @@ class CacheLevel {
   // Geometry hoisted out of CacheOrg's bit-counting loops.
   u32 offset_bits_ = 0;
   u32 tag_shift_ = 0;    ///< offset_bits + index_bits
-  u32 assoc_shift_ = 0;  ///< log2(assoc); tag row base = set << assoc_shift_
+  u32 assoc_shift_ = 0;  ///< ceil(log2(assoc)); tag row base = set << assoc_shift_
   u64 set_mask_ = 0;
   u32 way_mask_ = 0;
 
-  // SoA state: tags set-major, one packed bitmask per set otherwise.
-  std::vector<u64> tags_;
-  std::vector<u32> valid_bits_;
-  std::vector<u32> dirty_bits_;
-  std::vector<u32> faulty_bits_;
+  // SoA state: tags set-major, one packed bitmask per set otherwise. The
+  // pointers alias either the own_* vectors below or an external
+  // CacheArena's slabs; hot-path code only ever sees the pointers.
+  std::vector<u64> own_u64_;
+  std::vector<u32> own_u32_;
+  std::vector<u8> own_u8_;
+  u64* tags_ = nullptr;
+  u32* valid_bits_ = nullptr;
+  u32* dirty_bits_ = nullptr;
+  u32* faulty_bits_ = nullptr;  // pcs-lint: allow(INV001) null member init; bound in ctor, not a fault-map write
 
-  // Replacement state (exactly one vector is populated, per repl_kind_).
+  // Replacement state (exactly one pointer is bound, per repl_kind_).
   ReplKind repl_kind_ = ReplKind::kLruPacked;
-  std::vector<u64> lru_perm_;       ///< packed_lru permutation per set
-  std::vector<u8> lru_rank_wide_;   ///< byte ranks, set-major (assoc > 16)
-  std::vector<u32> plru_bits_;      ///< packed_plru node bits per set
+  u64* lru_perm_ = nullptr;       ///< packed_lru permutation per set
+  u8* lru_rank_wide_ = nullptr;   ///< byte ranks, set-major (wide LRU)
+  u32* plru_bits_ = nullptr;      ///< packed_plru node bits per set
 
   CacheLevelStats stats_;
   u64 faulty_count_ = 0;

@@ -1,0 +1,185 @@
+// Template bodies of CacheLevel's devirtualized access paths.
+//
+// These are the K-specialized implementations behind access() and
+// receive_writeback(). They live in their own header -- included by
+// cache_level.cpp (which instantiates the three ReplKinds behind the
+// per-call dispatch switch) and, deliberately, by the sweep engine's
+// translation unit so its fused event loop can inline the whole access
+// path after hoisting the repl_kind() dispatch out of the loop. Keeping
+// the opt-in at TU granularity leaves the scalar engine's codegen exactly
+// as it was: the scalar path stays the reference spec the differential
+// suites compare against, and speedups reported for the sweep engine are
+// not flattered by a faster baseline.
+#pragma once
+
+#include <bit>
+
+#include "cache/cache_level.hpp"
+
+namespace pcs {
+
+// ---- Devirtualized replacement operations ---------------------------------
+
+/// Hit path: recency rank *before* promotion (the DPCS utility monitor's
+/// stack distance), then promote.
+template <CacheLevel::ReplKind K>
+u32 CacheLevel::hit_rank_and_touch(u64 set, u32 way) {
+  if constexpr (K == ReplKind::kLruPacked) {
+    u64& perm = lru_perm_[set];
+    const u32 rank = packed_lru::rank_of(perm, way);
+    perm = packed_lru::touch(perm, rank, way);
+    return rank;
+  } else if constexpr (K == ReplKind::kLruWide) {
+    u8* r = &lru_rank_wide_[set << assoc_shift_];
+    const u8 old = r[way];
+    for (u32 w = 0; w < org_.assoc; ++w) {
+      if (r[w] < old) ++r[w];
+    }
+    r[way] = 0;
+    return old;
+  } else {
+    plru_bits_[set] = packed_plru::touch(plru_bits_[set], org_.assoc, way);
+    return 0;  // tree-PLRU has no exact recency order
+  }
+}
+
+template <CacheLevel::ReplKind K>
+void CacheLevel::repl_touch(u64 set, u32 way) {
+  if constexpr (K == ReplKind::kLruPacked) {
+    u64& perm = lru_perm_[set];
+    perm = packed_lru::touch(perm, packed_lru::rank_of(perm, way), way);
+  } else if constexpr (K == ReplKind::kLruWide) {
+    u8* r = &lru_rank_wide_[set << assoc_shift_];
+    const u8 old = r[way];
+    for (u32 w = 0; w < org_.assoc; ++w) {
+      if (r[w] < old) ++r[w];
+    }
+    r[way] = 0;
+  } else {
+    plru_bits_[set] = packed_plru::touch(plru_bits_[set], org_.assoc, way);
+  }
+}
+
+template <CacheLevel::ReplKind K>
+u32 CacheLevel::repl_victim(u64 set, u32 allowed) const {
+  if constexpr (K == ReplKind::kLruPacked) {
+    return packed_lru::victim(lru_perm_[set], org_.assoc, allowed);
+  } else if constexpr (K == ReplKind::kLruWide) {
+    const u8* r = &lru_rank_wide_[set << assoc_shift_];
+    u32 best = org_.assoc;
+    u32 best_rank = 0;
+    for (u32 w = 0; w < org_.assoc; ++w) {
+      if (!(allowed & (1u << w))) continue;
+      if (best == org_.assoc || r[w] > best_rank) {
+        best = w;
+        best_rank = r[w];
+      }
+    }
+    return best;
+  } else {
+    return packed_plru::victim(plru_bits_[set], org_.assoc, allowed);
+  }
+}
+
+// ---- Access paths ---------------------------------------------------------
+
+template <CacheLevel::ReplKind K>
+CacheLevel::AccessResult CacheLevel::access_impl(u64 addr, bool write) {
+  ++stats_.accesses;
+  if (write) {
+    ++stats_.writes;
+  } else {
+    ++stats_.reads;
+  }
+
+  const u64 set = set_of(addr);
+  const u64 tag = tag_of(addr);
+  const u64* tags = &tags_[set << assoc_shift_];
+
+  AccessResult res;
+  for (u32 vm = valid_bits_[set]; vm != 0; vm &= vm - 1) {
+    const u32 w = static_cast<u32>(std::countr_zero(vm));
+    if (tags[w] == tag) {
+      ++stats_.hits;
+      ++stats_.hits_by_rank[hit_rank_and_touch<K>(set, w)];
+      res.hit = true;
+      dirty_bits_[set] |= static_cast<u32>(write) << w;
+      return res;
+    }
+  }
+
+  ++stats_.misses;
+
+  const u32 allowed = way_mask_ & ~faulty_bits_[set];
+  const u32 victim = repl_victim<K>(set, allowed);
+  if (victim >= org_.assoc) {
+    // Every way in the set is faulty: serve from below without caching.
+    ++stats_.bypasses;
+    res.bypassed = true;
+    return res;
+  }
+
+  const u32 vbit = 1u << victim;
+  if (valid_bits_[set] & vbit) {
+    ++stats_.evictions;
+    if (dirty_bits_[set] & vbit) {
+      res.writeback = true;
+      res.writeback_addr =
+          (tags[victim] << tag_shift_) | (set << offset_bits_);
+      ++stats_.writebacks_out;
+    }
+  }
+  valid_bits_[set] |= vbit;
+  dirty_bits_[set] = write ? dirty_bits_[set] | vbit : dirty_bits_[set] & ~vbit;
+  tags_[(set << assoc_shift_) + victim] = tag;
+  ++stats_.fills;
+  res.filled = true;
+  repl_touch<K>(set, victim);
+  return res;
+}
+
+template <CacheLevel::ReplKind K>
+CacheLevel::AccessResult CacheLevel::receive_writeback_impl(u64 addr) {
+  ++stats_.writebacks_in;
+  const u64 set = set_of(addr);
+  const u64 tag = tag_of(addr);
+  const u64* tags = &tags_[set << assoc_shift_];
+
+  AccessResult res;
+  for (u32 vm = valid_bits_[set]; vm != 0; vm &= vm - 1) {
+    const u32 w = static_cast<u32>(std::countr_zero(vm));
+    if (tags[w] == tag) {
+      res.hit = true;
+      dirty_bits_[set] |= 1u << w;
+      repl_touch<K>(set, w);
+      return res;
+    }
+  }
+
+  // Write-allocate the incoming block.
+  const u32 allowed = way_mask_ & ~faulty_bits_[set];
+  const u32 victim = repl_victim<K>(set, allowed);
+  if (victim >= org_.assoc) {
+    res.bypassed = true;  // falls through to the level below
+    return res;
+  }
+  const u32 vbit = 1u << victim;
+  if (valid_bits_[set] & vbit) {
+    ++stats_.evictions;
+    if (dirty_bits_[set] & vbit) {
+      res.writeback = true;
+      res.writeback_addr =
+          (tags[victim] << tag_shift_) | (set << offset_bits_);
+      ++stats_.writebacks_out;
+    }
+  }
+  valid_bits_[set] |= vbit;
+  dirty_bits_[set] |= vbit;
+  tags_[(set << assoc_shift_) + victim] = tag;
+  ++stats_.fills;
+  res.filled = true;
+  repl_touch<K>(set, victim);
+  return res;
+}
+
+}  // namespace pcs

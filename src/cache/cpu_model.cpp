@@ -5,10 +5,7 @@ namespace pcs {
 bool CpuModel::step(TraceSource& trace, AccessOutcome& out) {
   TraceEvent ev;
   if (!trace.next(ev)) return false;
-  out = hier_->access(ev.ref);
-  stats_.instructions += ev.gap_instructions + 1;
-  stats_.refs += 1;
-  stats_.cycles += ev.gap_instructions + out.latency;
+  step_decoded<kReplDynamic>(ev, out);
   return true;
 }
 

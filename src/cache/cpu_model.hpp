@@ -51,6 +51,18 @@ class CpuModel final : public CycleClock {
   /// `out` receives the hierarchy outcome for observers (policies, meters).
   bool step(TraceSource& trace, AccessOutcome& out);
 
+  /// Retires one already-decoded event: the non-decode half of step().
+  /// The sweep engine decodes each trace event once and replays it into
+  /// every lane through this entry point; K binds the hierarchy access
+  /// path as in Hierarchy::access_t (kReplDynamic == scalar behavior).
+  template <int K>
+  void step_decoded(const TraceEvent& ev, AccessOutcome& out) {
+    out = hier_->access_t<K>(ev.ref);
+    stats_.instructions += ev.gap_instructions + 1;
+    stats_.refs += 1;
+    stats_.cycles += ev.gap_instructions + out.latency;
+  }
+
   /// Runs up to `max_refs` references (0 = until the trace ends).
   void run(TraceSource& trace, u64 max_refs = 0);
 

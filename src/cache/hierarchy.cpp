@@ -1,58 +1,28 @@
 #include "cache/hierarchy.hpp"
 
+#include "cache/hierarchy_inl.hpp"
+
 namespace pcs {
 
-Hierarchy::Hierarchy(const HierarchyConfig& cfg) : cfg_(cfg) {
+Hierarchy::Hierarchy(const HierarchyConfig& cfg, CacheArena* arena)
+    : cfg_(cfg) {
   l1i_ = std::make_unique<CacheLevel>("L1I", cfg.l1i, cfg.l1_hit_latency,
-                                      cfg.replacement);
+                                      cfg.replacement, arena);
   l1d_ = std::make_unique<CacheLevel>("L1D", cfg.l1d, cfg.l1_hit_latency,
-                                      cfg.replacement);
+                                      cfg.replacement, arena);
   l2_ = std::make_unique<CacheLevel>("L2", cfg.l2, cfg.l2_hit_latency,
-                                     cfg.replacement);
+                                     cfg.replacement, arena);
 }
 
-void Hierarchy::l2_access(u64 addr, bool write, AccessOutcome& out) {
-  out.latency += cfg_.l2_hit_latency;
-  const auto r2 = l2_->access(addr, write);
-  out.l2_hit = r2.hit;
-  if (!r2.hit) {
-    out.latency += cfg_.mem_latency;
-    out.mem_access = true;
-    ++mem_reads_;  // block fetch from DRAM
-  }
-  if (r2.writeback) ++mem_writes_;
-  if (r2.bypassed && write) ++mem_writes_;  // uncacheable dirty data
+CacheArena::Spec Hierarchy::storage_spec(const HierarchyConfig& cfg) {
+  CacheArena::Spec spec = CacheLevel::storage_spec(cfg.l1i, cfg.replacement);
+  spec += CacheLevel::storage_spec(cfg.l1d, cfg.replacement);
+  spec += CacheLevel::storage_spec(cfg.l2, cfg.replacement);
+  return spec;
 }
 
 AccessOutcome Hierarchy::access(const MemRef& ref) {
-  AccessOutcome out;
-  CacheLevel& l1 = ref.ifetch ? *l1i_ : *l1d_;
-
-  out.latency += cfg_.l1_hit_latency;
-  const auto r1 = l1.access(ref.addr, ref.write);
-  out.l1_hit = r1.hit;
-
-  if (r1.writeback) {
-    // Victim writeback drains to L2 off the critical path (no latency).
-    const auto wb = l2_->receive_writeback(r1.writeback_addr);
-    if (wb.writeback) ++mem_writes_;
-    if (wb.bypassed) ++mem_writes_;
-  }
-
-  if (!r1.hit) {
-    // Demand fill from L2 (and DRAM beyond it on an L2 miss).
-    l2_access(ref.addr, false, out);
-    if (r1.bypassed && ref.write) {
-      // The store could not allocate in L1; its data is captured by L2
-      // via a write access instead. Its outcome carries DRAM traffic too:
-      // a dirty victim it evicts, or the dirty data itself when L2 cannot
-      // allocate either (all ways faulty), must reach memory.
-      const auto r2 = l2_->access(ref.addr, true);
-      if (r2.writeback) ++mem_writes_;
-      if (r2.bypassed) ++mem_writes_;  // uncacheable dirty data
-    }
-  }
-  return out;
+  return access_t<kReplDynamic>(ref);
 }
 
 void Hierarchy::writeback_from(CacheLevel& from, u64 addr) {
@@ -64,5 +34,10 @@ void Hierarchy::writeback_from(CacheLevel& from, u64 addr) {
   if (wb.writeback) ++mem_writes_;
   if (wb.bypassed) ++mem_writes_;
 }
+
+// The scalar engine's instantiation: per-call replacement dispatch, exactly
+// the pre-template codegen. ReplKind-bound instantiations are produced by
+// the sweep engine's own TU (which inlines cache_level_inl.hpp too).
+template AccessOutcome Hierarchy::access_t<kReplDynamic>(const MemRef&);
 
 }  // namespace pcs

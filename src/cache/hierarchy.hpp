@@ -12,6 +12,10 @@
 
 namespace pcs {
 
+/// Sentinel for Hierarchy::access_t: dispatch replacement per call via the
+/// public CacheLevel entry points instead of binding one ReplKind.
+inline constexpr int kReplDynamic = -1;
+
 /// Hierarchy construction parameters.
 struct HierarchyConfig {
   CacheOrg l1i{32 * 1024, 4, 64, 31};
@@ -45,10 +49,22 @@ class WritebackSink {
 /// Non-inclusive, write-back, write-allocate two-level hierarchy.
 class Hierarchy final : public WritebackSink {
  public:
-  explicit Hierarchy(const HierarchyConfig& cfg);
+  /// When `arena` is non-null the three levels carve their state from it
+  /// (reserve() it with storage_spec() first); see cache_arena.hpp.
+  explicit Hierarchy(const HierarchyConfig& cfg, CacheArena* arena = nullptr);
+
+  /// Arena slab footprint of all three levels of `cfg`.
+  static CacheArena::Spec storage_spec(const HierarchyConfig& cfg);
 
   /// Performs one demand reference end-to-end (fills, writebacks, DRAM).
   AccessOutcome access(const MemRef& ref);
+
+  /// Single-definition access path; access() == access_t<kReplDynamic>.
+  /// Instantiate with a CacheLevel::ReplKind value (only when all three
+  /// levels share it) to bind the replacement dispatch at compile time --
+  /// bodies in hierarchy_inl.hpp.
+  template <int K>
+  AccessOutcome access_t(const MemRef& ref);
 
   CacheLevel& l1i() noexcept { return *l1i_; }
   CacheLevel& l1d() noexcept { return *l1d_; }
@@ -68,7 +84,8 @@ class Hierarchy final : public WritebackSink {
   void writeback_from(CacheLevel& from, u64 addr) override;
 
  private:
-  void l2_access(u64 addr, bool write, AccessOutcome& out);
+  template <int K>
+  void l2_access_t(u64 addr, bool write, AccessOutcome& out);
 
   HierarchyConfig cfg_;
   std::unique_ptr<CacheLevel> l1i_;

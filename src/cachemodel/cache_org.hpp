@@ -40,15 +40,27 @@ struct CacheOrg {
     return phys_addr_bits - offset_bits() - index_bits();
   }
 
-  /// Throws if any field is zero or not a power of two, or if the block
-  /// count is not divisible by the associativity.
+  /// Throws unless the geometry is indexable: power-of-two block size and
+  /// set count (the simulator extracts set/tag by shifting and masking), a
+  /// whole number of blocks and sets, and a wide-enough physical address.
+  /// The associativity itself need NOT be a power of two -- odd widths such
+  /// as 17 or 24 ways are legal (the wide byte-rank LRU handles them) as
+  /// long as the resulting set count stays a power of two.
   void validate() const {
     auto pow2 = [](u64 x) { return x != 0 && (x & (x - 1)) == 0; };
-    if (!pow2(size_bytes) || !pow2(assoc) || !pow2(block_bytes)) {
-      throw std::invalid_argument("CacheOrg fields must be powers of two");
+    if (!pow2(block_bytes)) {
+      throw std::invalid_argument("block_bytes must be a power of two");
+    }
+    if (assoc == 0 || size_bytes == 0 || size_bytes % block_bytes != 0 ||
+        num_blocks() % assoc != 0) {
+      throw std::invalid_argument(
+          "size_bytes must be a whole number of sets of whole blocks");
     }
     if (size_bytes < static_cast<u64>(assoc) * block_bytes) {
       throw std::invalid_argument("cache smaller than one set");
+    }
+    if (!pow2(num_sets())) {
+      throw std::invalid_argument("set count must be a power of two");
     }
     if (phys_addr_bits <= offset_bits() + index_bits()) {
       throw std::invalid_argument("address width too small for organisation");

@@ -27,46 +27,25 @@ Volt PcsController::current_vdd() const noexcept {
   return mech_ ? mech_->current_vdd() : meter_.current_vdd();
 }
 
-void PcsController::tick() {
+void PcsController::close_window() {
   const CacheLevelStats& s = cache_->stats();
-
-  // Dynamic energy for everything that toggled the arrays since last tick,
-  // at the voltage in force now (transitions sync the meter, so per-window
-  // attribution is exact).
-  const u64 ea = s.energy_accesses();
-  if (ea != seen_energy_accesses_) {
-    meter_.add_accesses(ea - seen_energy_accesses_);
-    seen_energy_accesses_ = ea;
+  bool deferred = false;
+  if (refill_fills_needed_ > 0 &&
+      s.fills - fills_at_transition_ < refill_fills_needed_ &&
+      deferred_windows_ < kMaxDeferredWindows) {
+    // Still refilling restored blocks: this window's miss rate reflects
+    // the transition churn, not the workload. Discard it.
+    ++deferred_windows_;
+    deferred = true;
+  } else {
+    refill_fills_needed_ = 0;
+    evaluate_policy();
   }
-
-  if (!policy_ || interval_accesses_ == 0) return;
-
-  const u64 delta = s.accesses - seen_accesses_;
-  if (delta == 0) return;
-  window_accesses_ += delta;
-  window_misses_ += s.misses - seen_misses_;
-  seen_accesses_ = s.accesses;
-  seen_misses_ = s.misses;
-
-  if (window_accesses_ >= interval_accesses_) {
-    bool deferred = false;
-    if (refill_fills_needed_ > 0 &&
-        s.fills - fills_at_transition_ < refill_fills_needed_ &&
-        deferred_windows_ < kMaxDeferredWindows) {
-      // Still refilling restored blocks: this window's miss rate reflects
-      // the transition churn, not the workload. Discard it.
-      ++deferred_windows_;
-      deferred = true;
-    } else {
-      refill_fills_needed_ = 0;
-      evaluate_policy();
-    }
-    if (trace_) emit_interval_records(deferred);
-    ++interval_index_;
-    window_accesses_ = 0;
-    window_misses_ = 0;
-    rank_snapshot_ = cache_->stats().hits_by_rank;
-  }
+  if (trace_) emit_interval_records(deferred);
+  ++interval_index_;
+  window_accesses_ = 0;
+  window_misses_ = 0;
+  rank_snapshot_ = cache_->stats().hits_by_rank;
 }
 
 void PcsController::set_trace(TraceSink* sink) noexcept {

@@ -48,7 +48,32 @@ class PcsController {
 
   /// Call after every CPU step; detects new accesses to this cache, charges
   /// dynamic energy, and evaluates the policy at interval boundaries.
-  void tick();
+  /// Inline: this runs once per cache level per retired reference in both
+  /// the scalar and sweep engines (same codegen for both); only the
+  /// interval-boundary work stays out of line in close_window().
+  void tick() {
+    const CacheLevelStats& s = cache_->stats();
+
+    // Dynamic energy for everything that toggled the arrays since last
+    // tick, at the voltage in force now (transitions sync the meter, so
+    // per-window attribution is exact).
+    const u64 ea = s.energy_accesses();
+    if (ea != seen_energy_accesses_) {
+      meter_.add_accesses(ea - seen_energy_accesses_);
+      seen_energy_accesses_ = ea;
+    }
+
+    if (!policy_ || interval_accesses_ == 0) return;
+
+    const u64 delta = s.accesses - seen_accesses_;
+    if (delta == 0) return;
+    window_accesses_ += delta;
+    window_misses_ += s.misses - seen_misses_;
+    seen_accesses_ = s.accesses;
+    seen_misses_ = s.misses;
+
+    if (window_accesses_ >= interval_accesses_) close_window();
+  }
 
   /// Integrates leakage up to the current CPU cycle (call at run end and
   /// before reading energies mid-run).
@@ -77,6 +102,9 @@ class PcsController {
   Volt current_vdd() const noexcept;
 
  private:
+  /// Interval-boundary handling: refill deferral, policy evaluation,
+  /// telemetry, window reset (the cold tail of tick()).
+  void close_window();
   void evaluate_policy();
   void do_transition(u32 want);
   void account_level_cycles(Cycle now);

@@ -31,10 +31,6 @@ void EnergyMeter::set_state(Cycle now, Volt vdd,
   current_access_energy_ = model_.dynamic_access_energy(vdd);
 }
 
-void EnergyMeter::add_accesses(u64 n) noexcept {
-  dynamic_e_ += static_cast<double>(n) * current_access_energy_;
-}
-
 void EnergyMeter::add_transition(Volt from_vdd, Volt to_vdd) noexcept {
   transition_e_ += model_.transition_energy(to_vdd - from_vdd);
 }

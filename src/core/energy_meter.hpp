@@ -27,8 +27,13 @@ class EnergyMeter {
   /// Changes the leakage state (advance() first so prior state is charged).
   void set_state(Cycle now, Volt vdd, double gated_fraction) noexcept;
 
-  /// Charges `n` array accesses at the current data VDD.
-  void add_accesses(u64 n) noexcept;
+  /// Charges `n` array accesses at the current data VDD. Inline: this is
+  /// the one meter call on the per-reference tick path. Callers MUST pass
+  /// the full delta in one call -- n accesses charged one by one accumulate
+  /// in a different floating-point order and break report bit-identity.
+  void add_accesses(u64 n) noexcept {
+    dynamic_e_ += static_cast<double>(n) * current_access_energy_;
+  }
 
   /// Charges one transition's energy (sweep + rail recharge over delta V).
   void add_transition(Volt from_vdd, Volt to_vdd) noexcept;

@@ -22,9 +22,9 @@ const char* to_string(PolicyKind kind) noexcept {
 }
 
 PcsSystem::PcsSystem(const SystemConfig& config, PolicyKind kind,
-                     u64 chip_seed)
+                     u64 chip_seed, CacheArena* arena)
     : cfg_(config), kind_(kind) {
-  hier_ = std::make_unique<Hierarchy>(cfg_.hierarchy_config());
+  hier_ = std::make_unique<Hierarchy>(cfg_.hierarchy_config(), arena);
   cpu_ = std::make_unique<CpuModel>(*hier_, cfg_.clock_ghz);
 
   Rng chip_rng(chip_seed);
@@ -34,6 +34,10 @@ PcsSystem::PcsSystem(const SystemConfig& config, PolicyKind kind,
                              &ladder_l1d_);
   ctl_l2_ =
       make_controller(hier_->l2(), cfg_.l2, chip_rng.next_u64(), &ladder_l2_);
+}
+
+CacheArena::Spec PcsSystem::storage_spec(const SystemConfig& config) {
+  return Hierarchy::storage_spec(config.hierarchy_config());
 }
 
 std::unique_ptr<PcsController> PcsSystem::make_controller(
@@ -140,59 +144,48 @@ CacheEnergyReport make_cache_report(const PcsController& ctl,
 
 }  // namespace
 
-SimReport PcsSystem::run(TraceSource& trace, const RunParams& params) {
-  // Warm-up window (the analog of the paper's 1B-instruction fast-forward).
-  AccessOutcome out;
-  u64 warm = 0;
-  while (warm < params.warmup_refs && cpu_->step(trace, out)) {
-    ctl_l1i_->tick();
-    ctl_l1d_->tick();
-    ctl_l2_->tick();
-    ++warm;
-  }
+PcsSystem::MeasureBaseline PcsSystem::begin_measurement() {
   ctl_l1i_->reset_measurement();
   ctl_l1d_->reset_measurement();
   ctl_l2_->reset_measurement();
 
-  const CacheLevelStats s1i = hier_->l1i().stats();
-  const CacheLevelStats s1d = hier_->l1d().stats();
-  const CacheLevelStats s2 = hier_->l2().stats();
-  const CpuStats cpu0 = cpu_->stats();
-  const u64 mem_r0 = hier_->mem_reads();
-  const u64 mem_w0 = hier_->mem_writes();
+  MeasureBaseline base;
+  base.l1i = hier_->l1i().stats();
+  base.l1d = hier_->l1d().stats();
+  base.l2 = hier_->l2().stats();
+  base.cpu = cpu_->stats();
+  base.mem_reads = hier_->mem_reads();
+  base.mem_writes = hier_->mem_writes();
+  return base;
+}
 
-  u64 measured = 0;
-  while (measured < params.max_refs && cpu_->step(trace, out)) {
-    ctl_l1i_->tick();
-    ctl_l1d_->tick();
-    ctl_l2_->tick();
-    ++measured;
-  }
+SimReport PcsSystem::finish_measurement(const MeasureBaseline& base,
+                                        const std::string& workload) {
   ctl_l1i_->finalize();
   ctl_l1d_->finalize();
   ctl_l2_->finalize();
 
   SimReport rep;
   rep.config_name = cfg_.name;
-  rep.workload = trace.name();
+  rep.workload = workload;
   rep.policy = to_string(kind_);
-  rep.instructions = cpu_->stats().instructions - cpu0.instructions;
-  rep.refs = cpu_->stats().refs - cpu0.refs;
-  rep.cycles = cpu_->stats().cycles - cpu0.cycles;
+  rep.instructions = cpu_->stats().instructions - base.cpu.instructions;
+  rep.refs = cpu_->stats().refs - base.cpu.refs;
+  rep.cycles = cpu_->stats().cycles - base.cpu.cycles;
   rep.seconds = static_cast<double>(rep.cycles) / (cfg_.clock_ghz * 1e9);
   rep.ipc = rep.cycles ? static_cast<double>(rep.instructions) /
                              static_cast<double>(rep.cycles)
                        : 0.0;
-  rep.mem_reads = hier_->mem_reads() - mem_r0;
-  rep.mem_writes = hier_->mem_writes() - mem_w0;
-  rep.l1i = make_cache_report(*ctl_l1i_, hier_->l1i().stats() - s1i);
-  rep.l1d = make_cache_report(*ctl_l1d_, hier_->l1d().stats() - s1d);
-  rep.l2 = make_cache_report(*ctl_l2_, hier_->l2().stats() - s2);
+  rep.mem_reads = hier_->mem_reads() - base.mem_reads;
+  rep.mem_writes = hier_->mem_writes() - base.mem_writes;
+  rep.l1i = make_cache_report(*ctl_l1i_, hier_->l1i().stats() - base.l1i);
+  rep.l1d = make_cache_report(*ctl_l1d_, hier_->l1d().stats() - base.l1d);
+  rep.l2 = make_cache_report(*ctl_l2_, hier_->l2().stats() - base.l2);
 
   if (trace_) {
-    hier_->l1i().emit_stats(*trace_, hier_->l1i().stats() - s1i);
-    hier_->l1d().emit_stats(*trace_, hier_->l1d().stats() - s1d);
-    hier_->l2().emit_stats(*trace_, hier_->l2().stats() - s2);
+    hier_->l1i().emit_stats(*trace_, hier_->l1i().stats() - base.l1i);
+    hier_->l1d().emit_stats(*trace_, hier_->l1d().stats() - base.l1d);
+    hier_->l2().emit_stats(*trace_, hier_->l2().stats() - base.l2);
     TraceRecord rec("run_summary");
     rec.field("config", rep.config_name)
         .field("workload", rep.workload)
@@ -206,6 +199,24 @@ SimReport PcsSystem::run(TraceSource& trace, const RunParams& params) {
     trace_->emit(rec);
   }
   return rep;
+}
+
+SimReport PcsSystem::run(TraceSource& trace, const RunParams& params) {
+  // Warm-up window (the analog of the paper's 1B-instruction fast-forward).
+  AccessOutcome out;
+  u64 warm = 0;
+  while (warm < params.warmup_refs && cpu_->step(trace, out)) {
+    tick_all();
+    ++warm;
+  }
+  const MeasureBaseline base = begin_measurement();
+
+  u64 measured = 0;
+  while (measured < params.max_refs && cpu_->step(trace, out)) {
+    tick_all();
+    ++measured;
+  }
+  return finish_measurement(base, trace.name());
 }
 
 SimReport run_one(const SystemConfig& config, const std::string& workload,

@@ -34,6 +34,10 @@ const char* to_string(PolicyKind kind) noexcept;
 struct RunParams {
   u64 max_refs = 2'000'000;    ///< measured references after warm-up
   u64 warmup_refs = 300'000;   ///< references discarded before measuring
+
+  /// Points sharing params (and workload + trace seed) may share one trace
+  /// decode in the sweep engine.
+  bool operator==(const RunParams&) const = default;
 };
 
 /// Per-cache results over the measured window.
@@ -89,11 +93,47 @@ struct SimReport {
 class PcsSystem {
  public:
   /// `chip_seed` fixes the manufactured fault maps (one die); reruns with
-  /// the same seed land on the same chip.
-  PcsSystem(const SystemConfig& config, PolicyKind kind, u64 chip_seed);
+  /// the same seed land on the same chip. When `arena` is non-null the
+  /// hierarchy's SoA state is carved from it (reserve() it with
+  /// storage_spec() first; see cache_arena.hpp).
+  PcsSystem(const SystemConfig& config, PolicyKind kind, u64 chip_seed,
+            CacheArena* arena = nullptr);
+
+  /// Arena slab footprint of one system built from `config`.
+  static CacheArena::Spec storage_spec(const SystemConfig& config);
 
   /// Runs `trace` (warm-up + measured window) and reports.
   SimReport run(TraceSource& trace, const RunParams& params);
+
+  // ---- Piecewise run (the sweep engine's drive points) -------------------
+  // run() == warm-up step/tick loop + begin_measurement() + measured
+  // step/tick loop + finish_measurement(). The sweep engine replays shared
+  // decoded events into many systems, so it owns the loops and calls these
+  // boundaries per lane; the sequencing here must stay bit-identical to
+  // run()'s.
+
+  /// Counter snapshot taken at the warm-up/measured boundary.
+  struct MeasureBaseline {
+    CacheLevelStats l1i, l1d, l2;
+    CpuStats cpu;
+    u64 mem_reads = 0;
+    u64 mem_writes = 0;
+  };
+
+  /// Ends warm-up: re-arms meters/monitors and snapshots all counters.
+  MeasureBaseline begin_measurement();
+
+  /// Finalizes the controllers and builds the measured-window report,
+  /// emitting the cache_stats / run_summary telemetry when traced.
+  SimReport finish_measurement(const MeasureBaseline& base,
+                               const std::string& workload);
+
+  /// Advances all three PCS controllers (call once per retired reference).
+  void tick_all() {
+    ctl_l1i_->tick();
+    ctl_l1d_->tick();
+    ctl_l2_->tick();
+  }
 
   /// Attaches a telemetry sink to every controller (nullptr disables).
   /// Tracing never perturbs the simulation: a traced run's SimReport is

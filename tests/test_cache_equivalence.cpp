@@ -11,6 +11,7 @@
 // hot-path rebuild (DESIGN.md section 9) changed no observable behavior.
 #include <gtest/gtest.h>
 
+#include <stdexcept>
 #include <vector>
 
 #include "cache/cache_level.hpp"
@@ -301,6 +302,19 @@ TEST(CacheEquivalence, EdgeAssociativities) {
                    150'000);
   run_differential(CacheOrg{32 * 1024, 32, 64, 31}, "tree-plru", 0xCAB,
                    150'000);
+}
+
+/// Non-power-of-two associativities (17- and 24-way; sets stay a power of
+/// two, tag rows are padded to 32): the byte-rank LRU path with a partial
+/// top row -- only "lru" is legal here, tree-PLRU rejects odd widths.
+TEST(CacheEquivalence, NonPowerOfTwoAssociativities) {
+  run_differential(CacheOrg{64 * 17 * 64, 17, 64, 31}, "lru", 0x171,
+                   150'000);
+  run_differential(CacheOrg{32 * 24 * 64, 24, 64, 31}, "lru", 0x242,
+                   150'000);
+  EXPECT_THROW(CacheLevel("bad", CacheOrg{64 * 17 * 64, 17, 64, 31}, 1,
+                          "tree-plru"),
+               std::invalid_argument);
 }
 
 }  // namespace

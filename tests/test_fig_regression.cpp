@@ -8,10 +8,13 @@
 // trace lengths.
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <vector>
 
 #include "core/system.hpp"
 #include "exp/experiment_runner.hpp"
+#include "exp/sweep_engine.hpp"
+#include "util/rng.hpp"
 
 namespace pcs {
 namespace {
@@ -20,39 +23,50 @@ struct FigRow {
   SimReport base, spcs, dpcs;
 };
 
+/// The shrunk Fig. 4 grid every golden assertion runs against.
+ExperimentGrid golden_grid() {
+  RunParams rp;
+  rp.max_refs = 50'000;
+  rp.warmup_refs = 12'500;
+  ExperimentGrid grid;
+  grid.add_config(SystemConfig::config_a())
+      .add_config(SystemConfig::config_b())
+      .add_workload("hmmer")
+      .add_workload("libquantum")
+      .add_policy(PolicyKind::kBaseline)
+      .add_policy(PolicyKind::kStatic)
+      .add_policy(PolicyKind::kDynamic)
+      .seeds(1, 42)
+      .params(rp);
+  return grid;
+}
+
 class FigRegression : public ::testing::Test {
  protected:
   // One grid run shared by every assertion in the suite.
   static void SetUpTestSuite() {
-    RunParams rp;
-    rp.max_refs = 50'000;
-    rp.warmup_refs = 12'500;
-    ExperimentGrid grid;
-    grid.add_config(SystemConfig::config_a())
-        .add_config(SystemConfig::config_b())
-        .add_workload("hmmer")
-        .add_workload("libquantum")
-        .add_policy(PolicyKind::kBaseline)
-        .add_policy(PolicyKind::kStatic)
-        .add_policy(PolicyKind::kDynamic)
-        .seeds(1, 42)
-        .params(rp);
-    const auto reports = ExperimentRunner().run(grid);
+    reports_ = new std::vector<SimReport>(
+        ExperimentRunner().run(golden_grid()));
     rows_ = new std::vector<FigRow>;
-    for (u64 i = 0; i < reports.size(); i += 3) {
-      rows_->push_back({reports[i], reports[i + 1], reports[i + 2]});
+    for (u64 i = 0; i < reports_->size(); i += 3) {
+      rows_->push_back(
+          {(*reports_)[i], (*reports_)[i + 1], (*reports_)[i + 2]});
     }
   }
   static void TearDownTestSuite() {
     delete rows_;
     rows_ = nullptr;
+    delete reports_;
+    reports_ = nullptr;
   }
 
   // Grid order: (A,hmmer), (A,libquantum), (B,hmmer), (B,libquantum).
   static std::vector<FigRow>* rows_;
+  static std::vector<SimReport>* reports_;  ///< flat, in grid order
 };
 
 std::vector<FigRow>* FigRegression::rows_ = nullptr;
+std::vector<SimReport>* FigRegression::reports_ = nullptr;
 
 TEST_F(FigRegression, EnergyOrderingDpcsLeSpcsLeBaseline) {
   for (const auto& r : *rows_) {
@@ -121,6 +135,68 @@ TEST_F(FigRegression, ReportsAreInternallyConsistent) {
       EXPECT_GT(rep->l1d.accesses, 0u);
       EXPECT_GT(rep->l2.accesses, 0u);
     }
+  }
+}
+
+// The --sweep-lanes path must reproduce the golden grid bit for bit: the
+// fig4 bench routed through SweepRunner is the same figure, so every field
+// of every SimReport (energy breakdowns included) has to match the scalar
+// goldens at 1 thread and at 8.
+TEST_F(FigRegression, SweepEngineReproducesGoldenGrid) {
+  for (const u32 threads : {1u, 8u}) {
+    SweepOptions opt;
+    opt.num_threads = threads;
+    opt.max_lanes = 16;
+    const auto got = SweepRunner(opt).run(golden_grid());
+    ASSERT_EQ(got.size(), reports_->size()) << threads << " threads";
+    for (std::size_t i = 0; i < got.size(); ++i) {
+      EXPECT_EQ(got[i], (*reports_)[i])
+          << "grid point " << i << " at " << threads << " threads";
+    }
+  }
+}
+
+// Same pin for the fig3d Monte-Carlo path: the sweep engine's fused
+// kernels must equal the bench's inline scalar kernel die for die, and the
+// one-pass yield counts must equal the per-voltage count_if scans, at 1
+// and 8 threads.
+TEST_F(FigRegression, SweepYieldKernelsReproduceFig3Goldens) {
+  const auto tech = Technology::soi45();
+  const CacheOrg org{64 * 1024, 4, 64, 31};  // L1 Config A, as in the bench
+  BerModel ber(tech);
+  const u64 trials = 256, mc_seed = 7;
+
+  // Inline scalar kernel, verbatim from bench/fig3_yield.cpp.
+  std::vector<float> want(trials);
+  for (u64 i = 0; i < trials; ++i) {
+    Rng rng(derive_seed(mc_seed, 0, i));
+    const auto field = CellFaultField::sample_fast(
+        ber, org.num_blocks(), org.bits_per_block(), rng);
+    float worst_set = 0.0f;
+    for (u64 s = 0; s < org.num_sets(); ++s) {
+      float best_way = 2.0f;
+      for (u32 w = 0; w < org.assoc; ++w) {
+        best_way = std::min(
+            best_way,
+            static_cast<float>(field.block_fail_voltage(s * org.assoc + w)));
+      }
+      worst_set = std::max(worst_set, best_way);
+    }
+    want[i] = worst_set;
+  }
+
+  for (const u32 threads : {1u, 8u}) {
+    const auto got = chip_fail_voltages_mc(trials, mc_seed, ber, org, threads);
+    EXPECT_EQ(got, want) << threads << " threads";
+  }
+
+  const std::vector<double> probes = {0.60, 0.625, 0.65, 0.70, 0.75};
+  const auto counts = yield_pass_counts(want, probes);
+  for (std::size_t k = 0; k < probes.size(); ++k) {
+    const u64 scan = static_cast<u64>(
+        std::count_if(want.begin(), want.end(),
+                      [&](float vf) { return probes[k] > vf; }));
+    EXPECT_EQ(counts[k], scan) << "probe " << probes[k];
   }
 }
 
