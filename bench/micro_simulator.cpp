@@ -17,6 +17,7 @@
 #include "core/system.hpp"
 #include "core/vdd_levels.hpp"
 #include "exp/experiment_runner.hpp"
+#include "exp/population_engine.hpp"
 #include "exp/sweep_engine.hpp"
 #include "fault/bist.hpp"
 #include "fault/cell_fault_field.hpp"
@@ -383,6 +384,63 @@ void BM_Fig4SweepLanes(benchmark::State& state) {
                           static_cast<i64>(grid.size()) * 25'000);
 }
 BENCHMARK(BM_Fig4SweepLanes);
+
+// ---- Population engine inner loop -----------------------------------------
+
+/// The per-die kernel of the population engine, exactly as PopulationEngine
+/// runs it: one fused sample_fast draw, one chip_fail_voltage scalar for
+/// the viability floor, one histogram pass over the block fail voltages for
+/// every level's capacity. Items = dies, so items/s is the fleet rate/core.
+void BM_PopulationBinChip(benchmark::State& state) {
+  const BerModel ber(Technology::soi45());
+  const PopulationSpec spec;  // 64 KB 4-way, 56-level default ladder
+  const std::vector<Volt> grid = spec.grid();
+  u64 die = 0;
+  for (auto _ : state) {
+    Rng rng(derive_seed(spec.seed, 0, die++));
+    auto field = CellFaultField::sample_fast(
+        ber, spec.org.num_blocks(), spec.org.bits_per_block(), rng);
+    benchmark::DoNotOptimize(
+        bin_chip(field, spec.org, grid, spec.spcs_min_capacity));
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_PopulationBinChip);
+
+/// Reference per-die cost: build the full 56-level dense FaultMap per die
+/// and bin through it (what chip_binning did when it recomputed per-chip
+/// faults per level). The pair prices the production histogram kernel
+/// against the dense-map rebuild in BENCH_micro.json. Note the dense build
+/// can win per-die on wide-SIMD hosts (its prefix count compares in float),
+/// but it allocates a levels-by-blocks map per die and its float-width
+/// comparisons differ from the field's double semantics, so the production
+/// kernel keeps the histogram pass.
+void BM_PopulationBinChipDense(benchmark::State& state) {
+  const BerModel ber(Technology::soi45());
+  const PopulationSpec spec;
+  const std::vector<Volt> grid = spec.grid();
+  u64 die = 0;
+  for (auto _ : state) {
+    Rng rng(derive_seed(spec.seed, 0, die++));
+    const auto field = CellFaultField::sample_fast(
+        ber, spec.org.num_blocks(), spec.org.bits_per_block(), rng);
+    const FaultMap fm(grid, field, spec.org.assoc);
+    ChipBinPoint p;
+    for (u32 l = 1; l <= fm.num_levels(); ++l) {
+      if (fm.viable(spec.org.assoc, l)) {
+        p.floor_level = l;
+        break;
+      }
+    }
+    if (p.floor_level != 0) {
+      p.spcs_level = fm.lowest_level_with_capacity(spec.org.assoc,
+                                                   spec.spcs_min_capacity);
+    }
+    benchmark::DoNotOptimize(p);
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_PopulationBinChipDense);
 
 void BM_MarchSsBist(benchmark::State& state) {
   const BerModel ber(Technology::soi45());

@@ -1,86 +1,54 @@
-// Chip binning study: manufacture many dies of the same cache design and
-// look at the distribution of per-die minimum operating voltage under the
-// PCS set constraint -- the "unique manufactured outcome of each cache" the
-// paper's SPCS policy exploits to trim guardbands.
+// Chip binning study at population scale: manufacture many dies of the same
+// cache design and report the fleet-level distributions the paper's SPCS /
+// DPCS policies exploit -- yield vs VDD, per-die minimum operating voltage,
+// and per-bin DPCS ladder tuning (POPULATION.md).
 //
-//   ./build/examples/chip_binning [num_chips] [size_kb] [assoc]
+//   ./build/examples/chip_binning [num_chips] [size_kb] [assoc] [seed]
+//                                 [shard_chips]
+//
+// Runs on PCS_THREADS workers; the report is byte-identical at any thread
+// count and any shard size, and matches a `population` job submitted to
+// `pcs_sim --serve` with the same parameters. PCS_TRACE writes the
+// population_shard telemetry stream (TELEMETRY.md).
 #include <cstdio>
 #include <cstdlib>
+#include <exception>
 #include <iostream>
-#include <vector>
+#include <memory>
+#include <string>
 
-#include "core/vdd_levels.hpp"
-#include "fault/fault_map.hpp"
-#include "fault/yield_model.hpp"
-#include "util/stats.hpp"
-#include "util/table.hpp"
+#include "exp/job_service.hpp"
+#include "exp/thread_pool.hpp"
+#include "telemetry/trace_sink.hpp"
 
 using namespace pcs;
 
 int main(int argc, char** argv) {
-  const int chips = argc > 1 ? std::atoi(argv[1]) : 500;
-  const u64 size_kb = argc > 2 ? std::strtoull(argv[2], nullptr, 10) : 64;
-  const u32 assoc =
+  PopulationJobSpec job;
+  job.spec.num_chips =
+      argc > 1 ? std::strtoull(argv[1], nullptr, 10) : 500;
+  const u64 size_kb =
+      argc > 2 ? std::strtoull(argv[2], nullptr, 10) : 64;
+  job.spec.org.size_bytes = size_kb * 1024;
+  job.spec.org.assoc =
       argc > 3 ? static_cast<u32>(std::strtoul(argv[3], nullptr, 10)) : 4;
-
-  const CacheOrg org{size_kb * 1024, assoc, 64, 31};
-  org.validate();
-  const auto tech = Technology::soi45();
-  BerModel ber(tech);
-
-  // Per-die min-VDD: lowest grid voltage at which every set keeps a good
-  // block AND capacity stays above 99% (SPCS-style) or just viable (DPCS
-  // floor).
-  Rng rng(2024);
-  RunningStats spcs_vdd, floor_vdd;
-  Histogram hist(0.45, 0.80, 35);
-  int unusable = 0;
-  for (int c = 0; c < chips; ++c) {
-    Rng chip = rng.fork(static_cast<u64>(c));
-    const auto field = CellFaultField::sample_fast(ber, org.num_blocks(),
-                                                   org.bits_per_block(), chip);
-    // Dense ladder so the per-chip search has 10 mV resolution.
-    std::vector<Volt> grid;
-    for (Volt v = 0.45; v <= 1.0001; v += 0.01) grid.push_back(v);
-    const FaultMap map(grid, field, org.assoc);
-
-    u32 best_floor = 0, best_spcs = 0;
-    for (u32 l = 1; l <= map.num_levels(); ++l) {
-      if (map.viable(org.assoc, l)) {
-        best_floor = l;
-        break;
-      }
-    }
-    for (u32 l = 1; l <= map.num_levels(); ++l) {
-      if (map.viable(org.assoc, l) && map.effective_capacity(l) >= 0.99) {
-        best_spcs = l;
-        break;
-      }
-    }
-    if (best_floor == 0 || best_spcs == 0) {
-      ++unusable;
-      continue;
-    }
-    floor_vdd.add(grid[best_floor - 1]);
-    spcs_vdd.add(grid[best_spcs - 1]);
-    hist.add(grid[best_floor - 1]);
+  if (argc > 4) job.spec.seed = std::strtoull(argv[4], nullptr, 10);
+  if (argc > 5) {
+    job.spec.chips_per_shard = std::strtoull(argv[5], nullptr, 10);
   }
 
-  std::printf("chip binning: %d dies of %llu KB %u-way\n\n", chips,
-              static_cast<unsigned long long>(size_kb), assoc);
-  TextTable t({"metric", "mean", "min", "max", "p50", "p95"});
-  t.add_row({"per-die min-VDD (viable)", fmt_fixed(floor_vdd.mean(), 3),
-             fmt_fixed(floor_vdd.min(), 3), fmt_fixed(floor_vdd.max(), 3),
-             fmt_fixed(hist.quantile(0.5), 3), fmt_fixed(hist.quantile(0.95), 3)});
-  t.add_row({"per-die SPCS VDD (99% cap)", fmt_fixed(spcs_vdd.mean(), 3),
-             fmt_fixed(spcs_vdd.min(), 3), fmt_fixed(spcs_vdd.max(), 3), "-",
-             "-"});
-  t.print(std::cout);
-  std::printf("\nunusable dies (faulty even at nominal): %d / %d\n", unusable,
-              chips);
-  std::printf(
-      "design-time VDD1 (99%% yield across dies) would be the ~p99 of the "
-      "per-die distribution;\nper-die binning recovers the margin between "
-      "each die's own min-VDD and that guardband.\n");
+  std::unique_ptr<TraceSink> sink;
+  if (const char* env = std::getenv("PCS_TRACE")) {
+    sink = make_trace_sink(env);
+    emit_trace_header(*sink);
+  }
+  try {
+    // Same run + render path as a service-mode "population" job, so the
+    // standalone report is byte-identical to the job's output file.
+    run_population_job(job, std::cout, pcs_thread_count(), sink.get());
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "chip_binning: %s\n", e.what());
+    return 2;
+  }
   return 0;
 }

@@ -17,6 +17,12 @@
 //                         when PATH ends in .csv) -- see TELEMETRY.md; the
 //                         PCS_TRACE environment variable is an equivalent
 //                         fallback when the flag is absent
+//   --serve JOBFILE       service mode: read line-delimited JSON jobs from
+//                         JOBFILE ('-' = stdin; a FIFO works) and run them
+//                         concurrently; each job writes its own output file
+//                         and optional telemetry trace. Job schema and the
+//                         determinism contract are documented in
+//                         POPULATION.md. Exits non-zero if any job failed.
 //
 // Examples:
 //   pcs_sim --config B --policy dpcs --workload mcf --refs 2000000
@@ -24,20 +30,18 @@
 //   pcs_sim --record /tmp/gcc.trace 100000 --workload gcc
 //   pcs_sim --workload /tmp/gcc.trace
 //   pcs_sim --policy dpcs --workload hmmer --trace run.jsonl
+//   pcs_sim --serve jobs.ndjson
 #include <cstdio>
 #include <cstdlib>
-#include <cstring>
+#include <exception>
+#include <fstream>
 #include <iostream>
 #include <memory>
 #include <string>
-#include <vector>
 
-#include "core/system.hpp"
-#include "core/system_energy.hpp"
+#include "exp/job_service.hpp"
 #include "exp/thread_pool.hpp"
 #include "telemetry/trace_sink.hpp"
-#include "util/table.hpp"
-#include "workload/spec_profiles.hpp"
 #include "workload/trace_file.hpp"
 
 using namespace pcs;
@@ -45,18 +49,10 @@ using namespace pcs;
 namespace {
 
 struct Options {
-  std::string config = "A";
-  std::string policy = "all";
-  std::string workload = "hmmer";
-  u64 refs = 1'000'000;
-  u64 warmup = 0;  // 0 = refs/4
-  u64 chip_seed = 1;
-  u64 trace_seed = 42;
-  u32 levels = 3;
-  bool csv = false;
+  SimJobSpec job;
   std::string record_path;
   u64 record_count = 0;
-  std::string trace_path;
+  std::string serve_path;
 };
 
 [[noreturn]] void usage(const char* argv0) {
@@ -64,7 +60,8 @@ struct Options {
                "usage: %s [--config A|B] [--policy baseline|spcs|dpcs|all]\n"
                "          [--workload NAME|trace-file] [--refs N] [--warmup N]\n"
                "          [--chip-seed N] [--trace-seed N] [--levels N]\n"
-               "          [--csv] [--record PATH N] [--trace PATH]\n",
+               "          [--csv] [--record PATH N] [--trace PATH]\n"
+               "          [--serve JOBFILE]\n",
                argv0);
   std::exit(2);
 }
@@ -78,54 +75,68 @@ Options parse(int argc, char** argv) {
     };
     if (a == "--config") {
       need(1);
-      o.config = argv[++i];
+      o.job.config = argv[++i];
     } else if (a == "--policy") {
       need(1);
-      o.policy = argv[++i];
+      o.job.policy = argv[++i];
     } else if (a == "--workload") {
       need(1);
-      o.workload = argv[++i];
+      o.job.workload = argv[++i];
     } else if (a == "--refs") {
       need(1);
-      o.refs = std::strtoull(argv[++i], nullptr, 10);
+      o.job.refs = std::strtoull(argv[++i], nullptr, 10);
     } else if (a == "--warmup") {
       need(1);
-      o.warmup = std::strtoull(argv[++i], nullptr, 10);
+      o.job.warmup = std::strtoull(argv[++i], nullptr, 10);
     } else if (a == "--chip-seed") {
       need(1);
-      o.chip_seed = std::strtoull(argv[++i], nullptr, 10);
+      o.job.chip_seed = std::strtoull(argv[++i], nullptr, 10);
     } else if (a == "--trace-seed") {
       need(1);
-      o.trace_seed = std::strtoull(argv[++i], nullptr, 10);
+      o.job.trace_seed = std::strtoull(argv[++i], nullptr, 10);
     } else if (a == "--levels") {
       need(1);
-      o.levels = static_cast<u32>(std::strtoul(argv[++i], nullptr, 10));
+      o.job.levels = static_cast<u32>(std::strtoul(argv[++i], nullptr, 10));
     } else if (a == "--csv") {
-      o.csv = true;
+      o.job.csv = true;
     } else if (a == "--record") {
       need(2);
       o.record_path = argv[++i];
       o.record_count = std::strtoull(argv[++i], nullptr, 10);
     } else if (a == "--trace") {
       need(1);
-      o.trace_path = argv[++i];
+      o.job.trace_path = argv[++i];
+    } else if (a == "--serve") {
+      need(1);
+      o.serve_path = argv[++i];
     } else {
       usage(argv[0]);
     }
   }
-  if (o.trace_path.empty()) {
-    if (const char* env = std::getenv("PCS_TRACE")) o.trace_path = env;
+  if (o.job.trace_path.empty()) {
+    if (const char* env = std::getenv("PCS_TRACE")) o.job.trace_path = env;
   }
   return o;
 }
 
-std::unique_ptr<TraceSource> make_trace(const Options& o) {
-  // A '/' or '.' suggests a filesystem path; otherwise a profile name.
-  if (o.workload.find('/') != std::string::npos ||
-      o.workload.find('.') != std::string::npos) {
-    return std::make_unique<FileTrace>(o.workload);
+int serve(const std::string& path) {
+  JobService service(pcs_thread_count());
+  std::vector<JobOutcome> outcomes;
+  if (path == "-") {
+    outcomes = service.serve(std::cin, std::cout);
+  } else {
+    std::ifstream in(path);
+    if (!in) {
+      std::fprintf(stderr, "pcs_sim: cannot open job file '%s'\n",
+                   path.c_str());
+      return 2;
+    }
+    outcomes = service.serve(in, std::cout);
   }
-  return make_spec_trace(o.workload, o.trace_seed);
+  for (const JobOutcome& oc : outcomes) {
+    if (!oc.ok) return 1;
+  }
+  return 0;
 }
 
 }  // namespace
@@ -133,8 +144,10 @@ std::unique_ptr<TraceSource> make_trace(const Options& o) {
 int main(int argc, char** argv) {
   const Options o = parse(argc, argv);
 
+  if (!o.serve_path.empty()) return serve(o.serve_path);
+
   if (!o.record_path.empty()) {
-    auto trace = make_trace(o);
+    auto trace = make_workload_source(o.job.workload, o.job.trace_seed);
     const u64 n = record_trace(*trace, o.record_path, o.record_count);
     std::printf("recorded %llu events of '%s' into %s\n",
                 static_cast<unsigned long long>(n), trace->name(),
@@ -142,77 +155,18 @@ int main(int argc, char** argv) {
     return 0;
   }
 
-  SystemConfig cfg =
-      o.config == "B" ? SystemConfig::config_b() : SystemConfig::config_a();
-  cfg.num_vdd_levels = o.levels;
-  RunParams rp;
-  rp.max_refs = o.refs;
-  rp.warmup_refs = o.warmup ? o.warmup : o.refs / 4;
-
-  std::vector<PolicyKind> kinds;
-  if (o.policy == "baseline" || o.policy == "all") {
-    kinds.push_back(PolicyKind::kBaseline);
-  }
-  if (o.policy == "spcs" || o.policy == "all") {
-    kinds.push_back(PolicyKind::kStatic);
-  }
-  if (o.policy == "dpcs" || o.policy == "all") {
-    kinds.push_back(PolicyKind::kDynamic);
-  }
-  if (kinds.empty()) usage(argv[0]);
-
-  const SystemEnergyModel sys_energy({}, cfg.clock_ghz * 1e9);
-  TextTable t({"policy", "cycles", "IPC", "L1D miss", "L2 miss",
-               "cache energy", "system energy", "L2 avg VDD", "transitions"});
-  if (o.csv) {
-    std::cout << "config,workload,policy,refs,cycles,ipc,l1d_missrate,"
-                 "l2_missrate,cache_energy_j,system_energy_j,l2_avg_vdd,"
-                 "transitions\n";
-  }
-  // The policy runs are independent simulations; fan them across
-  // PCS_THREADS workers (each builds its own trace and system -- a file
-  // workload just gets one FileTrace handle per task) and report in policy
-  // order, identical to the serial loop at any thread count. Telemetry is
-  // buffered per task and replayed in policy order below, so the trace
-  // file is byte-identical at any thread count too.
-  const bool tracing = !o.trace_path.empty();
-  std::vector<MemoryTraceSink> task_traces(kinds.size());
-  const std::vector<SimReport> reports = parallel_index_map(
-      pcs_thread_count(), kinds.size(), [&](u64 i) {
-        auto trace = make_trace(o);
-        PcsSystem sys(cfg, kinds[i], o.chip_seed);
-        if (tracing) sys.set_trace(&task_traces[i]);
-        return sys.run(*trace, rp);
-      });
-  if (tracing) {
-    auto sink = make_trace_sink(o.trace_path);
+  // Same run + render path as a service-mode "sim" job, which is what makes
+  // a job's output file byte-identical to this standalone run.
+  std::unique_ptr<TraceSink> sink;
+  if (!o.job.trace_path.empty()) {
+    sink = make_trace_sink(o.job.trace_path);
     emit_trace_header(*sink);
-    for (const MemoryTraceSink& tr : task_traces) tr.replay_into(*sink);
   }
-
-  for (u64 i = 0; i < kinds.size(); ++i) {
-    const SimReport& r = reports[i];
-    const auto se = sys_energy.evaluate(r);
-    const u32 trans = r.l1i.transitions + r.l1d.transitions + r.l2.transitions;
-    if (o.csv) {
-      std::printf("%s,%s,%s,%llu,%llu,%.4f,%.6f,%.6f,%.6e,%.6e,%.3f,%u\n",
-                  r.config_name.c_str(), r.workload.c_str(),
-                  r.policy.c_str(), static_cast<unsigned long long>(r.refs),
-                  static_cast<unsigned long long>(r.cycles), r.ipc,
-                  r.l1d.miss_rate, r.l2.miss_rate, r.total_cache_energy(),
-                  se.total(), r.l2.avg_vdd, trans);
-    } else {
-      t.add_row({r.policy, fmt_count(r.cycles), fmt_fixed(r.ipc, 3),
-                 fmt_pct(r.l1d.miss_rate, 2), fmt_pct(r.l2.miss_rate, 2),
-                 fmt_joules(r.total_cache_energy()), fmt_joules(se.total()),
-                 fmt_fixed(r.l2.avg_vdd, 3) + " V", std::to_string(trans)});
-    }
-  }
-  if (!o.csv) {
-    std::printf("config %s, workload %s, %llu measured refs\n\n",
-                cfg.name.c_str(), o.workload.c_str(),
-                static_cast<unsigned long long>(o.refs));
-    t.print(std::cout);
+  try {
+    run_sim_job(o.job, std::cout, pcs_thread_count(), sink.get());
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "pcs_sim: %s\n", e.what());
+    usage(argv[0]);
   }
   return 0;
 }

@@ -1,16 +1,19 @@
 #!/usr/bin/env bash
-# Telemetry docs-consistency gate -- now a thin wrapper over pcs-lint's
-# SCHEMA001 rule (tools/pcs_lint), which absorbed the greps that used to
-# live here: every record type / field emitted in src/ must appear in the
-# TELEMETRY.md ```schema-fields appendix and vice versa, and the documented
-# schema version must match kTelemetrySchemaVersion. Kept as a script so
-# existing callers (and muscle memory) keep working.
+# Docs-consistency gate -- a thin wrapper over pcs-lint's schema rules
+# (tools/pcs_lint). SCHEMA001 absorbed the greps that used to live here:
+# every record type / field emitted in src/ must appear in the TELEMETRY.md
+# ```schema-fields appendix and vice versa, and the documented schema
+# version must match kTelemetrySchemaVersion. SCHEMA002 applies the same
+# both-directions diff to the job-file schema: the kJobKinds table and the
+# jstr/jnum/jreal/jbool keys in src/ against POPULATION.md's ```job-schema
+# block. Kept as a script so existing callers (and muscle memory) keep
+# working.
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
 for candidate in build/tools/pcs_lint/pcs_lint build-*/tools/pcs_lint/pcs_lint; do
   if [[ -x "$candidate" ]]; then
-    exec "$candidate" --rules SCHEMA001 "$@"
+    exec "$candidate" --rules SCHEMA001,SCHEMA002 "$@"
   fi
 done
 

@@ -1,0 +1,549 @@
+// pcs-lint: allow-file(DET001) wall clock is quarantined to each job's
+// trailing job_profile telemetry record; the service log and every job
+// output file are rendered purely from simulation state (TELEMETRY.md,
+// POPULATION.md).
+#include "exp/job_service.hpp"
+
+#include <cctype>
+#include <chrono>
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <future>
+#include <map>
+#include <memory>
+#include <optional>
+#include <ostream>
+#include <set>
+#include <sstream>
+#include <stdexcept>
+#include <string_view>
+#include <utility>
+
+#include "core/system.hpp"
+#include "core/system_energy.hpp"
+#include "exp/thread_pool.hpp"
+#include "fault/ber_model.hpp"
+#include "tech/technology.hpp"
+#include "util/table.hpp"
+#include "workload/spec_profiles.hpp"
+#include "workload/trace_file.hpp"
+
+namespace pcs {
+
+namespace {
+
+// ---- Flat JSON job lines ---------------------------------------------------
+// The job file is one JSON object per line with string/number/bool values
+// only -- flat on purpose, so the schema stays a table in POPULATION.md and
+// a hand-rolled parser stays obviously correct. std::map keeps every key
+// iteration ordered (determinism contract).
+
+struct JsonValue {
+  enum class Kind { kString, kNumber, kBool };
+  Kind kind = Kind::kString;
+  std::string str;
+  double num = 0.0;
+  bool b = false;
+};
+
+struct JsonObj {
+  std::map<std::string, JsonValue> values;
+  /// Keys a j*() accessor has read; whatever remains is unknown to the
+  /// schema and rejects the job.
+  mutable std::set<std::string> consumed;
+};
+
+[[noreturn]] void bad_job(const std::string& what) {
+  throw std::invalid_argument(what);
+}
+
+void skip_ws(std::string_view s, std::size_t& i) {
+  while (i < s.size() &&
+         std::isspace(static_cast<unsigned char>(s[i])) != 0) {
+    ++i;
+  }
+}
+
+std::string parse_json_string(std::string_view s, std::size_t& i) {
+  if (i >= s.size() || s[i] != '"') bad_job("job line: expected '\"'");
+  ++i;
+  std::string out;
+  while (i < s.size() && s[i] != '"') {
+    char c = s[i++];
+    if (c == '\\') {
+      if (i >= s.size()) bad_job("job line: dangling escape");
+      const char e = s[i++];
+      switch (e) {
+        case '"': c = '"'; break;
+        case '\\': c = '\\'; break;
+        case '/': c = '/'; break;
+        case 'n': c = '\n'; break;
+        case 't': c = '\t'; break;
+        case 'r': c = '\r'; break;
+        case 'b': c = '\b'; break;
+        case 'f': c = '\f'; break;
+        default:
+          bad_job(std::string("job line: unsupported escape '\\") + e + "'");
+      }
+    }
+    out.push_back(c);
+  }
+  if (i >= s.size()) bad_job("job line: unterminated string");
+  ++i;  // closing quote
+  return out;
+}
+
+JsonValue parse_json_value(std::string_view s, std::size_t& i) {
+  skip_ws(s, i);
+  if (i >= s.size()) bad_job("job line: missing value");
+  JsonValue v;
+  if (s[i] == '"') {
+    v.kind = JsonValue::Kind::kString;
+    v.str = parse_json_string(s, i);
+    return v;
+  }
+  if (s.compare(i, 4, "true") == 0) {
+    v.kind = JsonValue::Kind::kBool;
+    v.b = true;
+    i += 4;
+    return v;
+  }
+  if (s.compare(i, 5, "false") == 0) {
+    v.kind = JsonValue::Kind::kBool;
+    v.b = false;
+    i += 5;
+    return v;
+  }
+  const std::size_t start = i;
+  while (i < s.size() &&
+         (std::isdigit(static_cast<unsigned char>(s[i])) != 0 ||
+          s[i] == '-' || s[i] == '+' || s[i] == '.' || s[i] == 'e' ||
+          s[i] == 'E')) {
+    ++i;
+  }
+  if (i == start) bad_job("job line: expected string, number, or bool");
+  const std::string tok(s.substr(start, i - start));
+  char* end = nullptr;
+  v.kind = JsonValue::Kind::kNumber;
+  v.num = std::strtod(tok.c_str(), &end);
+  if (end == nullptr || *end != '\0') {
+    bad_job("job line: malformed number '" + tok + "'");
+  }
+  return v;
+}
+
+JsonObj parse_flat_json(const std::string& line) {
+  const std::string_view s(line);
+  std::size_t i = 0;
+  skip_ws(s, i);
+  if (i >= s.size() || s[i] != '{') bad_job("job line: expected '{'");
+  ++i;
+  JsonObj o;
+  skip_ws(s, i);
+  if (i < s.size() && s[i] == '}') {
+    ++i;
+  } else {
+    for (;;) {
+      skip_ws(s, i);
+      const std::string key = parse_json_string(s, i);
+      skip_ws(s, i);
+      if (i >= s.size() || s[i] != ':') bad_job("job line: expected ':'");
+      ++i;
+      if (!o.values.emplace(key, parse_json_value(s, i)).second) {
+        bad_job("job line: duplicate key '" + key + "'");
+      }
+      skip_ws(s, i);
+      if (i < s.size() && s[i] == ',') {
+        ++i;
+        continue;
+      }
+      if (i < s.size() && s[i] == '}') {
+        ++i;
+        break;
+      }
+      bad_job("job line: expected ',' or '}'");
+    }
+  }
+  skip_ws(s, i);
+  if (i != s.size()) bad_job("job line: trailing characters after '}'");
+  return o;
+}
+
+// ---- Schema accessors ------------------------------------------------------
+// Every key the schema knows flows through exactly these four accessors;
+// pcs-lint SCHEMA002 scans their call sites and diffs the key literals
+// against POPULATION.md's ```job-schema block, both directions.
+
+const JsonValue* jfind(const JsonObj& o, const char* key) {
+  const auto it = o.values.find(key);
+  if (it == o.values.end()) return nullptr;
+  o.consumed.insert(key);
+  return &it->second;
+}
+
+std::string jstr(const JsonObj& o, const char* key,
+                 const std::string& fallback) {
+  const JsonValue* v = jfind(o, key);
+  if (v == nullptr) return fallback;
+  if (v->kind != JsonValue::Kind::kString) {
+    bad_job(std::string("job key '") + key + "': expected a string");
+  }
+  return v->str;
+}
+
+u64 jnum(const JsonObj& o, const char* key, u64 fallback) {
+  const JsonValue* v = jfind(o, key);
+  if (v == nullptr) return fallback;
+  if (v->kind != JsonValue::Kind::kNumber || v->num < 0.0 ||
+      std::floor(v->num) != v->num || v->num > 9.007199254740992e15) {
+    bad_job(std::string("job key '") + key +
+            "': expected a non-negative integer");
+  }
+  return static_cast<u64>(v->num);
+}
+
+double jreal(const JsonObj& o, const char* key, double fallback) {
+  const JsonValue* v = jfind(o, key);
+  if (v == nullptr) return fallback;
+  if (v->kind != JsonValue::Kind::kNumber) {
+    bad_job(std::string("job key '") + key + "': expected a number");
+  }
+  return v->num;
+}
+
+bool jbool(const JsonObj& o, const char* key, bool fallback) {
+  const JsonValue* v = jfind(o, key);
+  if (v == nullptr) return fallback;
+  if (v->kind != JsonValue::Kind::kBool) {
+    bad_job(std::string("job key '") + key + "': expected true or false");
+  }
+  return v->b;
+}
+
+void reject_unknown_keys(const JsonObj& o, const std::string& kind) {
+  for (const auto& [key, value] : o.values) {
+    if (o.consumed.count(key) == 0) {
+      bad_job("unknown job key '" + key + "' for kind '" + kind + "'");
+    }
+  }
+}
+
+}  // namespace
+
+/// Job kinds, in Job::Kind enumerator order (SCHEMA002 diffs this table
+/// against the documented schema).
+constexpr const char* kJobKinds[] = {"sim", "population"};
+static_assert(sizeof(kJobKinds) / sizeof(kJobKinds[0]) == 2);
+
+namespace {
+
+const char* kind_name(Job::Kind kind) noexcept {
+  return kJobKinds[static_cast<std::size_t>(kind)];
+}
+
+}  // namespace
+
+Job parse_job_line(const std::string& line) {
+  const JsonObj o = parse_flat_json(line);
+  const std::string kind = jstr(o, "kind", "sim");
+  Job job;
+  if (kind == kind_name(Job::Kind::kSim)) {
+    job.kind = Job::Kind::kSim;
+    SimJobSpec& s = job.sim;
+    s.id = jstr(o, "id", "");
+    s.config = jstr(o, "config", s.config);
+    if (s.config != "A" && s.config != "B") {
+      bad_job("job key 'config': must be \"A\" or \"B\"");
+    }
+    s.policy = jstr(o, "policy", s.policy);
+    if (s.policy != "baseline" && s.policy != "spcs" && s.policy != "dpcs" &&
+        s.policy != "all") {
+      bad_job("job key 'policy': must be baseline, spcs, dpcs, or all");
+    }
+    s.workload = jstr(o, "workload", s.workload);
+    s.refs = jnum(o, "refs", s.refs);
+    s.warmup = jnum(o, "warmup", s.warmup);
+    s.chip_seed = jnum(o, "chip_seed", s.chip_seed);
+    s.trace_seed = jnum(o, "trace_seed", s.trace_seed);
+    s.levels = static_cast<u32>(jnum(o, "levels", s.levels));
+    s.csv = jbool(o, "csv", s.csv);
+    s.out = jstr(o, "out", "");
+    s.trace_path = jstr(o, "trace", "");
+  } else if (kind == kind_name(Job::Kind::kPopulation)) {
+    job.kind = Job::Kind::kPopulation;
+    PopulationJobSpec& p = job.population;
+    p.id = jstr(o, "id", "");
+    p.spec.num_chips = jnum(o, "chips", p.spec.num_chips);
+    p.spec.org.size_bytes = jnum(o, "size_kb", 64) * 1024;
+    p.spec.org.assoc =
+        static_cast<u32>(jnum(o, "assoc", p.spec.org.assoc));
+    p.spec.seed = jnum(o, "seed", p.spec.seed);
+    p.spec.chips_per_shard =
+        jnum(o, "shard_chips", p.spec.chips_per_shard);
+    p.spec.grid_lo = jreal(o, "grid_lo", p.spec.grid_lo);
+    p.spec.grid_hi = jreal(o, "grid_hi", p.spec.grid_hi);
+    p.spec.grid_step = jreal(o, "grid_step", p.spec.grid_step);
+    p.spec.spcs_min_capacity =
+        jreal(o, "min_capacity", p.spec.spcs_min_capacity);
+    p.out = jstr(o, "out", "");
+    p.trace_path = jstr(o, "trace", "");
+  } else {
+    bad_job("unknown job kind '" + kind + "' (known: sim, population)");
+  }
+  reject_unknown_keys(o, kind);
+  return job;
+}
+
+std::unique_ptr<TraceSource> make_workload_source(const std::string& workload,
+                                                 u64 trace_seed) {
+  // A '/' or '.' suggests a filesystem path; otherwise a profile name.
+  if (workload.find('/') != std::string::npos ||
+      workload.find('.') != std::string::npos) {
+    return std::make_unique<FileTrace>(workload);
+  }
+  return make_spec_trace(workload, trace_seed);
+}
+
+void run_sim_job(const SimJobSpec& o, std::ostream& out, u32 num_threads,
+                 TraceSink* trace) {
+  SystemConfig cfg =
+      o.config == "B" ? SystemConfig::config_b() : SystemConfig::config_a();
+  cfg.num_vdd_levels = o.levels;
+  RunParams rp;
+  rp.max_refs = o.refs;
+  rp.warmup_refs = o.warmup ? o.warmup : o.refs / 4;
+
+  std::vector<PolicyKind> kinds;
+  if (o.policy == "baseline" || o.policy == "all") {
+    kinds.push_back(PolicyKind::kBaseline);
+  }
+  if (o.policy == "spcs" || o.policy == "all") {
+    kinds.push_back(PolicyKind::kStatic);
+  }
+  if (o.policy == "dpcs" || o.policy == "all") {
+    kinds.push_back(PolicyKind::kDynamic);
+  }
+  if (kinds.empty()) {
+    throw std::invalid_argument("unknown policy '" + o.policy + "'");
+  }
+
+  // The policy runs are independent simulations; fan them across the
+  // workers (each builds its own trace and system -- a file workload just
+  // gets one FileTrace handle per task) and report in policy order,
+  // identical to the serial loop at any thread count. Telemetry is
+  // buffered per task and replayed in policy order below, so the trace
+  // stream is byte-identical at any thread count too.
+  const bool tracing = trace != nullptr;
+  std::vector<MemoryTraceSink> task_traces(kinds.size());
+  const std::vector<SimReport> reports = parallel_index_map(
+      num_threads == 0 ? pcs_thread_count() : num_threads, kinds.size(),
+      [&](u64 i) {
+        auto src = make_workload_source(o.workload, o.trace_seed);
+        PcsSystem sys(cfg, kinds[i], o.chip_seed);
+        if (tracing) sys.set_trace(&task_traces[i]);
+        return sys.run(*src, rp);
+      });
+  if (tracing) {
+    for (const MemoryTraceSink& tr : task_traces) tr.replay_into(*trace);
+  }
+
+  const SystemEnergyModel sys_energy({}, cfg.clock_ghz * 1e9);
+  TextTable t({"policy", "cycles", "IPC", "L1D miss", "L2 miss",
+               "cache energy", "system energy", "L2 avg VDD", "transitions"});
+  if (o.csv) {
+    out << "config,workload,policy,refs,cycles,ipc,l1d_missrate,"
+           "l2_missrate,cache_energy_j,system_energy_j,l2_avg_vdd,"
+           "transitions\n";
+  }
+  char line[1024];
+  for (u64 i = 0; i < kinds.size(); ++i) {
+    const SimReport& r = reports[i];
+    const auto se = sys_energy.evaluate(r);
+    const u32 trans = r.l1i.transitions + r.l1d.transitions + r.l2.transitions;
+    if (o.csv) {
+      std::snprintf(line, sizeof line,
+                    "%s,%s,%s,%llu,%llu,%.4f,%.6f,%.6f,%.6e,%.6e,%.3f,%u\n",
+                    r.config_name.c_str(), r.workload.c_str(),
+                    r.policy.c_str(), static_cast<unsigned long long>(r.refs),
+                    static_cast<unsigned long long>(r.cycles), r.ipc,
+                    r.l1d.miss_rate, r.l2.miss_rate, r.total_cache_energy(),
+                    se.total(), r.l2.avg_vdd, trans);
+      out << line;
+    } else {
+      t.add_row({r.policy, fmt_count(r.cycles), fmt_fixed(r.ipc, 3),
+                 fmt_pct(r.l1d.miss_rate, 2), fmt_pct(r.l2.miss_rate, 2),
+                 fmt_joules(r.total_cache_energy()), fmt_joules(se.total()),
+                 fmt_fixed(r.l2.avg_vdd, 3) + " V", std::to_string(trans)});
+    }
+  }
+  if (!o.csv) {
+    std::snprintf(line, sizeof line,
+                  "config %s, workload %s, %llu measured refs\n\n",
+                  cfg.name.c_str(), o.workload.c_str(),
+                  static_cast<unsigned long long>(o.refs));
+    out << line;
+    t.print(out);
+  }
+}
+
+void run_population_job(const PopulationJobSpec& j, std::ostream& out,
+                        u32 num_threads, TraceSink* trace) {
+  const BerModel ber(Technology::soi45());
+  const PopulationEngine engine(ber, num_threads);
+  const PopulationResult result = engine.run(j.spec, trace);
+  render_population_report(j.spec, result, out);
+}
+
+namespace {
+
+std::string_view trim(std::string_view s) {
+  while (!s.empty() && std::isspace(static_cast<unsigned char>(s.front()))) {
+    s.remove_prefix(1);
+  }
+  while (!s.empty() && std::isspace(static_cast<unsigned char>(s.back()))) {
+    s.remove_suffix(1);
+  }
+  return s;
+}
+
+/// Runs one job to completion: renders into a memory buffer first so a
+/// failed job never leaves a partial output file, then appends the
+/// wall-clock job_profile record to the job's own trace (the only place
+/// timing is allowed to appear).
+JobOutcome execute_job(const Job& job) {
+  JobOutcome oc;
+  oc.id = job.id();
+  const auto t0 = std::chrono::steady_clock::now();
+  try {
+    std::unique_ptr<TraceSink> sink;
+    if (!job.trace_path().empty()) {
+      sink = make_trace_sink(job.trace_path());
+      emit_trace_header(*sink);
+    }
+    std::ostringstream body;
+    if (job.kind == Job::Kind::kSim) {
+      run_sim_job(job.sim, body, 1, sink.get());
+    } else {
+      run_population_job(job.population, body, 1, sink.get());
+    }
+    std::ofstream f(job.out_path(), std::ios::binary | std::ios::trunc);
+    if (!f) {
+      throw std::runtime_error("cannot open output file '" + job.out_path() +
+                               "'");
+    }
+    f << body.str();
+    f.flush();
+    if (!f) {
+      throw std::runtime_error("write failed for '" + job.out_path() + "'");
+    }
+    oc.wall_ms = std::chrono::duration<double, std::milli>(
+                     std::chrono::steady_clock::now() - t0)
+                     .count();
+    if (sink) {
+      sink->emit(TraceRecord("job_profile")
+                     .field("job", oc.id)
+                     .field("kind", kind_name(job.kind))
+                     .field("wall_ms", oc.wall_ms));
+    }
+    oc.ok = true;
+  } catch (const std::exception& e) {
+    oc.ok = false;
+    oc.error = e.what();
+  }
+  return oc;
+}
+
+}  // namespace
+
+JobService::JobService(u32 num_threads)
+    : num_threads_(num_threads == 0 ? pcs_thread_count() : num_threads) {}
+
+std::vector<JobOutcome> JobService::serve(std::istream& in,
+                                          std::ostream& log) {
+  struct Slot {
+    bool resolved = false;
+    JobOutcome outcome;
+    std::future<JobOutcome> fut;
+  };
+  std::vector<Slot> slots;
+  // Jobs are submitted as their lines arrive (FIFO-friendly); with one
+  // thread they run inline instead, producing the same artifacts and the
+  // same log.
+  std::optional<ThreadPool> pool;
+  if (num_threads_ > 1) pool.emplace(num_threads_);
+
+  std::string raw;
+  u64 lineno = 0;
+  while (std::getline(in, raw)) {
+    ++lineno;
+    const std::string_view line = trim(raw);
+    if (line.empty() || line.front() == '#') continue;
+
+    Job job;
+    bool accepted = true;
+    std::string err;
+    try {
+      job = parse_job_line(std::string(line));
+    } catch (const std::exception& e) {
+      accepted = false;
+      err = e.what();
+    }
+    std::string id;
+    if (accepted) {
+      id = job.id().empty() ? "job" + std::to_string(slots.size() + 1)
+                            : job.id();
+      if (job.kind == Job::Kind::kSim) {
+        job.sim.id = id;
+      } else {
+        job.population.id = id;
+      }
+      if (job.out_path().empty()) {
+        accepted = false;
+        err = "job key 'out' is required in serve mode";
+      }
+    } else {
+      id = "line" + std::to_string(lineno);
+    }
+
+    Slot slot;
+    if (!accepted) {
+      log << "job " << id << ": rejected: " << err << "\n";
+      slot.resolved = true;
+      slot.outcome.id = id;
+      slot.outcome.error = err;
+    } else {
+      log << "job " << id << ": accepted (" << kind_name(job.kind) << " -> "
+          << job.out_path() << ")\n";
+      if (pool) {
+        slot.fut = pool->submit([job] { return execute_job(job); });
+      } else {
+        slot.resolved = true;
+        slot.outcome = execute_job(job);
+      }
+    }
+    slots.push_back(std::move(slot));
+  }
+
+  // Completion report in submission order, after the queue drains; no
+  // wall-clock values (those live in each job's trace).
+  std::vector<JobOutcome> outcomes;
+  outcomes.reserve(slots.size());
+  u64 ok = 0;
+  for (Slot& s : slots) {
+    JobOutcome oc = s.resolved ? std::move(s.outcome) : s.fut.get();
+    if (oc.ok) {
+      ++ok;
+      log << "job " << oc.id << ": ok\n";
+    } else {
+      log << "job " << oc.id << ": failed: " << oc.error << "\n";
+    }
+    outcomes.push_back(std::move(oc));
+  }
+  log << "served " << outcomes.size() << " jobs: " << ok << " ok, "
+      << outcomes.size() - ok << " failed\n";
+  return outcomes;
+}
+
+}  // namespace pcs

@@ -1,0 +1,139 @@
+// Long-running job service behind `pcs_sim --serve` (operator surface in
+// POPULATION.md).
+//
+// The service reads line-delimited JSON job descriptions from a stream (a
+// job file, a FIFO, or stdin), runs them concurrently on the deterministic
+// ThreadPool, and writes each job's report to its own output file. Two
+// contracts make this safe to script against:
+//
+//   * Per-job determinism. A job's output file is rendered by the SAME
+//     functions the standalone CLIs use (run_sim_job == pcs_sim,
+//     run_population_job == chip_binning), each job runs its simulation
+//     single-threaded (the service parallelism is ACROSS jobs), and every
+//     simulation seed comes from the job description -- so a job's bytes
+//     are identical to its standalone run, at any service concurrency.
+//     CI `cmp`s exactly this.
+//   * Deterministic service log. Accept/reject lines stream in submission
+//     order as lines are read; completion lines are reported in submission
+//     order after the queue drains; wall-clock timings never appear in the
+//     log or the job output -- they are quarantined to each job's own
+//     telemetry trace as a trailing `job_profile` record (TELEMETRY.md).
+//
+// The job-file schema (kinds, keys, defaults) is documented in
+// POPULATION.md and enforced both at runtime (unknown keys/kinds are
+// rejected) and statically by pcs-lint SCHEMA002, which diffs the jstr/
+// jnum/jreal/jbool accessor calls and the kJobKinds table in this
+// subsystem against POPULATION.md's ```job-schema block.
+#pragma once
+
+#include <iosfwd>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "exp/population_engine.hpp"
+#include "telemetry/trace_sink.hpp"
+#include "util/types.hpp"
+
+namespace pcs {
+
+class TraceSource;
+
+/// One simulator run, mirroring pcs_sim's CLI options (kind "sim").
+struct SimJobSpec {
+  std::string id;
+  std::string config = "A";      ///< A | B
+  std::string policy = "all";    ///< baseline | spcs | dpcs | all
+  std::string workload = "hmmer";  ///< profile name or recorded-trace path
+  u64 refs = 1'000'000;
+  u64 warmup = 0;  ///< 0 = refs/4
+  u64 chip_seed = 1;
+  u64 trace_seed = 42;
+  u32 levels = 3;
+  bool csv = false;
+  std::string out;         ///< output file ("" = caller-provided stream)
+  std::string trace_path;  ///< per-job telemetry trace ("" = none)
+};
+
+/// One population/binning run (kind "population"), see population_engine.
+struct PopulationJobSpec {
+  std::string id;
+  PopulationSpec spec;
+  std::string out;
+  std::string trace_path;
+};
+
+/// A parsed job line: exactly one of the kinds is active.
+struct Job {
+  enum class Kind { kSim, kPopulation };
+  Kind kind = Kind::kSim;
+  SimJobSpec sim;
+  PopulationJobSpec population;
+
+  const std::string& id() const noexcept {
+    return kind == Kind::kSim ? sim.id : population.id;
+  }
+  const std::string& out_path() const noexcept {
+    return kind == Kind::kSim ? sim.out : population.out;
+  }
+  const std::string& trace_path() const noexcept {
+    return kind == Kind::kSim ? sim.trace_path : population.trace_path;
+  }
+};
+
+/// Parses one line-delimited JSON job description (a single flat object;
+/// string/number/bool values). Unknown kinds, unknown keys, duplicate
+/// keys, and type mismatches all throw std::invalid_argument with a
+/// message naming the offender -- the runtime teeth behind POPULATION.md's
+/// schema table.
+Job parse_job_line(const std::string& line);
+
+/// Opens the workload a sim job names: a '/' or '.' in `workload` selects a
+/// recorded trace file, anything else one of the SPEC-like profiles seeded
+/// with `trace_seed` (the same heuristic the pcs_sim CLI has always used).
+std::unique_ptr<TraceSource> make_workload_source(const std::string& workload,
+                                                  u64 trace_seed);
+
+/// Runs one simulator job and renders the report to `out` -- byte-identical
+/// to `pcs_sim` with the equivalent flags (this IS pcs_sim's run path).
+/// `num_threads` fans the independent policy runs; results are identical at
+/// any value. When `trace` is non-null, buffered per-policy telemetry is
+/// replayed into it in policy order (the caller emits the header).
+/// Throws std::invalid_argument for an unknown policy.
+void run_sim_job(const SimJobSpec& spec, std::ostream& out, u32 num_threads,
+                 TraceSink* trace = nullptr);
+
+/// Runs one population job and renders the binning report to `out` --
+/// byte-identical to `chip_binning` with the equivalent arguments.
+void run_population_job(const PopulationJobSpec& spec, std::ostream& out,
+                        u32 num_threads, TraceSink* trace = nullptr);
+
+/// What happened to one submitted job (in submission order).
+struct JobOutcome {
+  std::string id;
+  bool ok = false;
+  std::string error;    ///< parse/run failure, "" when ok
+  double wall_ms = 0.0; ///< telemetry-only; never rendered to log/output
+};
+
+/// The `pcs_sim --serve` engine. See the file comment for the determinism
+/// contract.
+class JobService {
+ public:
+  /// `num_threads` 0 = pcs_thread_count(); 1 = run jobs inline as their
+  /// lines arrive (same outputs, same log).
+  explicit JobService(u32 num_threads = 0);
+
+  u32 num_threads() const noexcept { return num_threads_; }
+
+  /// Reads jobs from `in` until EOF (blank lines and `#` comments are
+  /// skipped), runs them, writes per-job artifacts, and streams the
+  /// deterministic service log to `log`. Returns outcomes in submission
+  /// order. Job failures are reported in the outcome, never thrown.
+  std::vector<JobOutcome> serve(std::istream& in, std::ostream& log);
+
+ private:
+  u32 num_threads_;
+};
+
+}  // namespace pcs

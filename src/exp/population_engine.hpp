@@ -1,0 +1,148 @@
+// Fleet-scale chip-population engine.
+//
+// The paper's Fig. 3 / Fig. 5 story is a *population* claim: yield and
+// energy savings are distributions over process-variation chip instances,
+// not properties of one die. This engine simulates millions of manufactured
+// dies of one cache design and reduces them to fleet-level distributions --
+// per-die minimum operating voltage (the DPCS floor), per-die SPCS binning
+// voltage, yield vs VDD, and effective capacity at the floor -- plus the
+// per-bin DPCS ladder tuning the binning report derives from them.
+//
+// Scale contract (POPULATION.md is the operator-facing spec):
+//
+//   * The population is split into SHARDS of `chips_per_shard` consecutive
+//     chips; shards fan across the deterministic ThreadPool. Chip c's RNG
+//     is Rng(derive_seed(seed, 0, c)) with c the GLOBAL chip index, so the
+//     manufactured die depends only on (seed, c) -- never on the shard size
+//     or the thread count.
+//   * Shards reduce to integer histograms (u64 counts over the fixed VDD
+//     ladder), and shard results merge by elementwise addition -- exact and
+//     associative -- so the merged PopulationResult is byte-identical at
+//     any thread count AND any shard size. No per-chip records are kept:
+//     memory is O(levels^2), independent of the population size.
+//   * Derived statistics (means, quantiles, yield curves) are computed from
+//     the histograms by fixed-order folds, inheriting the same determinism.
+//
+// The per-chip inner loop is the PR 6 fused Monte-Carlo kernel: one
+// CellFaultField::sample_fast draw per die, chip_fail_voltage() for the
+// viability floor (one scalar encodes pass/fail at every voltage), and one
+// histogram pass over the block fail voltages for every level's capacity
+// behind the SPCS level search.
+#pragma once
+
+#include <iosfwd>
+#include <span>
+#include <vector>
+
+#include "cachemodel/cache_org.hpp"
+#include "fault/ber_model.hpp"
+#include "fault/cell_fault_field.hpp"
+#include "telemetry/trace_sink.hpp"
+#include "util/types.hpp"
+
+namespace pcs {
+
+/// Capacity-at-floor histogram resolution (fixed bins over [0, 1]).
+inline constexpr u32 kPopulationCapacityBins = 100;
+
+/// One population run, fully specified. Every field participates in the
+/// determinism contract except `chips_per_shard`, which must not change any
+/// result (asserted by tests/test_population.cpp).
+struct PopulationSpec {
+  CacheOrg org{64 * 1024, 4, 64, 31};
+  u64 num_chips = 10'000;
+  u64 seed = 2024;
+
+  /// VDD ladder: grid_lo, grid_lo+grid_step, ... up to grid_hi (inclusive
+  /// within half a step). Levels are 1-based like FaultMap's.
+  Volt grid_lo = 0.45;
+  Volt grid_hi = 1.00;
+  Volt grid_step = 0.01;
+
+  /// SPCS selection: lowest viable level with >= this effective capacity.
+  double spcs_min_capacity = 0.99;
+
+  /// Chips per shard (result-invariant; tunes task granularity only).
+  u64 chips_per_shard = 4096;
+
+  std::vector<Volt> grid() const;
+};
+
+/// Where one die lands: the per-chip kernel's output.
+struct ChipBinPoint {
+  u32 floor_level = 0;   ///< lowest viable level, 1-based; 0 = unusable
+  u32 spcs_level = 0;    ///< lowest viable level with SPCS capacity; 0 = none
+  u32 capacity_bin = 0;  ///< effective capacity at floor_level, binned
+};
+
+/// Bins one manufactured die against a VDD ladder: viability floor via the
+/// fused fail-voltage kernel, then every level's effective capacity from a
+/// single histogram pass over the per-block fail voltages (no sort, no
+/// dense FaultMap). Exposed for tests and the micro-benchmarks.
+ChipBinPoint bin_chip(const CellFaultField& field, const CacheOrg& org,
+                      std::span<const Volt> grid, double min_capacity);
+
+/// Merged fleet-level distributions. All counts are u64; all level indices
+/// are 1-based positions in `grid` (index l-1 stores level l).
+struct PopulationResult {
+  std::vector<Volt> grid;
+  u64 num_chips = 0;
+  u64 unusable = 0;  ///< dies with no viable level even at nominal
+  u64 no_spcs = 0;   ///< viable dies that never reach the capacity target
+
+  std::vector<u64> floor_hist;     ///< per level: dies with that min-VDD
+  std::vector<u64> spcs_hist;      ///< per level: dies SPCS-binned there
+  std::vector<u64> capacity_hist;  ///< kPopulationCapacityBins bins over [0,1]
+  /// Joint (spcs_level, floor_level) counts, flattened spcs-major:
+  /// index (s-1)*levels + (f-1). Feeds the per-bin DPCS ladder table.
+  std::vector<u64> bin_floor_hist;
+
+  bool operator==(const PopulationResult&) const = default;
+
+  u32 num_levels() const noexcept { return static_cast<u32>(grid.size()); }
+  u64 usable() const noexcept { return num_chips - unusable; }
+
+  /// Dies viable at `level` (1-based): prefix sum of floor_hist.
+  u64 viable_at(u32 level) const noexcept;
+  /// Fleet yield at `level`: viable_at / num_chips.
+  double yield_at(u32 level) const noexcept;
+
+  /// Mean ladder voltage of a per-level histogram (0 if empty).
+  Volt mean_vdd(const std::vector<u64>& level_hist) const noexcept;
+  /// Smallest ladder voltage with cumulative fraction >= q (0 if empty).
+  Volt quantile_vdd(const std::vector<u64>& level_hist,
+                    double q) const noexcept;
+
+  /// Elementwise accumulation of a shard result (grids must match).
+  void merge(const PopulationResult& shard);
+};
+
+/// Runs populations across the deterministic ThreadPool.
+class PopulationEngine {
+ public:
+  /// `ber` must outlive the engine. `num_threads` 0 = pcs_thread_count().
+  explicit PopulationEngine(const BerModel& ber, u32 num_threads = 0);
+
+  u32 num_threads() const noexcept { return num_threads_; }
+
+  /// Simulates spec.num_chips dies and returns the merged distributions.
+  /// When `trace` is non-null, one deterministic `population_shard` record
+  /// is emitted per shard, in shard order (see TELEMETRY.md).
+  PopulationResult run(const PopulationSpec& spec,
+                       TraceSink* trace = nullptr) const;
+
+ private:
+  const BerModel* ber_;
+  u32 num_threads_;
+};
+
+/// Renders the operator-facing binning report (yield curve, min-VDD /
+/// SPCS-VDD distributions, per-bin DPCS ladder table) to `out`. The bytes
+/// depend only on (spec, result) -- examples/chip_binning and the pcs_sim
+/// service mode share this renderer, which is what makes a service job's
+/// output byte-identical to the standalone run (POPULATION.md).
+void render_population_report(const PopulationSpec& spec,
+                              const PopulationResult& result,
+                              std::ostream& out);
+
+}  // namespace pcs

@@ -13,7 +13,9 @@
 
 #include "core/system.hpp"
 #include "exp/experiment_runner.hpp"
+#include "exp/population_engine.hpp"
 #include "exp/sweep_engine.hpp"
+#include "fault/ber_model.hpp"
 #include "util/rng.hpp"
 
 namespace pcs {
@@ -198,6 +200,48 @@ TEST_F(FigRegression, SweepYieldKernelsReproduceFig3Goldens) {
                       [&](float vf) { return probes[k] > vf; }));
     EXPECT_EQ(counts[k], scan) << "probe " << probes[k];
   }
+}
+
+// Golden pins for the fleet-population path (Fig. 3 / Fig. 5 as a
+// population claim): a 1000-die run of the default 64 KB 4-way design on
+// the default ladder, with the merged histograms pinned through exact
+// integer counts and level-weighted checksums. The engine's determinism
+// contract makes these bit-stable at any thread count or shard size, so
+// any change here is a real model change, not scheduling noise.
+TEST(PopulationGolden, ThousandDieFleetPins) {
+  PopulationSpec spec;  // 64 KB 4-way, seed 2024, 0.45..1.00 V step 0.01
+  spec.num_chips = 1'000;
+  const BerModel ber(Technology::soi45());
+  const PopulationResult r = PopulationEngine(ber, 8).run(spec);
+
+  ASSERT_EQ(r.num_levels(), 56u);
+  EXPECT_EQ(r.num_chips, 1'000u);
+  EXPECT_EQ(r.unusable, 0u);
+  EXPECT_EQ(r.no_spcs, 0u);
+
+  // Level-weighted checksums pin the shape of every per-level histogram.
+  u64 floor_ck = 0, spcs_ck = 0, cap_ck = 0, joint_ck = 0;
+  for (u32 l = 1; l <= r.num_levels(); ++l) {
+    floor_ck += l * r.floor_hist[l - 1];
+    spcs_ck += l * r.spcs_hist[l - 1];
+  }
+  for (u32 b = 0; b < kPopulationCapacityBins; ++b) {
+    cap_ck += (b + 1) * r.capacity_hist[b];
+  }
+  for (std::size_t i = 0; i < r.bin_floor_hist.size(); ++i) {
+    joint_ck += (i + 1) * r.bin_floor_hist[i];
+  }
+  EXPECT_EQ(floor_ck, 13'718u);
+  EXPECT_EQ(spcs_ck, 26'480u);
+  EXPECT_EQ(cap_ck, 80'073u);
+  EXPECT_EQ(joint_ck, 1'440'598u);
+
+  // Distribution pins: ladder voltages, so exact comparisons are safe.
+  EXPECT_NEAR(r.quantile_vdd(r.floor_hist, 0.5), 0.58, 1e-9);
+  EXPECT_NEAR(r.quantile_vdd(r.floor_hist, 0.99), 0.62, 1e-9);
+  EXPECT_NEAR(r.quantile_vdd(r.spcs_hist, 0.5), 0.70, 1e-9);
+  EXPECT_EQ(r.viable_at(21), 999u);    // yield at 0.65 V: 99.9%
+  EXPECT_EQ(r.viable_at(26), 1'000u);  // yield at 0.70 V: 100%
 }
 
 }  // namespace

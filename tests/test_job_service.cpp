@@ -1,0 +1,212 @@
+// Job service: the runtime teeth of the POPULATION.md schema (parse
+// defaults and rejections), the per-job determinism contract (service
+// output files byte-identical to the standalone CLIs at any concurrency),
+// and the deterministic service log.
+#include <gtest/gtest.h>
+
+#include <fstream>
+#include <sstream>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include "exp/job_service.hpp"
+
+namespace pcs {
+namespace {
+
+std::string tmp_path(const std::string& name) {
+  return std::string(::testing::TempDir()) + name;
+}
+
+std::string slurp(const std::string& path) {
+  std::ifstream f(path, std::ios::binary);
+  EXPECT_TRUE(f.is_open()) << path;
+  std::ostringstream ss;
+  ss << f.rdbuf();
+  return ss.str();
+}
+
+// ---------------------------------------------------------------------------
+// Job-line parsing (POPULATION.md schema, runtime side)
+
+TEST(ParseJobLine, EmptyObjectYieldsSimDefaults) {
+  const Job job = parse_job_line("{}");
+  EXPECT_EQ(job.kind, Job::Kind::kSim);
+  EXPECT_EQ(job.sim.id, "");
+  EXPECT_EQ(job.sim.config, "A");
+  EXPECT_EQ(job.sim.policy, "all");
+  EXPECT_EQ(job.sim.workload, "hmmer");
+  EXPECT_EQ(job.sim.refs, 1'000'000u);
+  EXPECT_EQ(job.sim.warmup, 0u);
+  EXPECT_EQ(job.sim.chip_seed, 1u);
+  EXPECT_EQ(job.sim.trace_seed, 42u);
+  EXPECT_EQ(job.sim.levels, 3u);
+  EXPECT_FALSE(job.sim.csv);
+  EXPECT_EQ(job.sim.out, "");
+  EXPECT_EQ(job.sim.trace_path, "");
+}
+
+TEST(ParseJobLine, PopulationKeysMapOntoTheSpec) {
+  const Job job = parse_job_line(
+      R"({"kind": "population", "id": "fleet", "chips": 500, "size_kb": 32,)"
+      R"( "assoc": 8, "seed": 7, "shard_chips": 128, "grid_lo": 0.5,)"
+      R"( "grid_hi": 0.9, "grid_step": 0.02, "min_capacity": 0.95,)"
+      R"( "out": "fleet.txt", "trace": "fleet.jsonl"})");
+  EXPECT_EQ(job.kind, Job::Kind::kPopulation);
+  const PopulationJobSpec& p = job.population;
+  EXPECT_EQ(p.id, "fleet");
+  EXPECT_EQ(p.spec.num_chips, 500u);
+  EXPECT_EQ(p.spec.org.size_bytes, 32u * 1024u);
+  EXPECT_EQ(p.spec.org.assoc, 8u);
+  EXPECT_EQ(p.spec.seed, 7u);
+  EXPECT_EQ(p.spec.chips_per_shard, 128u);
+  EXPECT_NEAR(p.spec.grid_lo, 0.5, 1e-12);
+  EXPECT_NEAR(p.spec.grid_hi, 0.9, 1e-12);
+  EXPECT_NEAR(p.spec.grid_step, 0.02, 1e-12);
+  EXPECT_NEAR(p.spec.spcs_min_capacity, 0.95, 1e-12);
+  EXPECT_EQ(p.out, "fleet.txt");
+  EXPECT_EQ(p.trace_path, "fleet.jsonl");
+}
+
+TEST(ParseJobLine, RejectsMalformedAndOffSchemaLines) {
+  const char* bad[] = {
+      "not json at all",
+      "{\"kind\": \"sim\"} trailing",
+      R"({"refs": 100, "refs": 200})",                 // duplicate key
+      R"({"kind": "spectral"})",                       // unknown kind
+      R"({"bogus_key": 1})",                           // unknown key
+      R"({"kind": "population", "refs": 100})",        // sim key, wrong kind
+      R"({"refs": "many"})",                           // type mismatch
+      R"({"refs": -5})",                               // negative integer
+      R"({"refs": 1.5})",                              // fractional integer
+      R"({"config": "C"})",                            // bad enum value
+      R"({"policy": "fastest"})",                      // bad enum value
+      "{\"id\": \"\\u0041\"}",                         // unsupported escape
+      R"({"kind": "sim",})",                           // trailing comma
+  };
+  for (const char* line : bad) {
+    EXPECT_THROW(parse_job_line(line), std::invalid_argument) << line;
+  }
+}
+
+// ---------------------------------------------------------------------------
+// run_sim_job: thread-count invariance and CSV shape
+
+TEST(RunSimJob, OutputInvariantToThreadCount) {
+  SimJobSpec spec;
+  spec.workload = "hmmer";
+  spec.refs = 2'000;
+  std::ostringstream serial, parallel;
+  run_sim_job(spec, serial, 1);
+  run_sim_job(spec, parallel, 4);
+  EXPECT_EQ(serial.str(), parallel.str());
+  EXPECT_NE(serial.str().find("config A, workload hmmer"), std::string::npos);
+}
+
+TEST(RunSimJob, CsvModeEmitsHeaderPlusOneRowPerPolicy) {
+  SimJobSpec spec;
+  spec.refs = 2'000;
+  spec.csv = true;  // policy "all" = 3 rows
+  std::ostringstream out;
+  run_sim_job(spec, out, 1);
+  std::istringstream lines(out.str());
+  std::vector<std::string> rows;
+  for (std::string l; std::getline(lines, l);) rows.push_back(l);
+  ASSERT_EQ(rows.size(), 4u);
+  EXPECT_EQ(rows[0].rfind("config,workload,policy,refs,", 0), 0u);
+}
+
+TEST(RunSimJob, UnknownPolicyThrows) {
+  SimJobSpec spec;
+  spec.policy = "fastest";  // parse_job_line rejects this; run_ must too
+  std::ostringstream out;
+  EXPECT_THROW(run_sim_job(spec, out, 1), std::invalid_argument);
+}
+
+// ---------------------------------------------------------------------------
+// serve(): byte-identity with the standalone paths and the deterministic log
+
+TEST(JobService, ServedJobsAreByteIdenticalToStandaloneRuns) {
+  const std::string sim_out = tmp_path("pcs_js_sim.txt");
+  const std::string sim_trace = tmp_path("pcs_js_sim.jsonl");
+  const std::string pop_out = tmp_path("pcs_js_pop.txt");
+  std::ostringstream jobs;
+  jobs << "# two independent jobs, run concurrently\n"
+       << R"({"kind": "sim", "id": "s1", "refs": 2000, "out": ")" << sim_out
+       << R"(", "trace": ")" << sim_trace << "\"}\n"
+       << "\n"
+       << R"({"kind": "population", "id": "p1", "chips": 40, "size_kb": 16,)"
+       << R"( "shard_chips": 16, "out": ")" << pop_out << "\"}\n";
+  const std::string job_text = jobs.str();
+
+  std::string logs[2];
+  const u32 threads[2] = {4, 1};
+  for (int i = 0; i < 2; ++i) {
+    std::istringstream in(job_text);
+    std::ostringstream log;
+    const std::vector<JobOutcome> outcomes =
+        JobService(threads[i]).serve(in, log);
+    logs[i] = log.str();
+    ASSERT_EQ(outcomes.size(), 2u);
+    EXPECT_TRUE(outcomes[0].ok) << outcomes[0].error;
+    EXPECT_TRUE(outcomes[1].ok) << outcomes[1].error;
+    EXPECT_EQ(outcomes[0].id, "s1");
+    EXPECT_EQ(outcomes[1].id, "p1");
+  }
+  // The service log never contains timings, so it is byte-stable too.
+  EXPECT_EQ(logs[0], logs[1]);
+  EXPECT_NE(logs[0].find("job s1: accepted (sim -> "), std::string::npos);
+  EXPECT_NE(logs[0].find("job p1: ok"), std::string::npos);
+  EXPECT_NE(logs[0].find("served 2 jobs: 2 ok, 0 failed"), std::string::npos);
+
+  // Output files match the standalone render paths byte for byte.
+  const Job sim_job = parse_job_line(
+      R"({"kind": "sim", "refs": 2000, "out": "x"})");
+  std::ostringstream sim_ref;
+  run_sim_job(sim_job.sim, sim_ref, 1);
+  EXPECT_EQ(slurp(sim_out), sim_ref.str());
+
+  const Job pop_job = parse_job_line(
+      R"({"kind": "population", "chips": 40, "size_kb": 16, "out": "x"})");
+  std::ostringstream pop_ref;
+  run_population_job(pop_job.population, pop_ref, 1);
+  EXPECT_EQ(slurp(pop_out), pop_ref.str());
+
+  // The per-job trace ends with the quarantined wall-clock record.
+  const std::string trace = slurp(sim_trace);
+  std::istringstream trace_lines(trace);
+  std::string line, last;
+  while (std::getline(trace_lines, line)) {
+    if (!line.empty()) last = line;
+  }
+  EXPECT_EQ(last.rfind(R"({"type":"job_profile","job":"s1","kind":"sim")", 0),
+            0u);
+}
+
+TEST(JobService, RejectionsAndFailuresAreReportedInSubmissionOrder) {
+  const std::string out1 = tmp_path("pcs_js_fail1.txt");
+  std::ostringstream jobs;
+  jobs << R"({"kind": "sim", "id": "no-out", "refs": 100})" << "\n"
+       << "this is not a job\n"
+       << R"({"kind": "sim", "workload": "no-such-workload", "refs": 100,)"
+       << R"( "out": ")" << out1 << "\"}\n";
+  std::istringstream in(jobs.str());
+  std::ostringstream log;
+  const std::vector<JobOutcome> outcomes = JobService(1).serve(in, log);
+
+  ASSERT_EQ(outcomes.size(), 3u);
+  EXPECT_FALSE(outcomes[0].ok);
+  EXPECT_EQ(outcomes[0].id, "no-out");
+  EXPECT_NE(outcomes[0].error.find("'out' is required"), std::string::npos);
+  EXPECT_FALSE(outcomes[1].ok);
+  EXPECT_EQ(outcomes[1].id, "line2");
+  EXPECT_FALSE(outcomes[2].ok);
+  EXPECT_EQ(outcomes[2].id, "job3");  // default id = submission index
+  EXPECT_NE(outcomes[2].error.find("no-such-workload"), std::string::npos);
+  EXPECT_NE(log.str().find("served 3 jobs: 0 ok, 3 failed"),
+            std::string::npos);
+}
+
+}  // namespace
+}  // namespace pcs

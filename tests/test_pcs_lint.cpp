@@ -2,7 +2,7 @@
 // tools/pcs_lint/fixtures and asserts exact diagnostic IDs and lines,
 // including suppression-annotation handling. The corpus has at least one
 // true positive (bad_tree) and one clean case (good_tree) per rule
-// DET001-DET005, INV001, SCHEMA001.
+// DET001-DET005, INV001, SCHEMA001, SCHEMA002.
 
 #include <gtest/gtest.h>
 
@@ -35,12 +35,16 @@ LintResult lint_tree(const std::string& tree) {
 
 TEST(PcsLint, BadTreeReportsExactDiagnostics) {
   const LintResult result = lint_tree("bad_tree");
-  EXPECT_EQ(result.files_scanned, 8);
+  EXPECT_EQ(result.files_scanned, 9);
   EXPECT_TRUE(result.io_errors.empty());
   const std::vector<std::string> expected = {
       "SCHEMA001@TELEMETRY.md:3",          // version mismatch (doc 1, src 2)
       "SCHEMA001@TELEMETRY.md:6",          // field 'spooky' never emitted
       "SCHEMA001@TELEMETRY.md:6",          // type 'ghost' never emitted
+      "SCHEMA002@POPULATION.md:7",         // key 'ghost_key' never read
+      "SCHEMA002@POPULATION.md:8",         // kind 'spectral' never accepted
+      "SCHEMA002@src/exp/schema002_jobs.cpp:2",  // kind 'phantom' undocumented
+      "SCHEMA002@src/exp/schema002_jobs.cpp:6",  // key 'undocumented_key'
       "DET001@src/det001_clock.cpp:6",     // steady_clock
       "DET001@src/det001_clock.cpp:7",     // system_clock
       "DET001@src/det001_clock.cpp:10",    // time(nullptr)
@@ -82,9 +86,10 @@ TEST(PcsLint, GoodTreeIsClean) {
   // plus raw engines inside src/util/rng.*, atomic<double> inside the
   // RunAggregator home, faulty-bits writes inside the single-writer set,
   // block/fork Rng use (plus an annotated scalar reference) in the fault hot
-  // path, and fully documented telemetry emissions.
+  // path, fully documented telemetry emissions, and a job-file parser whose
+  // kinds and keys all match POPULATION.md's job-schema block.
   const LintResult result = lint_tree("good_tree");
-  EXPECT_EQ(result.files_scanned, 9);
+  EXPECT_EQ(result.files_scanned, 10);
   EXPECT_TRUE(result.io_errors.empty());
   EXPECT_EQ(keys(result), std::vector<std::string>{});
 }
@@ -111,6 +116,22 @@ TEST(PcsLint, SchemaOnlyModeMatchesLegacyDocsGate) {
   EXPECT_EQ(keys(result), want);
 }
 
+TEST(PcsLint, JobSchemaOnlyModeCoversBothDirections) {
+  LintOptions opts;
+  opts.root = std::string(PCS_LINT_FIXTURES) + "/bad_tree";
+  opts.rules = {"SCHEMA002"};
+  const LintResult result = pcs_lint::run_lint(opts);
+  std::vector<std::string> want = {
+      "SCHEMA002@POPULATION.md:7",
+      "SCHEMA002@POPULATION.md:8",
+      "SCHEMA002@src/exp/schema002_jobs.cpp:2",
+      "SCHEMA002@src/exp/schema002_jobs.cpp:6"};
+  std::sort(want.begin(), want.end());
+  std::vector<std::string> got = keys(result);
+  std::sort(got.begin(), got.end());
+  EXPECT_EQ(got, want);
+}
+
 // Token-level properties of the scanner itself: rule matching must key off
 // identifier tokens, never comment or string-literal text.
 TEST(PcsLint, CommentsAndStringsDoNotTrip) {
@@ -134,9 +155,10 @@ TEST(PcsLint, IncludeDirectivesDoNotLeakHeaderNames) {
 }
 
 TEST(PcsLint, RegistryListsAllRules) {
-  const std::vector<std::string> want = {"DET001",    "DET002",  "DET003",
-                                         "DET004",    "DET005",  "INV001",
-                                         "SCHEMA001", "LINT001"};
+  const std::vector<std::string> want = {
+      "DET001", "DET002",    "DET003",    "DET004",
+      "DET005", "INV001",    "SCHEMA001", "SCHEMA002",
+      "LINT001"};
   std::vector<std::string> got;
   for (const pcs_lint::RuleInfo& r : pcs_lint::rule_registry()) {
     got.push_back(r.id);

@@ -1,0 +1,242 @@
+// Population engine: the fleet-scale determinism contract (merged results
+// and shard telemetry are invariant to thread count; merged results are
+// also invariant to shard size), the per-chip binning kernel against the
+// dense FaultMap reference, and the histogram-derived statistics.
+#include <gtest/gtest.h>
+
+#include <sstream>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include "exp/population_engine.hpp"
+#include "fault/ber_model.hpp"
+#include "fault/fault_map.hpp"
+#include "tech/technology.hpp"
+#include "telemetry/trace_sink.hpp"
+#include "util/rng.hpp"
+
+namespace pcs {
+namespace {
+
+PopulationSpec small_spec(u64 chips) {
+  PopulationSpec spec;
+  spec.org.size_bytes = 16 * 1024;  // 256 blocks: fast enough for 100s of dies
+  spec.num_chips = chips;
+  spec.seed = 99;
+  return spec;
+}
+
+// ---------------------------------------------------------------------------
+// Grid ladder
+
+TEST(PopulationSpec, GridCoversLoToHiInclusive) {
+  const PopulationSpec spec;  // 0.45 .. 1.00 step 0.01
+  const std::vector<Volt> g = spec.grid();
+  ASSERT_EQ(g.size(), 56u);
+  EXPECT_NEAR(g.front(), 0.45, 1e-12);
+  EXPECT_NEAR(g.back(), 1.00, 1e-6);
+  for (std::size_t i = 1; i < g.size(); ++i) {
+    EXPECT_NEAR(g[i] - g[i - 1], 0.01, 1e-9);
+  }
+}
+
+TEST(PopulationSpec, GridRejectsDegenerateLadders) {
+  PopulationSpec spec;
+  spec.grid_step = 0.0;
+  EXPECT_THROW(spec.grid(), std::invalid_argument);
+  spec.grid_step = -0.01;
+  EXPECT_THROW(spec.grid(), std::invalid_argument);
+  spec.grid_step = 0.01;
+  spec.grid_lo = 1.10;  // above grid_hi: empty ladder
+  EXPECT_THROW(spec.grid(), std::invalid_argument);
+}
+
+// ---------------------------------------------------------------------------
+// bin_chip vs the dense FaultMap reference
+
+TEST(BinChip, MatchesDenseFaultMapReference) {
+  const PopulationSpec spec = small_spec(0);
+  const std::vector<Volt> grid = spec.grid();
+  const BerModel ber(Technology::soi45());
+  const u32 n = static_cast<u32>(grid.size());
+
+  for (u64 die = 0; die < 25; ++die) {
+    Rng rng(derive_seed(spec.seed, 0, die));
+    CellFaultField field = CellFaultField::sample_fast(
+        ber, spec.org.num_blocks(), spec.org.bits_per_block(), rng);
+    const FaultMap fm(grid, field, spec.org.assoc);
+
+    u32 ref_floor = 0;
+    for (u32 l = 1; l <= n; ++l) {
+      if (fm.viable(spec.org.assoc, l)) {
+        ref_floor = l;
+        break;
+      }
+    }
+    const u32 ref_spcs =
+        fm.lowest_level_with_capacity(spec.org.assoc, spec.spcs_min_capacity);
+
+    const ChipBinPoint p =
+        bin_chip(field, spec.org, grid, spec.spcs_min_capacity);
+    EXPECT_EQ(p.floor_level, ref_floor) << "die " << die;
+    if (ref_floor != 0) {
+      EXPECT_EQ(p.spcs_level, ref_spcs) << "die " << die;
+      const double cap = fm.effective_capacity(ref_floor);
+      const u32 ref_bin = std::min(
+          static_cast<u32>(cap * kPopulationCapacityBins),
+          kPopulationCapacityBins - 1);
+      EXPECT_EQ(p.capacity_bin, ref_bin) << "die " << die;
+      EXPECT_GE(p.spcs_level, p.floor_level) << "die " << die;
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// The determinism contract
+
+TEST(PopulationEngine, ResultInvariantToThreadCountAndShardSize) {
+  PopulationSpec spec = small_spec(300);
+  const BerModel ber(Technology::soi45());
+  const PopulationResult reference = PopulationEngine(ber, 1).run(spec);
+
+  struct Case {
+    u32 threads;
+    u64 shard_chips;
+  };
+  for (const Case c : {Case{1, 17}, Case{3, 101}, Case{8, 4096}}) {
+    spec.chips_per_shard = c.shard_chips;
+    const PopulationResult got = PopulationEngine(ber, c.threads).run(spec);
+    EXPECT_EQ(got, reference)
+        << c.threads << " threads, " << c.shard_chips << " chips/shard";
+  }
+}
+
+TEST(PopulationEngine, ShardTelemetryBytesInvariantToThreadCount) {
+  PopulationSpec spec = small_spec(200);
+  spec.chips_per_shard = 64;  // 4 shards (3 full + 1 partial of 8 chips)
+  const BerModel ber(Technology::soi45());
+
+  std::string bytes[2];
+  const u32 threads[2] = {1, 8};
+  for (int i = 0; i < 2; ++i) {
+    std::ostringstream out;
+    JsonlTraceSink sink(out);
+    PopulationEngine(ber, threads[i]).run(spec, &sink);
+    bytes[i] = out.str();
+  }
+  EXPECT_EQ(bytes[0], bytes[1]);
+
+  // One record per shard, in shard order, counting every chip exactly once.
+  MemoryTraceSink mem;
+  PopulationEngine(ber, 1).run(spec, &mem);
+  ASSERT_EQ(mem.records().size(), 4u);
+  u64 chips = 0;
+  for (std::size_t s = 0; s < mem.records().size(); ++s) {
+    const TraceRecord& r = mem.records()[s];
+    EXPECT_STREQ(r.type(), "population_shard");
+    ASSERT_EQ(r.fields().size(), 4u);
+    EXPECT_STREQ(r.fields()[0].key, "shard");
+    EXPECT_EQ(std::get<u64>(r.fields()[0].value), s);
+    EXPECT_STREQ(r.fields()[1].key, "first_chip");
+    EXPECT_EQ(std::get<u64>(r.fields()[1].value), s * 64);
+    EXPECT_STREQ(r.fields()[2].key, "chips");
+    chips += std::get<u64>(r.fields()[2].value);
+    EXPECT_STREQ(r.fields()[3].key, "unusable");
+  }
+  EXPECT_EQ(chips, 200u);
+}
+
+TEST(PopulationEngine, ReportBytesInvariantToThreadCountAndShardSize) {
+  PopulationSpec spec = small_spec(250);
+  const BerModel ber(Technology::soi45());
+  std::ostringstream ref;
+  render_population_report(spec, PopulationEngine(ber, 1).run(spec), ref);
+  EXPECT_NE(ref.str().find("fleet yield vs VDD:"), std::string::npos);
+  EXPECT_NE(ref.str().find("SPCS bins"), std::string::npos);
+
+  spec.chips_per_shard = 23;
+  std::ostringstream got;
+  render_population_report(spec, PopulationEngine(ber, 8).run(spec), got);
+  EXPECT_EQ(got.str(), ref.str());
+}
+
+// ---------------------------------------------------------------------------
+// Histogram bookkeeping
+
+TEST(PopulationEngine, HistogramTotalsAreConsistent) {
+  const PopulationSpec spec = small_spec(400);
+  const BerModel ber(Technology::soi45());
+  const PopulationResult r = PopulationEngine(ber, 2).run(spec);
+
+  EXPECT_EQ(r.num_chips, 400u);
+  u64 floors = 0, spcs = 0, caps = 0, joint = 0;
+  for (const u64 c : r.floor_hist) floors += c;
+  for (const u64 c : r.spcs_hist) spcs += c;
+  for (const u64 c : r.capacity_hist) caps += c;
+  for (const u64 c : r.bin_floor_hist) joint += c;
+  EXPECT_EQ(floors, r.usable());
+  EXPECT_EQ(caps, r.usable());
+  EXPECT_EQ(spcs + r.no_spcs, r.usable());
+  EXPECT_EQ(joint, spcs);
+  EXPECT_EQ(r.viable_at(r.num_levels()), r.usable());
+  // Yield is a CDF: non-decreasing in the ladder level.
+  for (u32 l = 2; l <= r.num_levels(); ++l) {
+    EXPECT_GE(r.yield_at(l), r.yield_at(l - 1));
+  }
+  // The sweep must find real dies on the default soi45 ladder.
+  EXPECT_GT(r.usable(), 0u);
+}
+
+TEST(PopulationEngine, LadderBelowEveryFailVoltageYieldsNothing) {
+  PopulationSpec spec = small_spec(50);
+  spec.grid_lo = 0.05;  // far below any soi45 cell fail voltage
+  spec.grid_hi = 0.10;
+  const BerModel ber(Technology::soi45());
+  const PopulationResult r = PopulationEngine(ber, 1).run(spec);
+  EXPECT_EQ(r.unusable, 50u);
+  EXPECT_EQ(r.usable(), 0u);
+  for (const u64 c : r.capacity_hist) EXPECT_EQ(c, 0u);
+  EXPECT_EQ(r.yield_at(r.num_levels()), 0.0);
+}
+
+TEST(PopulationEngine, ZeroChipsProducesEmptyResultAndNoRecords) {
+  const PopulationSpec spec = small_spec(0);
+  const BerModel ber(Technology::soi45());
+  MemoryTraceSink mem;
+  const PopulationResult r = PopulationEngine(ber, 4).run(spec, &mem);
+  EXPECT_EQ(r.num_chips, 0u);
+  EXPECT_EQ(r.usable(), 0u);
+  EXPECT_TRUE(mem.records().empty());
+}
+
+// ---------------------------------------------------------------------------
+// Derived statistics on hand-built histograms
+
+TEST(PopulationResult, MeanAndQuantilesUseCountRanks) {
+  PopulationResult r;
+  r.grid = {0.5, 0.6, 0.7};
+  const std::vector<u64> hist = {1, 2, 1};  // ranks: 1 | 2 3 | 4
+  EXPECT_NEAR(r.mean_vdd(hist), 0.6, 1e-12);
+  EXPECT_NEAR(r.quantile_vdd(hist, 0.0), 0.5, 1e-12);
+  EXPECT_NEAR(r.quantile_vdd(hist, 0.5), 0.6, 1e-12);
+  EXPECT_NEAR(r.quantile_vdd(hist, 0.75), 0.6, 1e-12);
+  EXPECT_NEAR(r.quantile_vdd(hist, 0.76), 0.7, 1e-12);
+  EXPECT_NEAR(r.quantile_vdd(hist, 1.0), 0.7, 1e-12);
+  const std::vector<u64> empty = {0, 0, 0};
+  EXPECT_EQ(r.mean_vdd(empty), 0.0);
+  EXPECT_EQ(r.quantile_vdd(empty, 0.5), 0.0);
+}
+
+TEST(PopulationResult, MergeRejectsGridMismatch) {
+  const PopulationSpec spec = small_spec(10);
+  const BerModel ber(Technology::soi45());
+  PopulationResult a = PopulationEngine(ber, 1).run(spec);
+  PopulationSpec other = spec;
+  other.grid_step = 0.02;
+  const PopulationResult b = PopulationEngine(ber, 1).run(other);
+  EXPECT_THROW(a.merge(b), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace pcs

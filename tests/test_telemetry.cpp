@@ -149,6 +149,8 @@ const std::map<std::string, std::vector<std::string>>& documented_schema() {
       {"runner_task_profile", {"task", "wall_ms"}},
       {"runner_profile",
        {"threads", "tasks", "steals", "max_queue_depth", "wall_ms_total"}},
+      {"population_shard", {"shard", "first_chip", "chips", "unusable"}},
+      {"job_profile", {"job", "kind", "wall_ms"}},
   };
   return schema;
 }

@@ -1,0 +1,7 @@
+// SCHEMA002 fixture: an undocumented job kind and an undocumented key.
+const char* kJobKinds[] = {"sim", "phantom"};
+
+void parse(JsonObj& o) {
+  jstr(o, "workload", "hmmer");
+  jnum(o, "undocumented_key", 0);
+}

@@ -1,0 +1,13 @@
+// SCHEMA002 clean case: every accepted kind and every key read through the
+// schema accessors is documented in POPULATION.md's job-schema block, and
+// vice versa.
+const char* kJobKinds[] = {"sim", "population"};
+
+void parse(JsonObj& o) {
+  jstr(o, "kind", "sim");
+  jstr(o, "workload", "hmmer");
+  jnum(o, "refs", 0);
+  jnum(o, "chips", 0);
+  jreal(o, "min_capacity", 0.99);
+  jbool(o, "csv", false);
+}

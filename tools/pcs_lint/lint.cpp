@@ -70,11 +70,18 @@ LintResult run_lint(const LintOptions& opts) {
 
   const bool want_schema =
       opts.rules.empty() || opts.rules.count("SCHEMA001") != 0;
+  const bool want_job_schema =
+      opts.rules.empty() || opts.rules.count("SCHEMA002") != 0;
+  // Token rules run unless the filter selects only schema rules.
+  const std::size_t schema_rules_selected =
+      opts.rules.empty() ? 0
+                         : opts.rules.count("SCHEMA001") +
+                               opts.rules.count("SCHEMA002");
   const bool want_tokens =
-      opts.rules.empty() ||
-      opts.rules.size() > static_cast<std::size_t>(want_schema ? 1 : 0);
+      opts.rules.empty() || opts.rules.size() > schema_rules_selected;
 
   SchemaScan schema_scan;
+  JobSchemaScan job_schema_scan;
   std::map<std::string, Suppressions> suppressions;
   std::vector<Diagnostic> raw;
   for (const fs::path& file : files) {
@@ -93,6 +100,9 @@ LintResult run_lint(const LintOptions& opts) {
     if (want_schema && rel.rfind("src/", 0) == 0) {
       scan_schema_uses(rel, lx, schema_scan);
     }
+    if (want_job_schema && rel.rfind("src/", 0) == 0) {
+      scan_job_schema_uses(rel, lx, job_schema_scan);
+    }
   }
 
   if (want_schema) {
@@ -103,6 +113,18 @@ LintResult run_lint(const LintOptions& opts) {
     } else if (full_tree) {
       result.diags.push_back({"SCHEMA001", "TELEMETRY.md", 1,
                               "TELEMETRY.md not found under lint root '" +
+                                  opts.root + "'"});
+    }
+  }
+  if (want_job_schema) {
+    const fs::path md = root / "POPULATION.md";
+    std::string content;
+    if (read_file(md, content)) {
+      check_job_schema(content, "POPULATION.md", job_schema_scan, full_tree,
+                       raw);
+    } else if (full_tree) {
+      result.diags.push_back({"SCHEMA002", "POPULATION.md", 1,
+                              "POPULATION.md not found under lint root '" +
                                   opts.root + "'"});
     }
   }

@@ -401,6 +401,8 @@ const std::vector<RuleInfo>& rule_registry() {
        "faulty-bits writes only in mechanism.cpp/cache_level.cpp "
        "(single-writer fault inclusion)"},
       {"SCHEMA001", "telemetry emissions match the TELEMETRY.md schema"},
+      {"SCHEMA002", "job-file schema matches the POPULATION.md job-schema "
+                    "block"},
       {"LINT001", "malformed pcs-lint suppression annotation"},
   };
   return kRules;
