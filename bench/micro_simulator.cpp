@@ -18,6 +18,7 @@
 #include "core/vdd_levels.hpp"
 #include "exp/experiment_runner.hpp"
 #include "exp/population_engine.hpp"
+#include "exp/population_grid.hpp"
 #include "exp/sweep_engine.hpp"
 #include "fault/bist.hpp"
 #include "fault/cell_fault_field.hpp"
@@ -441,6 +442,66 @@ void BM_PopulationBinChipDense(benchmark::State& state) {
   state.SetItemsProcessed(state.iterations());
 }
 BENCHMARK(BM_PopulationBinChipDense);
+
+// ---- Sample-once population grid engine ------------------------------------
+
+namespace grid_bench {
+
+/// The ISSUE's reference shape: 2 sizes x 4 associativities x 3 sigmas
+/// (24 points) over one manufactured fleet. Tiny fleet so one benchmark
+/// iteration is one end-to-end engine run; items = dies, so the ratio of
+/// the pair below is the aggregate per-die speedup of sampling each die
+/// once against running the 24 points as independent population runs.
+PopulationGridSpec grid_spec() {
+  PopulationGridSpec g;
+  g.base.num_chips = 8;
+  g.base.chips_per_shard = 8;
+  g.sizes_kb = {32, 64};
+  g.assocs = {2, 4, 8, 16};
+  g.sigmas = {0.1426, 0.1585, 0.1823};
+  return g;
+}
+
+}  // namespace grid_bench
+
+/// One die through the whole grid: uniforms and order-statistic deviates
+/// drawn once at the largest size, fail voltages re-materialized per sigma,
+/// smaller sizes binned from the shared prefix, associativities folded from
+/// the shared fail voltages.
+void BM_PopulationGridDie(benchmark::State& state) {
+  const BerModel ber(Technology::soi45());
+  const auto spec = grid_bench::grid_spec();
+  for (auto _ : state) {
+    PopulationGridEngine engine(ber, 1);
+    benchmark::DoNotOptimize(engine.run(spec));
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<i64>(spec.base.num_chips));
+}
+BENCHMARK(BM_PopulationGridDie);
+
+/// The same 24 points as G independent PopulationEngine runs (what a user
+/// got before the grid engine: one full fault-field draw per die *per
+/// point*). Per-point results are bit-identical to the grid run -- the
+/// differential tests pin that -- so the pair prices pure amortization.
+void BM_PopulationGridDieIndependent(benchmark::State& state) {
+  const BerModel ber(Technology::soi45());
+  const auto spec = grid_bench::grid_spec();
+  for (auto _ : state) {
+    for (const u64 size_kb : spec.sizes_kb) {
+      for (const u32 assoc : spec.assocs) {
+        for (const Volt sigma : spec.sigmas) {
+          PopulationEngine engine(BerModel(ber.mu(), sigma), 1);
+          benchmark::DoNotOptimize(engine.run(spec.point_spec(size_kb,
+                                                              assoc)));
+        }
+      }
+    }
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<i64>(spec.base.num_chips));
+}
+BENCHMARK(BM_PopulationGridDieIndependent);
 
 void BM_MarchSsBist(benchmark::State& state) {
   const BerModel ber(Technology::soi45());

@@ -4,14 +4,23 @@
 // and per-bin DPCS ladder tuning (POPULATION.md).
 //
 //   ./build/examples/chip_binning [num_chips] [size_kb] [assoc] [seed]
-//                                 [shard_chips]
+//                                 [shard_chips] [sigma]
+//                                 [--checkpoint PATH] [--checkpoint-shards N]
+//                                 [--resume] [--checkpoint-stop-after N]
+//
+// The optional sigma overrides the fail-voltage spread (0 = the soi45
+// calibration). --checkpoint enables the shard-range sidecar; --resume skips
+// the completed shard prefix of an earlier run; --checkpoint-stop-after N is
+// the CI/test hook that kills the process (exit 3) after the Nth sidecar
+// write, leaving a genuinely torn run behind for a resume to finish.
 //
 // Runs on PCS_THREADS workers; the report is byte-identical at any thread
-// count and any shard size, and matches a `population` job submitted to
-// `pcs_sim --serve` with the same parameters. PCS_TRACE writes the
-// population_shard telemetry stream (TELEMETRY.md).
+// count and any shard size -- and for a resumed run -- and matches a
+// `population` job submitted to `pcs_sim --serve` with the same parameters.
+// PCS_TRACE writes the population_shard telemetry stream (TELEMETRY.md).
 #include <cstdio>
 #include <cstdlib>
+#include <cstring>
 #include <exception>
 #include <iostream>
 #include <memory>
@@ -25,17 +34,42 @@ using namespace pcs;
 
 int main(int argc, char** argv) {
   PopulationJobSpec job;
-  job.spec.num_chips =
-      argc > 1 ? std::strtoull(argv[1], nullptr, 10) : 500;
-  const u64 size_kb =
-      argc > 2 ? std::strtoull(argv[2], nullptr, 10) : 64;
-  job.spec.org.size_bytes = size_kb * 1024;
-  job.spec.org.assoc =
-      argc > 3 ? static_cast<u32>(std::strtoul(argv[3], nullptr, 10)) : 4;
-  if (argc > 4) job.spec.seed = std::strtoull(argv[4], nullptr, 10);
-  if (argc > 5) {
-    job.spec.chips_per_shard = std::strtoull(argv[5], nullptr, 10);
+  u64 stop_after = 0;
+  int pos = 0;
+  for (int i = 1; i < argc; ++i) {
+    const char* arg = argv[i];
+    if (std::strcmp(arg, "--checkpoint") == 0 && i + 1 < argc) {
+      job.checkpoint = argv[++i];
+    } else if (std::strcmp(arg, "--checkpoint-shards") == 0 && i + 1 < argc) {
+      job.checkpoint_shards = std::strtoull(argv[++i], nullptr, 10);
+    } else if (std::strcmp(arg, "--resume") == 0) {
+      job.resume = true;
+    } else if (std::strcmp(arg, "--checkpoint-stop-after") == 0 &&
+               i + 1 < argc) {
+      stop_after = std::strtoull(argv[++i], nullptr, 10);
+    } else {
+      switch (++pos) {
+        case 1: job.spec.num_chips = std::strtoull(arg, nullptr, 10); break;
+        case 2:
+          job.spec.org.size_bytes = std::strtoull(arg, nullptr, 10) * 1024;
+          break;
+        case 3:
+          job.spec.org.assoc =
+              static_cast<u32>(std::strtoul(arg, nullptr, 10));
+          break;
+        case 4: job.spec.seed = std::strtoull(arg, nullptr, 10); break;
+        case 5:
+          job.spec.chips_per_shard = std::strtoull(arg, nullptr, 10);
+          break;
+        case 6: job.sigma = std::strtod(arg, nullptr); break;
+        default:
+          std::fprintf(stderr, "chip_binning: unexpected argument '%s'\n",
+                       arg);
+          return 2;
+      }
+    }
   }
+  if (pos < 1) job.spec.num_chips = 500;
 
   std::unique_ptr<TraceSink> sink;
   if (const char* env = std::getenv("PCS_TRACE")) {
@@ -43,9 +77,30 @@ int main(int argc, char** argv) {
     emit_trace_header(*sink);
   }
   try {
-    // Same run + render path as a service-mode "population" job, so the
-    // standalone report is byte-identical to the job's output file.
-    run_population_job(job, std::cout, pcs_thread_count(), sink.get());
+    if (stop_after > 0) {
+      // Test hook: run the engine directly so the on_checkpoint callback
+      // can tear the process down mid-run (the normal path below is the
+      // byte-identity surface shared with the service).
+      const BerModel ber = job.sigma == 0.0
+                               ? BerModel(Technology::soi45())
+                               : BerModel(Technology::soi45().ber_mu,
+                                          job.sigma);
+      const PopulationEngine engine(ber, pcs_thread_count());
+      CheckpointOptions ckpt;
+      ckpt.path = job.checkpoint;
+      ckpt.every_shards = job.checkpoint_shards;
+      ckpt.resume = job.resume;
+      u64 saves = 0;
+      ckpt.on_checkpoint = [&](u64) {
+        if (++saves >= stop_after) std::_Exit(3);
+      };
+      const PopulationResult result = engine.run(job.spec, sink.get(), &ckpt);
+      render_population_report(job.spec, result, std::cout);
+    } else {
+      // Same run + render path as a service-mode "population" job, so the
+      // standalone report is byte-identical to the job's output file.
+      run_population_job(job, std::cout, pcs_thread_count(), sink.get());
+    }
   } catch (const std::exception& e) {
     std::fprintf(stderr, "chip_binning: %s\n", e.what());
     return 2;

@@ -20,8 +20,10 @@
 //   --serve JOBFILE       service mode: read line-delimited JSON jobs from
 //                         JOBFILE ('-' = stdin; a FIFO works) and run them
 //                         concurrently; each job writes its own output file
-//                         and optional telemetry trace. Job schema and the
-//                         determinism contract are documented in
+//                         and optional telemetry trace. Kinds: "sim",
+//                         "population", "population_grid" (the sample-once
+//                         (size x assoc x sigma) grid engine). Job schema
+//                         and the determinism contract are documented in
 //                         POPULATION.md. Exits non-zero if any job failed.
 //
 // Examples:

@@ -2,13 +2,19 @@
 """Render a markdown delta table between two BENCH_micro.json snapshots.
 
 Usage: bench_delta.py BASELINE.json CURRENT.json [--summary PATH]
+                      [--max-regress PCT]
 
 Compares ns/op per benchmark and prints a markdown table (new/removed
 benchmarks are called out). With --summary (or a GITHUB_STEP_SUMMARY
 environment variable) the table is also appended to that file, which is how
 the CI perf-smoke job surfaces the delta against the committed baseline in
-the job summary. Informational only -- CI timing noise on shared runners
-makes a hard gate flaky, so this never exits non-zero on regressions.
+the job summary.
+
+By default this is informational only -- CI timing noise on shared runners
+makes a hard gate flaky, so it never exits non-zero on regressions. Passing
+--max-regress PCT turns it into a gate: exit 1 if any benchmark present in
+both snapshots is more than PCT percent slower than the baseline (pick a
+generous PCT -- the same timing noise applies).
 """
 
 import argparse
@@ -31,6 +37,13 @@ def main():
     ap.add_argument("baseline")
     ap.add_argument("current")
     ap.add_argument("--summary", default=os.environ.get("GITHUB_STEP_SUMMARY"))
+    ap.add_argument(
+        "--max-regress",
+        type=float,
+        default=None,
+        metavar="PCT",
+        help="exit 1 if any benchmark is more than PCT%% slower than baseline",
+    )
     args = ap.parse_args()
 
     base = load(args.baseline)
@@ -42,6 +55,7 @@ def main():
         "| benchmark | baseline ns/op | current ns/op | delta |",
         "|---|---:|---:|---:|",
     ]
+    over_budget = []
     for name in sorted(set(base) | set(cur)):
         b = base.get(name, {}).get("ns_per_op")
         c = cur.get(name, {}).get("ns_per_op")
@@ -56,17 +70,33 @@ def main():
                 f"| {name} | {fmt_ns(b)} | {fmt_ns(c)} | "
                 f"{pct:+.1f}%{marker} |"
             )
-    lines += [
-        "",
-        "_Positive delta = slower than baseline. Informational only; "
-        "shared-runner timing noise makes a hard gate flaky._",
-        "",
-    ]
+            if args.max_regress is not None and pct > args.max_regress:
+                over_budget.append((name, pct))
+    if args.max_regress is None:
+        footer = (
+            "_Positive delta = slower than baseline. Informational only; "
+            "shared-runner timing noise makes a hard gate flaky._"
+        )
+    else:
+        footer = (
+            f"_Positive delta = slower than baseline. Gate: fail above "
+            f"+{args.max_regress:g}%._"
+        )
+    lines += ["", footer, ""]
     table = "\n".join(lines)
     print(table)
     if args.summary:
         with open(args.summary, "a") as f:
             f.write(table + "\n")
+    if over_budget:
+        for name, pct in over_budget:
+            print(
+                f"FAIL: {name} regressed {pct:+.1f}% "
+                f"(budget +{args.max_regress:g}%)",
+                file=sys.stderr,
+            )
+        return 1
+    return 0
 
 
 if __name__ == "__main__":

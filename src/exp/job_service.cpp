@@ -234,13 +234,72 @@ void reject_unknown_keys(const JsonObj& o, const std::string& kind) {
 
 /// Job kinds, in Job::Kind enumerator order (SCHEMA002 diffs this table
 /// against the documented schema).
-constexpr const char* kJobKinds[] = {"sim", "population"};
-static_assert(sizeof(kJobKinds) / sizeof(kJobKinds[0]) == 2);
+constexpr const char* kJobKinds[] = {"sim", "population", "population_grid"};
+static_assert(sizeof(kJobKinds) / sizeof(kJobKinds[0]) == 3);
 
 namespace {
 
 const char* kind_name(Job::Kind kind) noexcept {
   return kJobKinds[static_cast<std::size_t>(kind)];
+}
+
+std::string_view trim(std::string_view s) {
+  while (!s.empty() && std::isspace(static_cast<unsigned char>(s.front()))) {
+    s.remove_prefix(1);
+  }
+  while (!s.empty() && std::isspace(static_cast<unsigned char>(s.back()))) {
+    s.remove_suffix(1);
+  }
+  return s;
+}
+
+// Axis keys hold comma-separated lists inside a JSON string (the job lines
+// stay flat); empty items and trailing commas are rejected.
+std::vector<std::string> split_list(const std::string& s, const char* key) {
+  std::vector<std::string> items;
+  std::size_t start = 0;
+  for (;;) {
+    const std::size_t comma = s.find(',', start);
+    const std::string item(trim(std::string_view(s).substr(
+        start, comma == std::string::npos ? std::string::npos
+                                          : comma - start)));
+    if (item.empty()) {
+      bad_job(std::string("job key '") + key +
+              "': expected a comma-separated list with no empty items");
+    }
+    items.push_back(item);
+    if (comma == std::string::npos) break;
+    start = comma + 1;
+  }
+  return items;
+}
+
+std::vector<u64> parse_u64_list(const std::string& s, const char* key) {
+  std::vector<u64> out;
+  for (const std::string& item : split_list(s, key)) {
+    char* end = nullptr;
+    const unsigned long long v = std::strtoull(item.c_str(), &end, 10);
+    if (end == nullptr || *end != '\0') {
+      bad_job(std::string("job key '") + key + "': malformed integer '" +
+              item + "'");
+    }
+    out.push_back(static_cast<u64>(v));
+  }
+  return out;
+}
+
+std::vector<double> parse_real_list(const std::string& s, const char* key) {
+  std::vector<double> out;
+  for (const std::string& item : split_list(s, key)) {
+    char* end = nullptr;
+    const double v = std::strtod(item.c_str(), &end);
+    if (end == nullptr || *end != '\0') {
+      bad_job(std::string("job key '") + key + "': malformed number '" +
+              item + "'");
+    }
+    out.push_back(v);
+  }
+  return out;
 }
 
 }  // namespace
@@ -287,10 +346,55 @@ Job parse_job_line(const std::string& line) {
     p.spec.grid_step = jreal(o, "grid_step", p.spec.grid_step);
     p.spec.spcs_min_capacity =
         jreal(o, "min_capacity", p.spec.spcs_min_capacity);
+    p.sigma = jreal(o, "sigma", p.sigma);
+    if (p.sigma < 0.0) {
+      bad_job("job key 'sigma': must be positive (or 0 for the soi45 "
+              "default)");
+    }
     p.out = jstr(o, "out", "");
     p.trace_path = jstr(o, "trace", "");
+    p.checkpoint = jstr(o, "checkpoint", "");
+    p.checkpoint_shards = jnum(o, "checkpoint_shards", p.checkpoint_shards);
+    p.resume = jbool(o, "resume", p.resume);
+  } else if (kind == kind_name(Job::Kind::kPopulationGrid)) {
+    job.kind = Job::Kind::kPopulationGrid;
+    PopulationGridJobSpec& g = job.population_grid;
+    g.id = jstr(o, "id", "");
+    PopulationSpec& b = g.spec.base;
+    b.num_chips = jnum(o, "chips", b.num_chips);
+    b.seed = jnum(o, "seed", b.seed);
+    b.chips_per_shard = jnum(o, "shard_chips", b.chips_per_shard);
+    b.grid_lo = jreal(o, "grid_lo", b.grid_lo);
+    b.grid_hi = jreal(o, "grid_hi", b.grid_hi);
+    b.grid_step = jreal(o, "grid_step", b.grid_step);
+    b.spcs_min_capacity = jreal(o, "min_capacity", b.spcs_min_capacity);
+    g.spec.sizes_kb = parse_u64_list(jstr(o, "sizes_kb", "64"), "sizes_kb");
+    {
+      const std::vector<u64> assocs =
+          parse_u64_list(jstr(o, "assocs", "4"), "assocs");
+      g.spec.assocs.clear();
+      for (const u64 a : assocs) {
+        if (a == 0 || a > 0xffffffffULL) {
+          bad_job("job key 'assocs': associativity out of range");
+        }
+        g.spec.assocs.push_back(static_cast<u32>(a));
+      }
+    }
+    {
+      const std::string sigmas = jstr(o, "sigmas", "");
+      if (!sigmas.empty()) {
+        g.spec.sigmas = parse_real_list(sigmas, "sigmas");
+      }
+    }
+    g.out = jstr(o, "out", "");
+    g.trace_path = jstr(o, "trace", "");
+    g.checkpoint = jstr(o, "checkpoint", "");
+    g.checkpoint_shards = jnum(o, "checkpoint_shards", g.checkpoint_shards);
+    g.resume = jbool(o, "resume", g.resume);
+    g.spec.validate();
   } else {
-    bad_job("unknown job kind '" + kind + "' (known: sim, population)");
+    bad_job("unknown job kind '" + kind +
+            "' (known: sim, population, population_grid)");
   }
   reject_unknown_keys(o, kind);
   return job;
@@ -388,25 +492,51 @@ void run_sim_job(const SimJobSpec& o, std::ostream& out, u32 num_threads,
   }
 }
 
+namespace {
+
+// sigma == 0 keeps the full soi45 calibration; otherwise only sigma is
+// overridden (mu stays at the soi45 anchor), matching chip_binning's
+// optional [sigma] argument.
+BerModel job_ber_model(Volt sigma) {
+  const Technology tech = Technology::soi45();
+  if (sigma == 0.0) return BerModel(tech);
+  return BerModel(tech.ber_mu, sigma);
+}
+
+CheckpointOptions job_checkpoint(const std::string& path, u64 every_shards,
+                                 bool resume) {
+  CheckpointOptions ckpt;
+  ckpt.path = path;
+  ckpt.every_shards = every_shards;
+  ckpt.resume = resume;
+  return ckpt;
+}
+
+}  // namespace
+
 void run_population_job(const PopulationJobSpec& j, std::ostream& out,
                         u32 num_threads, TraceSink* trace) {
-  const BerModel ber(Technology::soi45());
+  const BerModel ber = job_ber_model(j.sigma);
   const PopulationEngine engine(ber, num_threads);
-  const PopulationResult result = engine.run(j.spec, trace);
+  const CheckpointOptions ckpt =
+      job_checkpoint(j.checkpoint, j.checkpoint_shards, j.resume);
+  const PopulationResult result =
+      engine.run(j.spec, trace, ckpt.path.empty() ? nullptr : &ckpt);
   render_population_report(j.spec, result, out);
 }
 
-namespace {
-
-std::string_view trim(std::string_view s) {
-  while (!s.empty() && std::isspace(static_cast<unsigned char>(s.front()))) {
-    s.remove_prefix(1);
-  }
-  while (!s.empty() && std::isspace(static_cast<unsigned char>(s.back()))) {
-    s.remove_suffix(1);
-  }
-  return s;
+void run_population_grid_job(const PopulationGridJobSpec& j, std::ostream& out,
+                             u32 num_threads, TraceSink* trace) {
+  const BerModel ber(Technology::soi45());
+  const PopulationGridEngine engine(ber, num_threads);
+  const CheckpointOptions ckpt =
+      job_checkpoint(j.checkpoint, j.checkpoint_shards, j.resume);
+  const PopulationGridResult result =
+      engine.run(j.spec, trace, ckpt.path.empty() ? nullptr : &ckpt);
+  render_population_grid_report(j.spec, result, out);
 }
+
+namespace {
 
 /// Runs one job to completion: renders into a memory buffer first so a
 /// failed job never leaves a partial output file, then appends the
@@ -425,8 +555,10 @@ JobOutcome execute_job(const Job& job) {
     std::ostringstream body;
     if (job.kind == Job::Kind::kSim) {
       run_sim_job(job.sim, body, 1, sink.get());
-    } else {
+    } else if (job.kind == Job::Kind::kPopulation) {
       run_population_job(job.population, body, 1, sink.get());
+    } else {
+      run_population_grid_job(job.population_grid, body, 1, sink.get());
     }
     std::ofstream f(job.out_path(), std::ios::binary | std::ios::trunc);
     if (!f) {
@@ -474,6 +606,17 @@ std::vector<JobOutcome> JobService::serve(std::istream& in,
   std::optional<ThreadPool> pool;
   if (num_threads_ > 1) pool.emplace(num_threads_);
 
+  // Duplicate ids would race on the same out/trace/checkpoint artifacts (and
+  // duplicate out or checkpoint paths collide even under distinct ids), so
+  // each claims its value at the line that first used it and later claimants
+  // are rejected, pointing back at that line.
+  std::map<std::string, u64> seen_ids, seen_outs, seen_ckpts;
+  const auto claim = [](std::map<std::string, u64>& seen,
+                        const std::string& value, u64 lineno) -> u64 {
+    const auto [it, inserted] = seen.emplace(value, lineno);
+    return inserted ? 0 : it->second;
+  };
+
   std::string raw;
   u64 lineno = 0;
   while (std::getline(in, raw)) {
@@ -496,8 +639,10 @@ std::vector<JobOutcome> JobService::serve(std::istream& in,
                             : job.id();
       if (job.kind == Job::Kind::kSim) {
         job.sim.id = id;
-      } else {
+      } else if (job.kind == Job::Kind::kPopulation) {
         job.population.id = id;
+      } else {
+        job.population_grid.id = id;
       }
       if (job.out_path().empty()) {
         accepted = false;
@@ -506,10 +651,32 @@ std::vector<JobOutcome> JobService::serve(std::istream& in,
     } else {
       id = "line" + std::to_string(lineno);
     }
+    if (accepted) {
+      if (const u64 first = claim(seen_ids, id, lineno)) {
+        accepted = false;
+        err = "duplicate job id '" + id + "' (first submitted at line " +
+              std::to_string(first) + ")";
+      } else if (const u64 out_first =
+                     claim(seen_outs, job.out_path(), lineno)) {
+        accepted = false;
+        err = "output path '" + job.out_path() +
+              "' already claimed by the job at line " +
+              std::to_string(out_first);
+      } else if (!job.checkpoint_path().empty()) {
+        if (const u64 ck_first =
+                claim(seen_ckpts, job.checkpoint_path(), lineno)) {
+          accepted = false;
+          err = "checkpoint path '" + job.checkpoint_path() +
+                "' already claimed by the job at line " +
+                std::to_string(ck_first);
+        }
+      }
+    }
 
     Slot slot;
     if (!accepted) {
-      log << "job " << id << ": rejected: " << err << "\n";
+      log << "job " << id << ": rejected (line " << lineno << "): " << err
+          << "\n";
       slot.resolved = true;
       slot.outcome.id = id;
       slot.outcome.error = err;

@@ -32,6 +32,7 @@
 #include <vector>
 
 #include "exp/population_engine.hpp"
+#include "exp/population_grid.hpp"
 #include "telemetry/trace_sink.hpp"
 #include "util/types.hpp"
 
@@ -59,25 +60,54 @@ struct SimJobSpec {
 struct PopulationJobSpec {
   std::string id;
   PopulationSpec spec;
+  /// Fail-voltage sigma; 0 = the soi45 calibration default.
+  Volt sigma = 0.0;
   std::string out;
   std::string trace_path;
+  /// Shard-range checkpoint sidecar ("" = no checkpointing); see
+  /// CheckpointOptions.
+  std::string checkpoint;
+  u64 checkpoint_shards = 16;
+  bool resume = false;
+};
+
+/// One grid run (kind "population_grid"), see population_grid.
+struct PopulationGridJobSpec {
+  std::string id;
+  PopulationGridSpec spec;
+  std::string out;
+  std::string trace_path;
+  std::string checkpoint;  ///< see PopulationJobSpec::checkpoint
+  u64 checkpoint_shards = 16;
+  bool resume = false;
 };
 
 /// A parsed job line: exactly one of the kinds is active.
 struct Job {
-  enum class Kind { kSim, kPopulation };
+  enum class Kind { kSim, kPopulation, kPopulationGrid };
   Kind kind = Kind::kSim;
   SimJobSpec sim;
   PopulationJobSpec population;
+  PopulationGridJobSpec population_grid;
 
   const std::string& id() const noexcept {
-    return kind == Kind::kSim ? sim.id : population.id;
+    if (kind == Kind::kSim) return sim.id;
+    return kind == Kind::kPopulation ? population.id : population_grid.id;
   }
   const std::string& out_path() const noexcept {
-    return kind == Kind::kSim ? sim.out : population.out;
+    if (kind == Kind::kSim) return sim.out;
+    return kind == Kind::kPopulation ? population.out : population_grid.out;
   }
   const std::string& trace_path() const noexcept {
-    return kind == Kind::kSim ? sim.trace_path : population.trace_path;
+    if (kind == Kind::kSim) return sim.trace_path;
+    return kind == Kind::kPopulation ? population.trace_path
+                                     : population_grid.trace_path;
+  }
+  const std::string& checkpoint_path() const noexcept {
+    static const std::string kNone;
+    if (kind == Kind::kSim) return kNone;
+    return kind == Kind::kPopulation ? population.checkpoint
+                                     : population_grid.checkpoint;
   }
 };
 
@@ -107,6 +137,13 @@ void run_sim_job(const SimJobSpec& spec, std::ostream& out, u32 num_threads,
 /// byte-identical to `chip_binning` with the equivalent arguments.
 void run_population_job(const PopulationJobSpec& spec, std::ostream& out,
                         u32 num_threads, TraceSink* trace = nullptr);
+
+/// Runs one grid job and renders the grid summary to `out` -- byte-identical
+/// to `population_grid` with the equivalent arguments, and every point
+/// bit-identical to its standalone population run.
+void run_population_grid_job(const PopulationGridJobSpec& spec,
+                             std::ostream& out, u32 num_threads,
+                             TraceSink* trace = nullptr);
 
 /// What happened to one submitted job (in submission order).
 struct JobOutcome {

@@ -3,8 +3,12 @@
 #include <algorithm>
 #include <cmath>
 #include <cstdio>
+#include <fstream>
+#include <istream>
 #include <ostream>
 #include <stdexcept>
+#include <string>
+#include <utility>
 
 #include "exp/sweep_engine.hpp"
 #include "exp/thread_pool.hpp"
@@ -31,35 +35,53 @@ std::vector<Volt> PopulationSpec::grid() const {
 
 ChipBinPoint bin_chip(const CellFaultField& field, const CacheOrg& org,
                       std::span<const Volt> grid, double min_capacity) {
-  ChipBinPoint p;
   // One scalar encodes the die's viability at every ladder voltage: level l
   // is viable iff grid[l-1] > vf_chip (max over sets of min over ways).
   const float vf_chip = chip_fail_voltage(field, org);
-  const auto it = std::upper_bound(grid.begin(), grid.end(),
-                                   static_cast<Volt>(vf_chip));
-  if (it == grid.end()) return p;  // unusable: faulty even at the top level
-  p.floor_level = static_cast<u32>(it - grid.begin()) + 1;
+  if (std::upper_bound(grid.begin(), grid.end(),
+                       static_cast<Volt>(vf_chip)) == grid.end()) {
+    return {};  // unusable: faulty even at the top level; skip the histogram
+  }
 
-  // Per-level faulty counts in one O(blocks·log levels) pass. Block b is
-  // faulty at level l iff grid[l-1] <= vf[b], so bucketing each block by
-  // how many ladder rungs sit at or below its fail voltage and suffix-
-  // summing gives every level's count at once. (The field's sweep index
-  // would answer the same queries, but its std::sort over a fresh random
-  // permutation per die costs ~2x this whole pass; counts are integers
-  // either way, so the results are bit-identical.)
+  // Per-level faulty counts in one O(blocks·log levels) pass. (The field's
+  // sweep index would answer the same queries, but its std::sort over a
+  // fresh random permutation per die costs ~2x this whole pass; counts are
+  // integers either way, so the results are bit-identical.)
   const u32 n = static_cast<u32>(grid.size());
   std::vector<u64> faulty_at(n + 2, 0);
-  for (u64 b = 0; b < field.num_blocks(); ++b) {
-    const auto rungs_below =
-        std::upper_bound(grid.begin(), grid.end(),
-                         static_cast<Volt>(field.block_fail_voltage(b))) -
-        grid.begin();
-    ++faulty_at[static_cast<std::size_t>(rungs_below)];
-  }
+  count_fail_rungs(field.fail_voltages(), grid, faulty_at);
   for (u32 l = n; l >= 1; --l) faulty_at[l] += faulty_at[l + 1];
-  const double blocks = static_cast<double>(field.num_blocks());
+  return bin_from_fail_summary(vf_chip, faulty_at, field.num_blocks(), grid,
+                               min_capacity);
+}
+
+void count_fail_rungs(std::span<const float> vf, std::span<const Volt> grid,
+                      std::span<u64> rung_counts) {
+  // Block b is faulty at level l iff grid[l-1] <= vf[b], so bucketing each
+  // block by how many ladder rungs sit at or below its fail voltage (and
+  // later suffix-summing) gives every level's count at once.
+  for (const float v : vf) {
+    const auto rungs_below = std::upper_bound(grid.begin(), grid.end(),
+                                              static_cast<Volt>(v)) -
+                             grid.begin();
+    ++rung_counts[static_cast<std::size_t>(rungs_below)];
+  }
+}
+
+ChipBinPoint bin_from_fail_summary(float vf_chip,
+                                   std::span<const u64> faulty_at,
+                                   u64 num_blocks, std::span<const Volt> grid,
+                                   double min_capacity) {
+  ChipBinPoint p;
+  const auto it = std::upper_bound(grid.begin(), grid.end(),
+                                   static_cast<Volt>(vf_chip));
+  if (it == grid.end()) return p;
+  p.floor_level = static_cast<u32>(it - grid.begin()) + 1;
+
+  const u32 n = static_cast<u32>(grid.size());
+  const double blocks = static_cast<double>(num_blocks);
   const auto capacity_at = [&](u32 level) {
-    if (field.num_blocks() == 0) return 1.0;
+    if (num_blocks == 0) return 1.0;
     return 1.0 - static_cast<double>(faulty_at[level]) / blocks;
   };
 
@@ -79,9 +101,7 @@ ChipBinPoint bin_chip(const CellFaultField& field, const CacheOrg& org,
   return p;
 }
 
-namespace {
-
-PopulationResult make_empty_result(std::vector<Volt> grid) {
+PopulationResult make_empty_population_result(std::vector<Volt> grid) {
   PopulationResult r;
   const std::size_t n = grid.size();
   r.grid = std::move(grid);
@@ -92,7 +112,7 @@ PopulationResult make_empty_result(std::vector<Volt> grid) {
   return r;
 }
 
-void accumulate(PopulationResult& r, const ChipBinPoint& p) {
+void accumulate_chip(PopulationResult& r, const ChipBinPoint& p) {
   ++r.num_chips;
   if (p.floor_level == 0) {
     ++r.unusable;
@@ -108,6 +128,8 @@ void accumulate(PopulationResult& r, const ChipBinPoint& p) {
     ++r.bin_floor_hist[(p.spcs_level - 1) * n + (p.floor_level - 1)];
   }
 }
+
+namespace {
 
 /// Count-rank quantile over a per-level histogram: the level holding the
 /// ceil(q * total)-th die (1-based rank, clamped to [1, total]). Integer
@@ -182,51 +204,215 @@ void PopulationResult::merge(const PopulationResult& shard) {
   }
 }
 
+// ---- Checkpoint sidecars ---------------------------------------------------
+
+u64 population_fingerprint(std::string_view canonical) {
+  u64 h = 0xcbf29ce484222325ULL;  // FNV-1a 64
+  for (const char c : canonical) {
+    h ^= static_cast<unsigned char>(c);
+    h *= 0x100000001b3ULL;
+  }
+  return h;
+}
+
+namespace {
+
+[[noreturn]] void bad_checkpoint(const std::string& path,
+                                 const std::string& what) {
+  throw std::runtime_error("population checkpoint '" + path + "': " + what);
+}
+
+void write_hist(std::ostream& f, const char* label,
+                const std::vector<u64>& hist) {
+  f << label;
+  for (const u64 v : hist) f << ' ' << v;
+  f << '\n';
+}
+
+u64 read_labeled_u64(std::istream& f, const char* label,
+                     const std::string& path) {
+  std::string got;
+  u64 v = 0;
+  if (!(f >> got) || got != label || !(f >> v)) {
+    bad_checkpoint(path, std::string("expected '") + label + " <count>'");
+  }
+  return v;
+}
+
+void read_hist(std::istream& f, const char* label, std::vector<u64>& hist,
+               const std::string& path) {
+  std::string got;
+  if (!(f >> got) || got != label) {
+    bad_checkpoint(path, std::string("expected '") + label + "' section");
+  }
+  for (u64& v : hist) {
+    if (!(f >> v)) bad_checkpoint(path, std::string(label) + " truncated");
+  }
+}
+
+}  // namespace
+
+void save_population_checkpoint(const std::string& path, u64 fingerprint,
+                                u64 shards_done,
+                                std::span<const PopulationResult> parts) {
+  const std::string tmp = path + ".tmp";
+  {
+    std::ofstream f(tmp, std::ios::binary | std::ios::trunc);
+    if (!f) bad_checkpoint(path, "cannot open '" + tmp + "' for writing");
+    f << "pcs-population-checkpoint v1\n";
+    f << "fingerprint " << fingerprint << '\n';
+    f << "shards_done " << shards_done << '\n';
+    f << "points " << parts.size() << '\n';
+    for (std::size_t i = 0; i < parts.size(); ++i) {
+      const PopulationResult& r = parts[i];
+      f << "point " << i << '\n';
+      f << "num_chips " << r.num_chips << '\n';
+      f << "unusable " << r.unusable << '\n';
+      f << "no_spcs " << r.no_spcs << '\n';
+      write_hist(f, "floor_hist", r.floor_hist);
+      write_hist(f, "spcs_hist", r.spcs_hist);
+      write_hist(f, "capacity_hist", r.capacity_hist);
+      write_hist(f, "bin_floor_hist", r.bin_floor_hist);
+    }
+    f << "end\n";
+    f.flush();
+    if (!f) bad_checkpoint(path, "write failed for '" + tmp + "'");
+  }
+  if (std::rename(tmp.c_str(), path.c_str()) != 0) {
+    bad_checkpoint(path, "rename from '" + tmp + "' failed");
+  }
+}
+
+bool load_population_checkpoint(const std::string& path, u64 fingerprint,
+                                u64& shards_done,
+                                std::vector<PopulationResult>& parts) {
+  std::ifstream f(path, std::ios::binary);
+  if (!f) return false;  // no sidecar yet: fresh start
+  std::string magic, version;
+  if (!(f >> magic >> version) || magic != "pcs-population-checkpoint" ||
+      version != "v1") {
+    bad_checkpoint(path, "not a v1 checkpoint file");
+  }
+  const u64 fp = read_labeled_u64(f, "fingerprint", path);
+  if (fp != fingerprint) {
+    bad_checkpoint(path,
+                   "fingerprint mismatch (sidecar belongs to a different "
+                   "run spec/model; delete it or fix the spec)");
+  }
+  shards_done = read_labeled_u64(f, "shards_done", path);
+  const u64 npoints = read_labeled_u64(f, "points", path);
+  if (npoints != parts.size()) {
+    bad_checkpoint(path, "point count mismatch");
+  }
+  for (std::size_t i = 0; i < parts.size(); ++i) {
+    PopulationResult& r = parts[i];
+    if (read_labeled_u64(f, "point", path) != i) {
+      bad_checkpoint(path, "points out of order");
+    }
+    r.num_chips = read_labeled_u64(f, "num_chips", path);
+    r.unusable = read_labeled_u64(f, "unusable", path);
+    r.no_spcs = read_labeled_u64(f, "no_spcs", path);
+    read_hist(f, "floor_hist", r.floor_hist, path);
+    read_hist(f, "spcs_hist", r.spcs_hist, path);
+    read_hist(f, "capacity_hist", r.capacity_hist, path);
+    read_hist(f, "bin_floor_hist", r.bin_floor_hist, path);
+  }
+  std::string tail;
+  if (!(f >> tail) || tail != "end") bad_checkpoint(path, "truncated file");
+  return true;
+}
+
+// ---- Engine ----------------------------------------------------------------
+
 PopulationEngine::PopulationEngine(const BerModel& ber, u32 num_threads)
     : ber_(&ber),
       num_threads_(num_threads == 0 ? pcs_thread_count() : num_threads) {}
 
+namespace {
+
+std::string population_canonical(const PopulationSpec& spec, Volt mu,
+                                 Volt sigma) {
+  char buf[512];
+  std::snprintf(buf, sizeof buf,
+                "population|v1|mu=%.17g|sigma=%.17g|size=%llu|assoc=%u|"
+                "block=%u|chips=%llu|seed=%llu|lo=%.17g|hi=%.17g|step=%.17g|"
+                "mincap=%.17g|shard=%llu",
+                mu, sigma,
+                static_cast<unsigned long long>(spec.org.size_bytes),
+                spec.org.assoc, spec.org.block_bytes,
+                static_cast<unsigned long long>(spec.num_chips),
+                static_cast<unsigned long long>(spec.seed), spec.grid_lo,
+                spec.grid_hi, spec.grid_step, spec.spcs_min_capacity,
+                static_cast<unsigned long long>(spec.chips_per_shard));
+  return buf;
+}
+
+}  // namespace
+
 PopulationResult PopulationEngine::run(const PopulationSpec& spec,
-                                       TraceSink* trace) const {
+                                       TraceSink* trace,
+                                       const CheckpointOptions* ckpt) const {
   spec.org.validate();
   const std::vector<Volt> grid = spec.grid();
   const u64 per_shard = std::max<u64>(1, spec.chips_per_shard);
   const u64 num_shards =
       spec.num_chips == 0 ? 0 : (spec.num_chips + per_shard - 1) / per_shard;
 
+  PopulationResult merged = make_empty_population_result(grid);
+  const bool checkpointing = ckpt != nullptr && !ckpt->path.empty();
+  const u64 fp = checkpointing
+                     ? population_fingerprint(population_canonical(
+                           spec, ber_->mu(), ber_->sigma()))
+                     : 0;
+  u64 start_shard = 0;
+  if (checkpointing && ckpt->resume) {
+    std::vector<PopulationResult> parts(1, merged);
+    u64 done = 0;
+    if (load_population_checkpoint(ckpt->path, fp, done, parts)) {
+      if (done > num_shards) {
+        throw std::runtime_error("population checkpoint '" + ckpt->path +
+                                 "': watermark past the end of the run");
+      }
+      start_shard = done;
+      merged = std::move(parts[0]);
+    }
+  }
+
   // Each shard folds its chips into integer histograms; chip c's RNG seed
   // depends only on (spec.seed, c), so neither the shard size nor the
   // thread count can change which dies get manufactured.
-  std::vector<PopulationResult> parts = parallel_index_map(
-      num_threads_, num_shards, [&](u64 s) {
-        PopulationResult part = make_empty_result(grid);
-        const u64 first = s * per_shard;
-        const u64 end = std::min(spec.num_chips, first + per_shard);
-        for (u64 c = first; c < end; ++c) {
-          Rng rng(derive_seed(spec.seed, 0, c));
-          CellFaultField field = CellFaultField::sample_fast(
-              *ber_, spec.org.num_blocks(), spec.org.bits_per_block(), rng);
-          accumulate(part,
-                     bin_chip(field, spec.org, grid, spec.spcs_min_capacity));
-        }
-        return part;
-      });
-
-  PopulationResult merged = make_empty_result(grid);
-  for (const PopulationResult& part : parts) merged.merge(part);
-
-  if (trace != nullptr) {
-    // Deterministic section: shard records in shard order, counts only.
-    for (u64 s = 0; s < num_shards; ++s) {
-      trace->emit(TraceRecord("population_shard")
-                      .field("shard", s)
-                      .field("first_chip", s * per_shard)
-                      .field("chips", parts[static_cast<std::size_t>(s)]
-                                          .num_chips)
-                      .field("unusable", parts[static_cast<std::size_t>(s)]
-                                             .unusable));
+  const auto shard_task = [&](u64 s) {
+    PopulationResult part = make_empty_population_result(grid);
+    const u64 first = s * per_shard;
+    const u64 end = std::min(spec.num_chips, first + per_shard);
+    for (u64 c = first; c < end; ++c) {
+      Rng rng(derive_seed(spec.seed, 0, c));
+      CellFaultField field = CellFaultField::sample_fast(
+          *ber_, spec.org.num_blocks(), spec.org.bits_per_block(), rng);
+      accumulate_chip(part,
+                      bin_chip(field, spec.org, grid, spec.spcs_min_capacity));
     }
-  }
+    return part;
+  };
+  run_population_shards(
+      num_threads_, start_shard, num_shards, ckpt, shard_task,
+      [&](u64 s, const PopulationResult& part) {
+        if (trace != nullptr) {
+          // Deterministic section: shard records in shard order, counts
+          // only (resumed runs cover just the shards they ran).
+          trace->emit(TraceRecord("population_shard")
+                          .field("shard", s)
+                          .field("first_chip", s * per_shard)
+                          .field("chips", part.num_chips)
+                          .field("unusable", part.unusable));
+        }
+        merged.merge(part);
+      },
+      [&](u64 done) {
+        save_population_checkpoint(ckpt->path, fp, done,
+                                   std::span<const PopulationResult>(&merged,
+                                                                     1));
+      });
   return merged;
 }
 

@@ -30,11 +30,17 @@
 // behind the SPCS level search.
 #pragma once
 
+#include <functional>
+#include <future>
 #include <iosfwd>
 #include <span>
+#include <string>
+#include <string_view>
+#include <type_traits>
 #include <vector>
 
 #include "cachemodel/cache_org.hpp"
+#include "exp/thread_pool.hpp"
 #include "fault/ber_model.hpp"
 #include "fault/cell_fault_field.hpp"
 #include "telemetry/trace_sink.hpp"
@@ -82,6 +88,28 @@ struct ChipBinPoint {
 ChipBinPoint bin_chip(const CellFaultField& field, const CacheOrg& org,
                       std::span<const Volt> grid, double min_capacity);
 
+/// The histogram half of bin_chip: adds each block's ladder bucket to
+/// `rung_counts`, where block b lands in index upper_bound(grid, vf[b]) --
+/// the number of ladder rungs at or below its fail voltage. `rung_counts`
+/// must have grid.size() + 2 entries; suffix-summing indices n..1 turns the
+/// buckets into per-level faulty counts. Additive, so the grid engine can
+/// extend a smaller cache's counts with just the new blocks of the next
+/// size up (the draw prefix property, see population_grid.hpp).
+void count_fail_rungs(std::span<const float> vf, std::span<const Volt> grid,
+                      std::span<u64> rung_counts);
+
+/// The binning half of bin_chip: places a die given its viability-floor
+/// scalar `vf_chip` and its suffix-summed per-level faulty counts
+/// `faulty_at` (size grid.size() + 2, 1-based levels) for a cache of
+/// `num_blocks` blocks. bin_chip == count_fail_rungs + suffix sum + this;
+/// the grid engine calls it once per (size, assoc, sigma) point over shared
+/// summaries, which is what keeps every grid point bit-identical to its
+/// standalone run.
+ChipBinPoint bin_from_fail_summary(float vf_chip,
+                                   std::span<const u64> faulty_at,
+                                   u64 num_blocks, std::span<const Volt> grid,
+                                   double min_capacity);
+
 /// Merged fleet-level distributions. All counts are u64; all level indices
 /// are 1-based positions in `grid` (index l-1 stores level l).
 struct PopulationResult {
@@ -117,6 +145,97 @@ struct PopulationResult {
   void merge(const PopulationResult& shard);
 };
 
+/// A zeroed PopulationResult shaped for `grid` (shard parts, grid points,
+/// and the checkpoint loader all start from this).
+PopulationResult make_empty_population_result(std::vector<Volt> grid);
+
+/// Folds one die into the histograms.
+void accumulate_chip(PopulationResult& r, const ChipBinPoint& p);
+
+/// Shard-range checkpointing (POPULATION.md "checkpoint / resume"). With a
+/// non-empty `path` the engine serializes the merged integer histograms
+/// plus a completed-shard watermark to the sidecar after every
+/// `every_shards` merged shards and once at run end (written to a ".tmp"
+/// sibling and renamed into place, so a kill mid-write never corrupts an
+/// existing sidecar). With `resume` set it first loads the sidecar -- if
+/// present; a missing file just starts fresh -- and skips the completed
+/// shard prefix. Because shards merge in shard order with exact integer
+/// addition, a resumed run's result and report are byte-identical to an
+/// uninterrupted run's. The sidecar carries a fingerprint of the full run
+/// description; resuming under a different spec/model throws.
+struct CheckpointOptions {
+  std::string path;       ///< sidecar file; "" disables checkpointing
+  u64 every_shards = 16;  ///< save cadence (0 = only the final save)
+  bool resume = false;    ///< load the sidecar and skip completed shards
+  /// Test hook: invoked after each sidecar write with the watermark value
+  /// (kill-mid-run tests _exit() from here to leave a real torn run).
+  std::function<void(u64)> on_checkpoint;
+};
+
+/// FNV-1a 64 over a canonical run description (engines build the string;
+/// the sidecar stores the hash so resumes refuse mismatched runs).
+u64 population_fingerprint(std::string_view canonical);
+
+/// Writes a checkpoint sidecar: `parts` is the in-order merged state so
+/// far (one entry for PopulationEngine, one per grid point for the grid
+/// engine). Atomic via `path`.tmp + rename; throws std::runtime_error on
+/// I/O failure.
+void save_population_checkpoint(const std::string& path, u64 fingerprint,
+                                u64 shards_done,
+                                std::span<const PopulationResult> parts);
+
+/// Loads a checkpoint sidecar into `parts` (pre-sized by the caller with
+/// empty results whose grids are set; counts are overwritten). Returns
+/// false if `path` does not exist; throws std::runtime_error on a corrupt
+/// file, a fingerprint mismatch, or a shape mismatch.
+bool load_population_checkpoint(const std::string& path, u64 fingerprint,
+                                u64& shards_done,
+                                std::vector<PopulationResult>& parts);
+
+/// Shard scheduler shared by PopulationEngine and PopulationGridEngine:
+/// evaluates `shard(s)` for s in [start_shard, num_shards) across the pool
+/// and hands the parts to `merge(s, part)` IN SHARD ORDER. (Integer
+/// addition makes the merged result order-independent; in-order merging is
+/// what gives the checkpoint watermark its "completed prefix" meaning and
+/// keeps telemetry emission deterministic.) `save(shards_done)` runs after
+/// every ckpt->every_shards merged shards and once at the end of any run
+/// that merged at least one shard.
+template <class ShardFn, class MergeFn, class SaveFn>
+void run_population_shards(u32 num_threads, u64 start_shard, u64 num_shards,
+                           const CheckpointOptions* ckpt, ShardFn&& shard,
+                           MergeFn&& merge, SaveFn&& save) {
+  const bool checkpointing = ckpt != nullptr && !ckpt->path.empty();
+  const u64 every = checkpointing ? ckpt->every_shards : 0;
+  u64 since_save = 0;
+  const auto after_merge = [&](u64 shards_done) {
+    if (!checkpointing) return;
+    ++since_save;
+    if ((every != 0 && since_save >= every) || shards_done == num_shards) {
+      save(shards_done);
+      since_save = 0;
+      if (ckpt->on_checkpoint) ckpt->on_checkpoint(shards_done);
+    }
+  };
+  if (num_threads <= 1) {
+    for (u64 s = start_shard; s < num_shards; ++s) {
+      merge(s, shard(s));
+      after_merge(s + 1);
+    }
+    return;
+  }
+  using Part = std::invoke_result_t<ShardFn&, u64>;
+  ThreadPool pool(num_threads);
+  std::vector<std::future<Part>> futures;
+  futures.reserve(static_cast<std::size_t>(num_shards - start_shard));
+  for (u64 s = start_shard; s < num_shards; ++s) {
+    futures.push_back(pool.submit([&shard, s] { return shard(s); }));
+  }
+  for (std::size_t i = 0; i < futures.size(); ++i) {
+    merge(start_shard + i, futures[i].get());
+    after_merge(start_shard + i + 1);
+  }
+}
+
 /// Runs populations across the deterministic ThreadPool.
 class PopulationEngine {
  public:
@@ -124,12 +243,15 @@ class PopulationEngine {
   explicit PopulationEngine(const BerModel& ber, u32 num_threads = 0);
 
   u32 num_threads() const noexcept { return num_threads_; }
+  const BerModel& ber() const noexcept { return *ber_; }
 
   /// Simulates spec.num_chips dies and returns the merged distributions.
   /// When `trace` is non-null, one deterministic `population_shard` record
-  /// is emitted per shard, in shard order (see TELEMETRY.md).
-  PopulationResult run(const PopulationSpec& spec,
-                       TraceSink* trace = nullptr) const;
+  /// is emitted per shard, in shard order (see TELEMETRY.md); a resumed run
+  /// emits records only for the shards it actually ran. `ckpt` enables
+  /// shard-range checkpoint/resume (see CheckpointOptions).
+  PopulationResult run(const PopulationSpec& spec, TraceSink* trace = nullptr,
+                       const CheckpointOptions* ckpt = nullptr) const;
 
  private:
   const BerModel* ber_;

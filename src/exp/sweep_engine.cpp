@@ -400,13 +400,21 @@ std::vector<SimReport> SweepRunner::run(std::vector<ExperimentPoint> points,
 // ---- Fig. 3d Monte-Carlo kernels ------------------------------------------
 
 float chip_fail_voltage(const CellFaultField& field, const CacheOrg& org) {
+  return chip_fail_voltage(
+      std::span<const float>(field.fail_voltages().data(), org.num_blocks()),
+      org.assoc);
+}
+
+float chip_fail_voltage(std::span<const float> vf, u32 assoc) {
+  // float(block_fail_voltage(b)) in the pre-span loop was a float->double->
+  // float round trip of the stored float, so folding the raw floats here is
+  // the identical computation.
+  const u64 num_sets = vf.size() / assoc;
   float worst_set = 0.0f;
-  for (u64 s = 0; s < org.num_sets(); ++s) {
+  for (u64 s = 0; s < num_sets; ++s) {
     float best_way = 2.0f;  // above any physical failure voltage
-    for (u32 w = 0; w < org.assoc; ++w) {
-      best_way =
-          std::min(best_way, static_cast<float>(field.block_fail_voltage(
-                                 s * org.assoc + w)));
+    for (u32 w = 0; w < assoc; ++w) {
+      best_way = std::min(best_way, vf[s * assoc + w]);
     }
     worst_set = std::max(worst_set, best_way);
   }

@@ -33,6 +33,7 @@
 #pragma once
 
 #include <memory>
+#include <span>
 #include <string>
 #include <vector>
 
@@ -138,6 +139,12 @@ class SweepRunner {
 /// pass/fail at every probe voltage. Loop shape kept identical to the
 /// original bench/fig3_yield kernel so results stay bit-identical.
 float chip_fail_voltage(const CellFaultField& field, const CacheOrg& org);
+
+/// Span form over a raw per-block fail-voltage array (vf.size() must be a
+/// multiple of assoc). The CellFaultField overload delegates here, so the
+/// population grid engine's derived vf buffers go through the identical
+/// float min/max fold.
+float chip_fail_voltage(std::span<const float> vf, u32 assoc);
 
 /// Manufactures `trials` dies (per-trial SplitMix64-derived seeds) fanned
 /// across `num_threads` workers; returns per-die fail voltages in trial

@@ -8,6 +8,7 @@
 // architecture consumes -- so the field stores one voltage per block.
 #pragma once
 
+#include <span>
 #include <vector>
 
 #include "fault/ber_model.hpp"
@@ -49,6 +50,11 @@ class CellFaultField {
 
   /// Failure voltage of `block`: the block is faulty at all vdd <= vf.
   Volt block_fail_voltage(u64 block) const noexcept { return vf_[block]; }
+
+  /// The full per-block failure-voltage array (block index order). Lets
+  /// kernels that derive their own vf buffers (the population grid engine)
+  /// share the exact span-based code paths this field feeds.
+  std::span<const float> fail_voltages() const noexcept { return vf_; }
 
   /// True if `block` is faulty when the data array runs at `vdd`.
   bool is_faulty(u64 block, Volt vdd) const noexcept {

@@ -30,10 +30,16 @@ void sample_vf_scalar(const double* u_draws, std::size_t count,
     vf_out[i] = sample_vf_one(u_draws[i], bits_per_block, mu, sigma);
 }
 
+void sample_z_scalar(const double* u_draws, std::size_t count,
+                     double bits_per_block, double* z_out) {
+  for (std::size_t i = 0; i < count; ++i)
+    z_out[i] = sample_z_one(u_draws[i], bits_per_block);
+}
+
 const Kernels& kernels() {
   static const Kernels k = [] {
     Kernels out{exp_scalar, log_scalar, expm1_scalar, erfc_scalar,
-                sample_vf_scalar, false};
+                sample_vf_scalar, sample_z_scalar, false};
 #if defined(PCS_HAVE_VECMATH_AVX2)
     // The AVX2 TU is compiled with -mavx2 -mfma; only enter it on capable
     // hardware.  (This TU is baseline x86-64, so the check itself is safe.)
@@ -47,11 +53,17 @@ const Kernels& kernels() {
 
 }  // namespace
 
-float sample_vf_one(double u, double bits_per_block, double mu, double sigma) {
+double sample_z_one(double u, double bits_per_block) {
   if (u <= 0.0) u = 1e-300;
   const double p = -std::expm1(std::log(u) / bits_per_block);
-  const double z = inv_q_function(p);
-  return static_cast<float>(mu + sigma * z);
+  return inv_q_function(p);
+}
+
+float sample_vf_one(double u, double bits_per_block, double mu, double sigma) {
+  // Same chain as before the z split; the affine tail stays in this TU so
+  // its codegen (plain mul + add, no contraction on baseline x86-64)
+  // matches vf_from_z_block exactly.
+  return static_cast<float>(mu + sigma * sample_z_one(u, bits_per_block));
 }
 
 }  // namespace pcs::vecmath_detail
@@ -78,6 +90,22 @@ void sample_vf_block(const double* u_draws, std::size_t count,
                      double bits_per_block, double mu, double sigma,
                      float* vf_out) {
   kernels().sample(u_draws, count, bits_per_block, mu, sigma, vf_out);
+}
+
+void sample_z_block(const double* u_draws, std::size_t count,
+                    double bits_per_block, double* z_out) {
+  kernels().sample_z(u_draws, count, bits_per_block, z_out);
+}
+
+void vf_from_z_block(const double* z, std::size_t count, double mu,
+                     double sigma, float* vf_out) {
+  // Kept scalar in this TU on purpose: the expression shape matches the
+  // affine tail of sample_vf_one, and the AVX2 sampler's explicit
+  // mul/add/cvt intrinsics (-ffp-contract=off) evaluate it identically, so
+  // there is nothing kernel-specific to dispatch on.
+  for (std::size_t i = 0; i < count; ++i) {
+    vf_out[i] = static_cast<float>(mu + sigma * z[i]);
+  }
 }
 
 }  // namespace pcs::vecmath

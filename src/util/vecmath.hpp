@@ -48,4 +48,21 @@ void sample_vf_block(const double* u_draws, std::size_t count,
                      double bits_per_block, double mu, double sigma,
                      float* vf_out);
 
+/// The (mu, sigma)-independent core of sample_vf_block: for each i,
+///   u = u_draws[i]; if (u <= 0) u = 1e-300;
+///   p = -expm1(log(u) / bits_per_block);
+///   z_out[i] = inv_q_function(p);
+/// such that composing with vf_from_z_block reproduces sample_vf_block
+/// bit-for-bit. The population grid engine uses this split to pay the
+/// expensive chain once per die and derive every sigma's fail voltages by
+/// the cheap affine pass below (tests/test_fault_equivalence pins the
+/// composition).
+void sample_z_block(const double* u_draws, std::size_t count,
+                    double bits_per_block, double* z_out);
+
+/// vf_out[i] = float(mu + sigma * z[i]), bit-identical to the tail of
+/// sample_vf_block / sample_fast_reference for z from sample_z_block.
+void vf_from_z_block(const double* z, std::size_t count, double mu,
+                     double sigma, float* vf_out);
+
 }  // namespace pcs::vecmath

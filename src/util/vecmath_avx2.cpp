@@ -610,9 +610,15 @@ void erfc_block_avx2(const double* in, double* out, size_t count) {
 // scalar reference.  The Acklam coefficients mirror mathx.cpp verbatim.
 // ---------------------------------------------------------------------------
 
-void sample_vf_block_avx2(const double* u_draws, size_t count,
-                          double bits_per_block, double mu, double sigma,
-                          float* vf_out) {
+constexpr size_t kSampleChunk = 64;
+
+// One chunk of the chain up to (and including) the refined inverse-normal
+// deviates: reads 4*nv padded uniforms from `ubuf`, leaves z in `xbuf`
+// (clobbering `pbuf` along the way), and returns the accumulated poison
+// mask.  Shared by the vf and z block kernels so the sigma-split cannot
+// drift from the fused sampler.
+uint64_t z_chain_chunk(const double* ubuf, size_t nv, double bits_per_block,
+                       double* pbuf, double* xbuf) {
   static constexpr double kA_c[6] = {-7.784894002430293e-03, -3.223964580411365e-01,
                                      -2.400758277161838e+00, -2.549732539343734e+00,
                                      4.374664141464968e+00,  2.938163982698783e+00};
@@ -622,15 +628,81 @@ void sample_vf_block_avx2(const double* u_draws, size_t count,
   static constexpr double kInvSqrt2Pi = 0.3989422804014327;
   static constexpr double kSqrt2 = 1.4142135623730951;  // std::sqrt(2.0)
 
+  const __m256d vzero = _mm256_setzero_pd();
+  const __m256d vone = _mm256_set1_pd(1.0);
+  const __m256d vn = _mm256_set1_pd(bits_per_block);
+  uint64_t poison_bits = 0;
+
+  // log(u) with the u <= 0 guard; then p = -expm1(log(u)/n)
+  for (size_t v = 0; v < nv; ++v) {
+    __m256d u = _mm256_load_pd(ubuf + 4 * v);
+    u = _mm256_blendv_pd(u, _mm256_set1_pd(1e-300),
+                         _mm256_cmp_pd(u, vzero, _CMP_LE_OQ));
+    __m256d poison = _mm256_setzero_pd();
+    const __m256d lg = log4(u, &poison);
+    _mm256_store_pd(pbuf + 4 * v, _mm256_div_pd(lg, vn));
+    poison_bits |= static_cast<uint64_t>(_mm256_movemask_pd(poison)) << (4 * v);
+  }
+  for (size_t v = 0; v < nv; ++v) {
+    __m256d poison = _mm256_setzero_pd();
+    const __m256d m1 = expm1_4(_mm256_load_pd(pbuf + 4 * v), &poison);
+    const __m256d p = _mm256_xor_pd(m1, _mm256_set1_pd(-0.0));
+    poison_or(&poison, _mm256_cmp_pd(p, vzero, _CMP_LE_OQ));
+    poison_or(&poison, _mm256_cmp_pd(p, vone, _CMP_NLT_UQ));
+    poison_or(&poison, _mm256_cmp_pd(p, _mm256_set1_pd(kPLow), _CMP_NLT_UQ));
+    _mm256_store_pd(pbuf + 4 * v, p);
+    poison_bits |= static_cast<uint64_t>(_mm256_movemask_pd(poison)) << (4 * v);
+  }
+  // Acklam lower-tail seed: x = -(poly_c(q)/poly_d(q)), q = sqrt(-2 log p)
+  for (size_t v = 0; v < nv; ++v) {
+    __m256d poison = _mm256_setzero_pd();
+    const __m256d p = _mm256_load_pd(pbuf + 4 * v);
+    const __m256d q = _mm256_sqrt_pd(
+        _mm256_mul_pd(_mm256_set1_pd(-2.0), log4(p, &poison)));
+    __m256d num = _mm256_set1_pd(kA_c[0]);
+    for (int k = 1; k < 6; ++k)
+      num = _mm256_add_pd(_mm256_mul_pd(num, q), _mm256_set1_pd(kA_c[k]));
+    __m256d den = _mm256_set1_pd(kA_d[0]);
+    for (int k = 1; k < 4; ++k)
+      den = _mm256_add_pd(_mm256_mul_pd(den, q), _mm256_set1_pd(kA_d[k]));
+    den = _mm256_add_pd(_mm256_mul_pd(den, q), vone);
+    _mm256_store_pd(xbuf + 4 * v,
+                    _mm256_xor_pd(_mm256_div_pd(num, den), _mm256_set1_pd(-0.0)));
+    poison_bits |= static_cast<uint64_t>(_mm256_movemask_pd(poison)) << (4 * v);
+  }
+  // Two Halley refinements toward Q(x) = p
+  for (int halley = 0; halley < 2; ++halley) {
+    for (size_t v = 0; v < nv; ++v) {
+      __m256d poison = _mm256_setzero_pd();
+      __m256d x = _mm256_load_pd(xbuf + 4 * v);
+      const __m256d p = _mm256_load_pd(pbuf + 4 * v);
+      const __m256d ec =
+          erfc4(_mm256_div_pd(x, _mm256_set1_pd(kSqrt2)), &poison);
+      const __m256d e =
+          _mm256_sub_pd(_mm256_mul_pd(_mm256_set1_pd(0.5), ec), p);
+      const __m256d pdf = _mm256_mul_pd(
+          _mm256_set1_pd(kInvSqrt2Pi),
+          exp4(_mm256_mul_pd(_mm256_mul_pd(_mm256_set1_pd(-0.5), x), x),
+               &poison));
+      const __m256d uh = _mm256_div_pd(e, pdf);
+      const __m256d denom = _mm256_sub_pd(
+          vone, _mm256_mul_pd(_mm256_mul_pd(_mm256_set1_pd(0.5), x), uh));
+      x = _mm256_add_pd(x, _mm256_div_pd(uh, denom));
+      _mm256_store_pd(xbuf + 4 * v, x);
+      poison_bits |= static_cast<uint64_t>(_mm256_movemask_pd(poison)) << (4 * v);
+    }
+  }
+  return poison_bits;
+}
+
+void sample_vf_block_avx2(const double* u_draws, size_t count,
+                          double bits_per_block, double mu, double sigma,
+                          float* vf_out) {
   // Processed stage-by-stage over chunks of 64 so every stage is a tight
   // loop of 16 independent vectors: the chain's long latency (log -> expm1
   // -> Acklam -> 2x Halley with div/sqrt) pipelines across elements instead
   // of serializing per element.  Intermediates live in L1 stack buffers.
-  constexpr size_t kChunk = 64;
-  const __m256d vzero = _mm256_setzero_pd();
-  const __m256d vone = _mm256_set1_pd(1.0);
-  const __m256d vn = _mm256_set1_pd(bits_per_block);
-
+  constexpr size_t kChunk = kSampleChunk;
   alignas(32) double ubuf[kChunk], pbuf[kChunk], xbuf[kChunk];
 
   for (size_t base = 0; base < count; base += kChunk) {
@@ -638,67 +710,8 @@ void sample_vf_block_avx2(const double* u_draws, size_t count,
     const size_t nv = (n_elems + 3) / 4;  // vectors, incl. padded tail
     std::memcpy(ubuf, u_draws + base, n_elems * sizeof(double));
     for (size_t j = n_elems; j < 4 * nv; ++j) ubuf[j] = 0.5;  // benign pad
-    uint64_t poison_bits = 0;
-
-    // log(u) with the u <= 0 guard; then p = -expm1(log(u)/n)
-    for (size_t v = 0; v < nv; ++v) {
-      __m256d u = _mm256_load_pd(ubuf + 4 * v);
-      u = _mm256_blendv_pd(u, _mm256_set1_pd(1e-300),
-                           _mm256_cmp_pd(u, vzero, _CMP_LE_OQ));
-      __m256d poison = _mm256_setzero_pd();
-      const __m256d lg = log4(u, &poison);
-      _mm256_store_pd(pbuf + 4 * v, _mm256_div_pd(lg, vn));
-      poison_bits |= static_cast<uint64_t>(_mm256_movemask_pd(poison)) << (4 * v);
-    }
-    for (size_t v = 0; v < nv; ++v) {
-      __m256d poison = _mm256_setzero_pd();
-      const __m256d m1 = expm1_4(_mm256_load_pd(pbuf + 4 * v), &poison);
-      const __m256d p = _mm256_xor_pd(m1, _mm256_set1_pd(-0.0));
-      poison_or(&poison, _mm256_cmp_pd(p, vzero, _CMP_LE_OQ));
-      poison_or(&poison, _mm256_cmp_pd(p, vone, _CMP_NLT_UQ));
-      poison_or(&poison, _mm256_cmp_pd(p, _mm256_set1_pd(kPLow), _CMP_NLT_UQ));
-      _mm256_store_pd(pbuf + 4 * v, p);
-      poison_bits |= static_cast<uint64_t>(_mm256_movemask_pd(poison)) << (4 * v);
-    }
-    // Acklam lower-tail seed: x = -(poly_c(q)/poly_d(q)), q = sqrt(-2 log p)
-    for (size_t v = 0; v < nv; ++v) {
-      __m256d poison = _mm256_setzero_pd();
-      const __m256d p = _mm256_load_pd(pbuf + 4 * v);
-      const __m256d q = _mm256_sqrt_pd(
-          _mm256_mul_pd(_mm256_set1_pd(-2.0), log4(p, &poison)));
-      __m256d num = _mm256_set1_pd(kA_c[0]);
-      for (int k = 1; k < 6; ++k)
-        num = _mm256_add_pd(_mm256_mul_pd(num, q), _mm256_set1_pd(kA_c[k]));
-      __m256d den = _mm256_set1_pd(kA_d[0]);
-      for (int k = 1; k < 4; ++k)
-        den = _mm256_add_pd(_mm256_mul_pd(den, q), _mm256_set1_pd(kA_d[k]));
-      den = _mm256_add_pd(_mm256_mul_pd(den, q), vone);
-      _mm256_store_pd(xbuf + 4 * v,
-                      _mm256_xor_pd(_mm256_div_pd(num, den), _mm256_set1_pd(-0.0)));
-      poison_bits |= static_cast<uint64_t>(_mm256_movemask_pd(poison)) << (4 * v);
-    }
-    // Two Halley refinements toward Q(x) = p
-    for (int halley = 0; halley < 2; ++halley) {
-      for (size_t v = 0; v < nv; ++v) {
-        __m256d poison = _mm256_setzero_pd();
-        __m256d x = _mm256_load_pd(xbuf + 4 * v);
-        const __m256d p = _mm256_load_pd(pbuf + 4 * v);
-        const __m256d ec =
-            erfc4(_mm256_div_pd(x, _mm256_set1_pd(kSqrt2)), &poison);
-        const __m256d e =
-            _mm256_sub_pd(_mm256_mul_pd(_mm256_set1_pd(0.5), ec), p);
-        const __m256d pdf = _mm256_mul_pd(
-            _mm256_set1_pd(kInvSqrt2Pi),
-            exp4(_mm256_mul_pd(_mm256_mul_pd(_mm256_set1_pd(-0.5), x), x),
-                 &poison));
-        const __m256d uh = _mm256_div_pd(e, pdf);
-        const __m256d denom = _mm256_sub_pd(
-            vone, _mm256_mul_pd(_mm256_mul_pd(_mm256_set1_pd(0.5), x), uh));
-        x = _mm256_add_pd(x, _mm256_div_pd(uh, denom));
-        _mm256_store_pd(xbuf + 4 * v, x);
-        poison_bits |= static_cast<uint64_t>(_mm256_movemask_pd(poison)) << (4 * v);
-      }
-    }
+    const uint64_t poison_bits =
+        z_chain_chunk(ubuf, nv, bits_per_block, pbuf, xbuf);
     // vf = float(mu + sigma * x), then patch poisoned lanes via the scalar
     // reference from the original draws.
     for (size_t v = 0; v < nv; ++v) {
@@ -715,6 +728,30 @@ void sample_vf_block_avx2(const double* u_draws, size_t count,
         if ((poison_bits >> j) & 1)
           vf_out[base + j] =
               sample_vf_one(u_draws[base + j], bits_per_block, mu, sigma);
+    }
+  }
+}
+
+void sample_z_block_avx2(const double* u_draws, size_t count,
+                         double bits_per_block, double* z_out) {
+  // Same chunked chain as sample_vf_block_avx2 minus the affine finish: the
+  // refined deviates are stored as doubles so any (mu, sigma) can be applied
+  // later by vf_from_z_block.
+  constexpr size_t kChunk = kSampleChunk;
+  alignas(32) double ubuf[kChunk], pbuf[kChunk], xbuf[kChunk];
+
+  for (size_t base = 0; base < count; base += kChunk) {
+    const size_t n_elems = count - base < kChunk ? count - base : kChunk;
+    const size_t nv = (n_elems + 3) / 4;
+    std::memcpy(ubuf, u_draws + base, n_elems * sizeof(double));
+    for (size_t j = n_elems; j < 4 * nv; ++j) ubuf[j] = 0.5;  // benign pad
+    const uint64_t poison_bits =
+        z_chain_chunk(ubuf, nv, bits_per_block, pbuf, xbuf);
+    std::memcpy(z_out + base, xbuf, n_elems * sizeof(double));
+    if (poison_bits != 0) {
+      for (size_t j = 0; j < n_elems; ++j)
+        if ((poison_bits >> j) & 1)
+          z_out[base + j] = sample_z_one(u_draws[base + j], bits_per_block);
     }
   }
 }
@@ -819,6 +856,16 @@ bool verify_all() {
         if (a != b && !(std::isnan(got[i]) && std::isnan(want[i])))
           return false;
       }
+      // z split: the stored deviates must match the scalar chain exactly
+      // (the affine finish is verified separately via sample_vf above).
+      std::vector<double> zgot(us.size());
+      sample_z_block_avx2(us.data(), us.size(), n, zgot.data());
+      for (size_t i = 0; i < us.size(); ++i) {
+        const double zwant = sample_z_one(us[i], n);
+        if (as_u64(zgot[i]) != as_u64(zwant) &&
+            !(std::isnan(zgot[i]) && std::isnan(zwant)))
+          return false;
+      }
     }
   }
   return true;
@@ -842,6 +889,7 @@ bool try_init_avx2(Kernels& k) {
       k.expm1_b = expm1_block_avx2;
       k.erfc_b = erfc_block_avx2;
       k.sample = sample_vf_block_avx2;
+      k.sample_z = sample_z_block_avx2;
       k.active = true;
       return true;
     }

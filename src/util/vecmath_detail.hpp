@@ -10,6 +10,7 @@ namespace pcs::vecmath_detail {
 using BlockFn = void (*)(const double*, double*, std::size_t);
 using SampleFn = void (*)(const double*, std::size_t, double, double, double,
                           float*);
+using ZSampleFn = void (*)(const double*, std::size_t, double, double*);
 
 struct Kernels {
   BlockFn exp_b;
@@ -17,6 +18,7 @@ struct Kernels {
   BlockFn expm1_b;
   BlockFn erfc_b;
   SampleFn sample;
+  ZSampleFn sample_z;
   bool active;
 };
 
@@ -24,6 +26,12 @@ struct Kernels {
 /// CellFaultField::sample_fast_reference); also used by the AVX2 backend to
 /// patch up lanes that fall outside a kernel's verified envelope.
 float sample_vf_one(double u, double bits_per_block, double mu, double sigma);
+
+/// The (mu, sigma)-independent core of sample_vf_one: the standard-normal
+/// order-statistic deviate z with  float(mu + sigma * z) == sample_vf_one.
+/// Splitting here is what lets the population grid engine pay the
+/// log/expm1/inv_q chain once per die and reuse it across every sigma.
+double sample_z_one(double u, double bits_per_block);
 
 #if defined(PCS_HAVE_VECMATH_AVX2)
 /// Attempt libm table discovery + bit-verification; on success overwrite the

@@ -22,6 +22,7 @@
 #include "tech/technology.hpp"
 #include "util/rng.hpp"
 #include "util/vecmath.hpp"
+#include "util/vecmath_detail.hpp"
 
 namespace pcs {
 namespace {
@@ -256,6 +257,43 @@ TEST(FaultEquivalence, VecmathBlocksMatchScalar) {
   vecmath::erfc_block(xs.data(), out.data(), xs.size());
   for (std::size_t i = 0; i < xs.size(); ++i) {
     ASSERT_EQ(out[i], std::erfc(xs[i]));
+  }
+}
+
+// The population grid engine's sample-once split: the (mu, sigma)-free z
+// chain composed with the per-sigma affine pass must reproduce the fused
+// sample_vf_block bit for bit -- for every count (chunk-boundary coverage),
+// every bits-per-block, and sigmas well away from the calibration value.
+TEST(FaultEquivalence, ZSplitComposesToSampleVfBlock) {
+  Rng rng(77);
+  for (const std::size_t count : {1ul, 63ul, 64ul, 65ul, 513ul, 4096ul}) {
+    for (const double bits : {64.0, 512.0, 4096.0}) {
+      std::vector<double> us(count), z(count);
+      for (double& u : us) u = rng.uniform();
+      us[0] = 0.0;  // the clamped draw must round-trip too
+      vecmath::sample_z_block(us.data(), count, bits, z.data());
+      for (std::size_t i = 0; i < count; ++i) {
+        ASSERT_EQ(z[i], vecmath_detail::sample_z_one(us[i], bits));
+        // For real uniform draws (>= 2^-53) at the engine's block widths,
+        // the order-statistic deviate is strictly positive -- this is what
+        // makes every fail voltage pointwise non-decreasing in sigma (the
+        // grid engine's exact sigma-monotonicity property).
+        if (bits >= 512.0 && us[i] > 0.0) ASSERT_GT(z[i], 0.0);
+      }
+      for (const double mu : {0.0489, 0.1}) {
+        for (const double sigma : {0.1426, 0.1585, 0.1823}) {
+          std::vector<float> fused(count), split(count);
+          vecmath::sample_vf_block(us.data(), count, bits, mu, sigma,
+                                   fused.data());
+          vecmath::vf_from_z_block(z.data(), count, mu, sigma, split.data());
+          for (std::size_t i = 0; i < count; ++i) {
+            ASSERT_TRUE(same_float_bits(split[i], fused[i]))
+                << "i=" << i << " count=" << count << " bits=" << bits
+                << " mu=" << mu << " sigma=" << sigma;
+          }
+        }
+      }
+    }
   }
 }
 

@@ -69,6 +69,55 @@ TEST(ParseJobLine, PopulationKeysMapOntoTheSpec) {
   EXPECT_EQ(p.trace_path, "fleet.jsonl");
 }
 
+TEST(ParseJobLine, PopulationSigmaAndCheckpointKeysMapOntoTheSpec) {
+  const Job job = parse_job_line(
+      R"({"kind": "population", "chips": 100, "sigma": 0.1823,)"
+      R"( "checkpoint": "fleet.ck", "checkpoint_shards": 4,)"
+      R"( "resume": true, "out": "fleet.txt"})");
+  EXPECT_EQ(job.kind, Job::Kind::kPopulation);
+  EXPECT_NEAR(job.population.sigma, 0.1823, 1e-12);
+  EXPECT_EQ(job.population.checkpoint, "fleet.ck");
+  EXPECT_EQ(job.checkpoint_path(), "fleet.ck");
+  EXPECT_EQ(job.population.checkpoint_shards, 4u);
+  EXPECT_TRUE(job.population.resume);
+  // Defaults: sigma 0 = soi45 calibration, checkpointing off.
+  const Job plain = parse_job_line(R"({"kind": "population"})");
+  EXPECT_EQ(plain.population.sigma, 0.0);
+  EXPECT_EQ(plain.population.checkpoint, "");
+  EXPECT_EQ(plain.population.checkpoint_shards, 16u);
+  EXPECT_FALSE(plain.population.resume);
+}
+
+TEST(ParseJobLine, PopulationGridKeysMapOntoTheSpec) {
+  const Job job = parse_job_line(
+      R"({"kind": "population_grid", "id": "grid", "chips": 500,)"
+      R"( "sizes_kb": "32,64", "assocs": "2,4,8", "sigmas": "0.14, 0.1585",)"
+      R"( "seed": 7, "shard_chips": 128, "grid_lo": 0.5, "grid_hi": 0.9,)"
+      R"( "grid_step": 0.02, "min_capacity": 0.95, "out": "grid.txt",)"
+      R"( "trace": "grid.jsonl", "checkpoint": "grid.ck"})");
+  EXPECT_EQ(job.kind, Job::Kind::kPopulationGrid);
+  const PopulationGridJobSpec& g = job.population_grid;
+  EXPECT_EQ(g.id, "grid");
+  EXPECT_EQ(g.spec.base.num_chips, 500u);
+  EXPECT_EQ(g.spec.sizes_kb, (std::vector<u64>{32, 64}));
+  EXPECT_EQ(g.spec.assocs, (std::vector<u32>{2, 4, 8}));
+  ASSERT_EQ(g.spec.sigmas.size(), 2u);
+  EXPECT_NEAR(g.spec.sigmas[0], 0.14, 1e-12);
+  EXPECT_NEAR(g.spec.sigmas[1], 0.1585, 1e-12);
+  EXPECT_EQ(g.spec.base.seed, 7u);
+  EXPECT_EQ(g.spec.base.chips_per_shard, 128u);
+  EXPECT_NEAR(g.spec.base.grid_lo, 0.5, 1e-12);
+  EXPECT_NEAR(g.spec.base.spcs_min_capacity, 0.95, 1e-12);
+  EXPECT_EQ(g.out, "grid.txt");
+  EXPECT_EQ(g.trace_path, "grid.jsonl");
+  EXPECT_EQ(g.checkpoint, "grid.ck");
+  // Defaults: one 64 KB 4-way point at the calibration sigma.
+  const Job plain = parse_job_line(R"({"kind": "population_grid"})");
+  EXPECT_EQ(plain.population_grid.spec.sizes_kb, (std::vector<u64>{64}));
+  EXPECT_EQ(plain.population_grid.spec.assocs, (std::vector<u32>{4}));
+  EXPECT_TRUE(plain.population_grid.spec.sigmas.empty());
+}
+
 TEST(ParseJobLine, RejectsMalformedAndOffSchemaLines) {
   const char* bad[] = {
       "not json at all",
@@ -84,6 +133,15 @@ TEST(ParseJobLine, RejectsMalformedAndOffSchemaLines) {
       R"({"policy": "fastest"})",                      // bad enum value
       "{\"id\": \"\\u0041\"}",                         // unsupported escape
       R"({"kind": "sim",})",                           // trailing comma
+      R"({"kind": "population", "sigma": -0.1})",      // negative sigma
+      R"({"kind": "population_grid", "sizes_kb": ""})",        // empty list
+      R"({"kind": "population_grid", "sizes_kb": "32,,64"})",  // empty item
+      R"({"kind": "population_grid", "sizes_kb": "32,64,"})",  // trailing ','
+      R"({"kind": "population_grid", "assocs": "4,x"})",   // malformed item
+      R"({"kind": "population_grid", "assocs": "4,4"})",   // duplicate value
+      R"({"kind": "population_grid", "sigmas": "0.1,-0.2"})",  // negative
+      R"({"kind": "population_grid", "sizes_kb": "63"})",  // invalid org
+      R"({"kind": "population_grid", "refs": 100})",   // sim key, wrong kind
   };
   for (const char* line : bad) {
     EXPECT_THROW(parse_job_line(line), std::invalid_argument) << line;
@@ -182,6 +240,66 @@ TEST(JobService, ServedJobsAreByteIdenticalToStandaloneRuns) {
   }
   EXPECT_EQ(last.rfind(R"({"type":"job_profile","job":"s1","kind":"sim")", 0),
             0u);
+}
+
+TEST(JobService, ServedGridJobIsByteIdenticalToStandaloneRun) {
+  const std::string grid_out = tmp_path("pcs_js_grid.txt");
+  std::ostringstream jobs;
+  jobs << R"({"kind": "population_grid", "id": "g1", "chips": 40,)"
+       << R"( "sizes_kb": "16,32", "assocs": "2,4", "shard_chips": 16,)"
+       << R"( "out": ")" << grid_out << "\"}\n";
+  std::istringstream in(jobs.str());
+  std::ostringstream log;
+  const std::vector<JobOutcome> outcomes = JobService(1).serve(in, log);
+  ASSERT_EQ(outcomes.size(), 1u);
+  EXPECT_TRUE(outcomes[0].ok) << outcomes[0].error;
+  EXPECT_NE(log.str().find("job g1: accepted (population_grid -> "),
+            std::string::npos);
+
+  const Job grid_job = parse_job_line(
+      R"({"kind": "population_grid", "chips": 40, "sizes_kb": "16,32",)"
+      R"( "assocs": "2,4", "shard_chips": 16, "out": "x"})");
+  std::ostringstream ref;
+  run_population_grid_job(grid_job.population_grid, ref, 1);
+  EXPECT_EQ(slurp(grid_out), ref.str());
+}
+
+TEST(JobService, RejectsDuplicateIdsAndArtifactPaths) {
+  const std::string out1 = tmp_path("pcs_js_dup1.txt");
+  const std::string out2 = tmp_path("pcs_js_dup2.txt");
+  const std::string out3 = tmp_path("pcs_js_dup3.txt");
+  const std::string ck = tmp_path("pcs_js_dup.ck");
+  std::ostringstream jobs;
+  jobs << R"({"kind": "population", "id": "p1", "chips": 10, "out": ")"
+       << out1 << R"(", "checkpoint": ")" << ck << "\"}\n"
+       << R"({"kind": "population", "id": "p1", "chips": 10, "out": ")"
+       << out2 << "\"}\n"
+       << R"({"kind": "sim", "id": "s1", "refs": 100, "out": ")" << out1
+       << "\"}\n"
+       << R"({"kind": "population", "id": "p2", "chips": 10, "out": ")"
+       << out3 << R"(", "checkpoint": ")" << ck << "\"}\n";
+  std::istringstream in(jobs.str());
+  std::ostringstream log;
+  const std::vector<JobOutcome> outcomes = JobService(1).serve(in, log);
+
+  ASSERT_EQ(outcomes.size(), 4u);
+  EXPECT_TRUE(outcomes[0].ok) << outcomes[0].error;
+  EXPECT_FALSE(outcomes[1].ok);
+  EXPECT_NE(outcomes[1].error.find(
+                "duplicate job id 'p1' (first submitted at line 1)"),
+            std::string::npos);
+  EXPECT_FALSE(outcomes[2].ok);
+  EXPECT_NE(outcomes[2].error.find("already claimed by the job at line 1"),
+            std::string::npos);
+  EXPECT_FALSE(outcomes[3].ok);
+  EXPECT_NE(outcomes[3].error.find("checkpoint path"), std::string::npos);
+  // Every rejection line names the offending job-file line.
+  EXPECT_NE(log.str().find("job p1: rejected (line 2): duplicate job id"),
+            std::string::npos);
+  EXPECT_NE(log.str().find("job s1: rejected (line 3): output path"),
+            std::string::npos);
+  EXPECT_NE(log.str().find("job p2: rejected (line 4): checkpoint path"),
+            std::string::npos);
 }
 
 TEST(JobService, RejectionsAndFailuresAreReportedInSubmissionOrder) {

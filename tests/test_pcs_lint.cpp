@@ -43,6 +43,8 @@ TEST(PcsLint, BadTreeReportsExactDiagnostics) {
       "SCHEMA001@TELEMETRY.md:6",          // type 'ghost' never emitted
       "SCHEMA002@POPULATION.md:7",         // key 'ghost_key' never read
       "SCHEMA002@POPULATION.md:8",         // kind 'spectral' never accepted
+      "SCHEMA002@POPULATION.md:9",         // kind 'sim' documented twice
+      "SCHEMA002@POPULATION.md:9",         // key 'ghost_key' listed twice
       "SCHEMA002@src/exp/schema002_jobs.cpp:2",  // kind 'phantom' undocumented
       "SCHEMA002@src/exp/schema002_jobs.cpp:6",  // key 'undocumented_key'
       "DET001@src/det001_clock.cpp:6",     // steady_clock
@@ -124,6 +126,8 @@ TEST(PcsLint, JobSchemaOnlyModeCoversBothDirections) {
   std::vector<std::string> want = {
       "SCHEMA002@POPULATION.md:7",
       "SCHEMA002@POPULATION.md:8",
+      "SCHEMA002@POPULATION.md:9",
+      "SCHEMA002@POPULATION.md:9",
       "SCHEMA002@src/exp/schema002_jobs.cpp:2",
       "SCHEMA002@src/exp/schema002_jobs.cpp:6"};
   std::sort(want.begin(), want.end());

@@ -4,6 +4,8 @@
 // dense FaultMap reference, and the histogram-derived statistics.
 #include <gtest/gtest.h>
 
+#include <cstdio>
+#include <fstream>
 #include <sstream>
 #include <stdexcept>
 #include <string>
@@ -236,6 +238,88 @@ TEST(PopulationResult, MergeRejectsGridMismatch) {
   other.grid_step = 0.02;
   const PopulationResult b = PopulationEngine(ber, 1).run(other);
   EXPECT_THROW(a.merge(b), std::invalid_argument);
+}
+
+// ---------------------------------------------------------------------------
+// Shard-range checkpoint / resume
+
+TEST(PopulationEngine, CheckpointRoundTripsAndResumesByteIdentically) {
+  PopulationSpec spec = small_spec(200);
+  spec.chips_per_shard = 32;  // 7 shards (last one short)
+  const BerModel ber(Technology::soi45());
+  const PopulationResult full = PopulationEngine(ber, 1).run(spec);
+
+  const std::string path =
+      std::string(::testing::TempDir()) + "pcs_pop_ck.txt";
+  std::remove(path.c_str());
+
+  // Interrupt after the second sidecar write, then resume: the merged
+  // histograms and the rendered report must be byte-identical, and the
+  // resumed run's telemetry must cover exactly the shards it ran.
+  CheckpointOptions ckpt;
+  ckpt.path = path;
+  ckpt.every_shards = 2;
+  struct StopRun {};
+  ckpt.on_checkpoint = [](u64 done) {
+    if (done == 4) throw StopRun{};
+  };
+  EXPECT_THROW(PopulationEngine(ber, 1).run(spec, nullptr, &ckpt), StopRun);
+
+  ckpt.on_checkpoint = nullptr;
+  ckpt.resume = true;
+  MemoryTraceSink mem;
+  const PopulationResult resumed =
+      PopulationEngine(ber, 1).run(spec, &mem, &ckpt);
+  EXPECT_EQ(resumed, full);
+  ASSERT_EQ(mem.records().size(), 3u);  // shards 4, 5, 6 only
+  EXPECT_EQ(std::get<u64>(mem.records()[0].fields()[0].value), 4u);
+
+  std::ostringstream a, b;
+  render_population_report(spec, resumed, a);
+  render_population_report(spec, full, b);
+  EXPECT_EQ(a.str(), b.str());
+
+  // A second resume of a finished run re-runs nothing.
+  MemoryTraceSink none;
+  EXPECT_EQ(PopulationEngine(ber, 1).run(spec, &none, &ckpt), full);
+  EXPECT_TRUE(none.records().empty());
+  std::remove(path.c_str());
+}
+
+TEST(PopulationEngine, ResumeRefusesMismatchedSpecOrCorruptSidecar) {
+  PopulationSpec spec = small_spec(64);
+  const BerModel ber(Technology::soi45());
+  const std::string path =
+      std::string(::testing::TempDir()) + "pcs_pop_ck_bad.txt";
+  std::remove(path.c_str());
+
+  CheckpointOptions ckpt;
+  ckpt.path = path;
+  PopulationEngine(ber, 1).run(spec, nullptr, &ckpt);
+
+  ckpt.resume = true;
+  PopulationSpec other = spec;
+  other.num_chips += 1;
+  EXPECT_THROW(PopulationEngine(ber, 1).run(other, nullptr, &ckpt),
+               std::runtime_error);
+  // A sigma change is also a different run (the fingerprint covers the
+  // fault model, not just the spec fields).
+  const BerModel wider(ber.mu(), ber.sigma() * 1.15);
+  EXPECT_THROW(PopulationEngine(wider, 1).run(spec, nullptr, &ckpt),
+               std::runtime_error);
+
+  {
+    std::ofstream f(path, std::ios::trunc);
+    f << "pcs-population-checkpoint v1\nfingerprint 1\n";  // truncated
+  }
+  EXPECT_THROW(PopulationEngine(ber, 1).run(spec, nullptr, &ckpt),
+               std::runtime_error);
+
+  // A missing sidecar is not an error: the run simply starts fresh.
+  std::remove(path.c_str());
+  EXPECT_EQ(PopulationEngine(ber, 1).run(spec, nullptr, &ckpt),
+            PopulationEngine(ber, 1).run(spec));
+  std::remove(path.c_str());
 }
 
 }  // namespace

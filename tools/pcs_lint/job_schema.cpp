@@ -6,6 +6,7 @@
 // parser. Defaults/types are covered by tests/test_job_service.cpp; this
 // rule guards the docs file.
 
+#include <algorithm>
 #include <map>
 #include <set>
 #include <sstream>
@@ -96,11 +97,28 @@ void check_job_schema(const std::string& population_md,
     if (!in_block) continue;
     const std::size_t colon = line.find(':');
     if (colon == std::string::npos) continue;
-    DocEntry& entry = doc_kinds[line.substr(0, colon)];
-    entry.line = lineno;
+    const std::string kind = line.substr(0, colon);
+    auto [it, inserted] = doc_kinds.try_emplace(kind);
+    DocEntry& entry = it->second;
+    if (inserted) {
+      entry.line = lineno;
+    } else {
+      // Duplicate kind line: the second line silently shadows or merges
+      // with the first in any reader, so flag it. Keys still accumulate
+      // onto the first entry to avoid cascading never-read reports.
+      add(diags, md_rel_path, lineno,
+          "job kind '" + kind + "' is documented twice (first at line " +
+              std::to_string(entry.line) + ")");
+    }
     std::istringstream keys(line.substr(colon + 1));
     for (std::string k; keys >> k;) {
-      entry.keys.push_back(k);
+      if (std::find(entry.keys.begin(), entry.keys.end(), k) !=
+          entry.keys.end()) {
+        add(diags, md_rel_path, lineno,
+            "job key '" + k + "' is listed twice for kind '" + kind + "'");
+      } else {
+        entry.keys.push_back(k);
+      }
       doc_keys.emplace(k, lineno);
     }
   }
