@@ -1,0 +1,73 @@
+#!/usr/bin/env bash
+# Suppression-budget diff gate (CI side of rule BUDGET001).
+#
+#   check_suppression_budget.sh BASE_REF [BUDGET_FILE]
+#
+# BUDGET001 already pins .pcs-lint-budget to the tree's *actual* suppression
+# counts (exact ratchet: over-budget and stale entries both fail the lint).
+# This script guards the budget file's *history*: comparing HEAD against
+# BASE_REF (a PR's base commit), any per-rule count that grew -- or any new
+# rule that appeared with a nonzero count -- fails unless the bump was made
+# explicit. Shrinking or deleting entries is always allowed; that is the
+# ratchet working as intended.
+#
+# A bump is explicit when either
+#   * the environment sets PCS_BUDGET_BUMP_OK=1 (CI wires this to a
+#     `budget-bump` label on the pull request), or
+#   * a commit in BASE_REF..HEAD mentions `[budget-bump]` in its message.
+#
+# See DESIGN.md §10 for the reviewer policy behind this gate.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+if [[ $# -lt 1 ]]; then
+  echo "usage: check_suppression_budget.sh BASE_REF [BUDGET_FILE]" >&2
+  exit 2
+fi
+base="$1"
+budget="${2:-.pcs-lint-budget}"
+
+# Emit "RULE COUNT" lines from a budget blob, dropping comments/blanks.
+parse() {
+  sed -e 's/#.*//' -e 's/^[[:space:]]*//' -e 's/[[:space:]]*$//' \
+    | awk 'NF == 2 { print $1, $2 }'
+}
+
+if ! git cat-file -e "${base}:${budget}" 2>/dev/null; then
+  # Bootstrap: the base ref predates the budget file, so there is nothing
+  # to ratchet against. BUDGET001 still pins the new file to actual counts.
+  echo "suppression budget: ${budget} absent at ${base}; nothing to diff"
+  exit 0
+fi
+old=$(git show "${base}:${budget}" | parse)
+new=$(parse < "$budget" 2>/dev/null || true)
+
+violations=()
+while read -r rule count; do
+  [[ -n "$rule" ]] || continue
+  prev=$(awk -v r="$rule" '$1 == r { print $2 }' <<< "$old")
+  prev="${prev:-0}"
+  if (( count > prev )); then
+    violations+=("$rule: $prev -> $count")
+  fi
+done <<< "$new"
+
+if [[ ${#violations[@]} -eq 0 ]]; then
+  echo "suppression budget: no per-rule increases vs ${base}"
+  exit 0
+fi
+
+if [[ "${PCS_BUDGET_BUMP_OK:-0}" == "1" ]] \
+   || git log --format=%B "${base}..HEAD" 2>/dev/null \
+      | grep -qF '[budget-bump]'; then
+  echo "suppression budget: increases approved ([budget-bump]):"
+  printf '  %s\n' "${violations[@]}"
+  exit 0
+fi
+
+echo "suppression budget: per-rule count increased without sign-off:" >&2
+printf '  %s\n' "${violations[@]}" >&2
+echo "The budget is shrink-only by default. To raise it, get reviewer" >&2
+echo "sign-off and add [budget-bump] to a commit message (or apply the" >&2
+echo "budget-bump PR label). Policy: DESIGN.md §10." >&2
+exit 1

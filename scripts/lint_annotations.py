@@ -1,0 +1,64 @@
+#!/usr/bin/env python3
+"""Turn `pcs_lint --format=json` output into GitHub Actions annotations.
+
+Usage: lint_annotations.py [LINT.json]    (no arg / `-` reads stdin)
+
+Each diagnostic becomes a `::error file=...,line=...,title=RULE::message`
+workflow command, so findings show up inline on the PR diff instead of only
+in the job log. Exits 1 if any diagnostics are present (the annotations
+step is the blocking lint gate), 0 on a clean tree, 2 on malformed input.
+
+The JSON shape is pinned by the RenderJsonIsStable test in
+tests/test_pcs_lint.cpp:
+    {"version": 1, "files_scanned": N,
+     "diagnostics": [{"rule", "file", "line", "message"}, ...],
+     "suppressions": {"RULE": count, ...}}
+"""
+
+import json
+import sys
+
+
+def sanitize(msg: str) -> str:
+    # Workflow commands terminate on newlines; GitHub expects %-escapes.
+    return (
+        msg.replace("%", "%25").replace("\r", "%0D").replace("\n", "%0A")
+    )
+
+
+def main(argv):
+    path = argv[1] if len(argv) > 1 and argv[1] != "-" else None
+    try:
+        if path is None:
+            report = json.load(sys.stdin)
+        else:
+            with open(path) as f:
+                report = json.load(f)
+    except (OSError, json.JSONDecodeError) as e:
+        print(f"lint_annotations: cannot read lint report: {e}",
+              file=sys.stderr)
+        return 2
+
+    if report.get("version") != 1:
+        print(f"lint_annotations: unsupported report version "
+              f"{report.get('version')!r} (expected 1)", file=sys.stderr)
+        return 2
+
+    diags = report.get("diagnostics", [])
+    for d in diags:
+        print(f"::error file={d['file']},line={d['line']},"
+              f"title={d['rule']}::{sanitize(d['message'])}")
+
+    sups = report.get("suppressions", {})
+    sup_note = (
+        "; suppressions in use: "
+        + ", ".join(f"{r}={n}" for r, n in sorted(sups.items()))
+        if sups else ""
+    )
+    print(f"pcs-lint: {len(diags)} diagnostic(s) across "
+          f"{report.get('files_scanned', '?')} file(s){sup_note}")
+    return 1 if diags else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv))

@@ -322,6 +322,21 @@ bool load_population_checkpoint(const std::string& path, u64 fingerprint,
   return true;
 }
 
+bool try_load_population_checkpoint(const std::string& path, u64 fingerprint,
+                                    u64& shards_done,
+                                    std::vector<PopulationResult>& parts,
+                                    bool strict) {
+  try {
+    return load_population_checkpoint(path, fingerprint, shards_done, parts);
+  } catch (const std::exception& e) {
+    if (strict) throw;
+    std::fprintf(stderr,
+                 "pcs: checkpoint sidecar rejected, starting fresh: %s\n",
+                 e.what());
+    return false;
+  }
+}
+
 // ---- Engine ----------------------------------------------------------------
 
 PopulationEngine::PopulationEngine(const BerModel& ber, u32 num_threads)
@@ -368,13 +383,20 @@ PopulationResult PopulationEngine::run(const PopulationSpec& spec,
   if (checkpointing && ckpt->resume) {
     std::vector<PopulationResult> parts(1, merged);
     u64 done = 0;
-    if (load_population_checkpoint(ckpt->path, fp, done, parts)) {
+    if (try_load_population_checkpoint(ckpt->path, fp, done, parts,
+                                       ckpt->strict_resume)) {
       if (done > num_shards) {
-        throw std::runtime_error("population checkpoint '" + ckpt->path +
-                                 "': watermark past the end of the run");
+        if (ckpt->strict_resume) {
+          throw std::runtime_error("population checkpoint '" + ckpt->path +
+                                   "': watermark past the end of the run");
+        }
+        std::fprintf(stderr,
+                     "pcs: checkpoint sidecar rejected, starting fresh: "
+                     "watermark past the end of the run\n");
+      } else {
+        start_shard = done;
+        merged = std::move(parts[0]);
       }
-      start_shard = done;
-      merged = std::move(parts[0]);
     }
   }
 

@@ -162,11 +162,18 @@ void accumulate_chip(PopulationResult& r, const ChipBinPoint& p);
 /// shard prefix. Because shards merge in shard order with exact integer
 /// addition, a resumed run's result and report are byte-identical to an
 /// uninterrupted run's. The sidecar carries a fingerprint of the full run
-/// description; resuming under a different spec/model throws.
+/// description; a sidecar that fails validation (fingerprint mismatch,
+/// shape mismatch, truncated/corrupt file) is rejected with a stderr
+/// warning and the run starts fresh -- still byte-identical to an
+/// uninterrupted run, with the bad sidecar overwritten by the next save.
+/// Set `strict_resume` to turn a rejected sidecar into a
+/// std::runtime_error instead (operators who would rather stop than
+/// silently redo a large run).
 struct CheckpointOptions {
   std::string path;       ///< sidecar file; "" disables checkpointing
   u64 every_shards = 16;  ///< save cadence (0 = only the final save)
   bool resume = false;    ///< load the sidecar and skip completed shards
+  bool strict_resume = false;  ///< throw on a rejected sidecar (no fallback)
   /// Test hook: invoked after each sidecar write with the watermark value
   /// (kill-mid-run tests _exit() from here to leave a real torn run).
   std::function<void(u64)> on_checkpoint;
@@ -191,6 +198,18 @@ void save_population_checkpoint(const std::string& path, u64 fingerprint,
 bool load_population_checkpoint(const std::string& path, u64 fingerprint,
                                 u64& shards_done,
                                 std::vector<PopulationResult>& parts);
+
+/// Resume front end over load_population_checkpoint: with `strict` unset, a
+/// sidecar the loader rejects (corrupt file, fingerprint mismatch, shape
+/// mismatch) produces a stderr warning and a clean start (returns false,
+/// `parts`/`shards_done` contents unspecified -- callers discard them on a
+/// false return) instead of propagating the exception; with `strict` set
+/// the exception passes through. A missing sidecar returns false silently
+/// in both modes.
+bool try_load_population_checkpoint(const std::string& path, u64 fingerprint,
+                                    u64& shards_done,
+                                    std::vector<PopulationResult>& parts,
+                                    bool strict);
 
 /// Shard scheduler shared by PopulationEngine and PopulationGridEngine:
 /// evaluates `shard(s)` for s in [start_shard, num_shards) across the pool

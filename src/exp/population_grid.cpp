@@ -161,13 +161,20 @@ PopulationGridResult PopulationGridEngine::run(
   if (checkpointing && ckpt->resume) {
     u64 done = 0;
     std::vector<PopulationResult> loaded = empty_parts();
-    if (load_population_checkpoint(ckpt->path, fp, done, loaded)) {
+    if (try_load_population_checkpoint(ckpt->path, fp, done, loaded,
+                                       ckpt->strict_resume)) {
       if (done > num_shards) {
-        throw std::runtime_error("population checkpoint '" + ckpt->path +
-                                 "': watermark past the end of the run");
+        if (ckpt->strict_resume) {
+          throw std::runtime_error("population checkpoint '" + ckpt->path +
+                                   "': watermark past the end of the run");
+        }
+        std::fprintf(stderr,
+                     "pcs: checkpoint sidecar rejected, starting fresh: "
+                     "watermark past the end of the run\n");
+      } else {
+        start_shard = done;
+        merged = std::move(loaded);
       }
-      start_shard = done;
-      merged = std::move(loaded);
     }
   }
 

@@ -1,12 +1,17 @@
 // pcs-lint engine tests: runs the linter against the fixture corpus under
 // tools/pcs_lint/fixtures and asserts exact diagnostic IDs and lines,
-// including suppression-annotation handling. The corpus has at least one
-// true positive (bad_tree) and one clean case (good_tree) per rule
-// DET001-DET005, INV001, SCHEMA001, SCHEMA002.
+// including suppression-annotation handling, the v2 flow analysis
+// (cross-file sink reachability), INV002 fingerprint completeness, the
+// BUDGET001 suppression ratchet, --fix idempotency, and JSON rendering.
+// The corpus has at least one true positive (bad_tree) and one clean case
+// (good_tree) per rule.
 
 #include <gtest/gtest.h>
 
 #include <algorithm>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
 #include <string>
 #include <vector>
 
@@ -35,9 +40,19 @@ LintResult lint_tree(const std::string& tree) {
 
 TEST(PcsLint, BadTreeReportsExactDiagnostics) {
   const LintResult result = lint_tree("bad_tree");
-  EXPECT_EQ(result.files_scanned, 9);
+  EXPECT_EQ(result.files_scanned, 13);
   EXPECT_TRUE(result.io_errors.empty());
   const std::vector<std::string> expected = {
+      "BUDGET001@.pcs-lint-budget:1",      // stale DET001 budget entry
+      "BUDGET001@.pcs-lint-budget:4",      // unknown rule DET999
+      "DET002@src/det002_unordered.cpp:20",  // auto-declared u-map range-for
+      "INV002@src/exp/inv002_fingerprint.cpp:10",  // drift_mv not in canon
+      "DET006@src/flow/det006_identity.cpp:10",  // get_id -> sink
+      "DET006@src/flow/det006_identity.cpp:15",  // "%p" in a direct sink
+      "DET006@src/flow/det006_identity.cpp:19",  // uintptr_t cast -> sink
+      "DET001@src/flow/helpers.cpp:11",    // clock read, sink via caller
+      "DET002@src/flow/helpers.cpp:21",    // u-map range-for, sink via caller
+      "DET004@src/flow/helpers.cpp:30",    // atomic<double> feeding a sink
       "SCHEMA001@TELEMETRY.md:3",          // version mismatch (doc 1, src 2)
       "SCHEMA001@TELEMETRY.md:6",          // field 'spooky' never emitted
       "SCHEMA001@TELEMETRY.md:6",          // type 'ghost' never emitted
@@ -91,9 +106,12 @@ TEST(PcsLint, GoodTreeIsClean) {
   // path, fully documented telemetry emissions, and a job-file parser whose
   // kinds and keys all match POPULATION.md's job-schema block.
   const LintResult result = lint_tree("good_tree");
-  EXPECT_EQ(result.files_scanned, 10);
+  EXPECT_EQ(result.files_scanned, 12);
   EXPECT_TRUE(result.io_errors.empty());
   EXPECT_EQ(keys(result), std::vector<std::string>{});
+  // The suppression counts the budget file ratchets against.
+  EXPECT_EQ(result.suppression_counts.at("DET001"), 3);
+  EXPECT_EQ(result.suppression_counts.at("DET005"), 1);
 }
 
 TEST(PcsLint, RuleFilterRestrictsDiagnostics) {
@@ -160,9 +178,9 @@ TEST(PcsLint, IncludeDirectivesDoNotLeakHeaderNames) {
 
 TEST(PcsLint, RegistryListsAllRules) {
   const std::vector<std::string> want = {
-      "DET001", "DET002",    "DET003",    "DET004",
-      "DET005", "INV001",    "SCHEMA001", "SCHEMA002",
-      "LINT001"};
+      "DET001",    "DET002", "DET003",    "DET004",
+      "DET005",    "DET006", "INV001",    "INV002",
+      "SCHEMA001", "SCHEMA002", "BUDGET001", "LINT001"};
   std::vector<std::string> got;
   for (const pcs_lint::RuleInfo& r : pcs_lint::rule_registry()) {
     got.push_back(r.id);
@@ -177,6 +195,155 @@ TEST(PcsLint, RegistryListsAllRules) {
 TEST(PcsLint, FormatIsFileLineRuleMessage) {
   const Diagnostic d{"DET001", "src/a.cpp", 12, "no clocks"};
   EXPECT_EQ(pcs_lint::format(d), "src/a.cpp:12: DET001: no clocks");
+}
+
+// -- v2 flow engine --------------------------------------------------------
+
+// Find the one diagnostic with the given rule@file:line key.
+const Diagnostic& diag_at(const LintResult& result, const std::string& rule,
+                          const std::string& file, int line) {
+  for (const Diagnostic& d : result.diags) {
+    if (d.rule == rule && d.file == file && d.line == line) return d;
+  }
+  static const Diagnostic missing{};
+  ADD_FAILURE() << "no " << rule << " at " << file << ":" << line;
+  return missing;
+}
+
+TEST(PcsLint, FlowDiagnosticsNameTheWitnessChain) {
+  const LintResult result = lint_tree("bad_tree");
+  // Forward direction: the flagged function itself reaches the sink.
+  EXPECT_NE(diag_at(result, "DET004", "src/flow/helpers.cpp", 30)
+                .message.find("reduce_tasks -> write_summary_line -> printf"),
+            std::string::npos);
+  // Caller direction: the flagged helper's return value is serialized by
+  // its (transitive) caller.
+  EXPECT_NE(diag_at(result, "DET001", "src/flow/helpers.cpp", 11)
+                .message.find(
+                    "caller report_helpers -> write_summary_line -> printf"),
+            std::string::npos);
+  EXPECT_NE(diag_at(result, "DET002", "src/flow/helpers.cpp", 21)
+                .message.find(
+                    "caller report_partials -> write_summary_line -> printf"),
+            std::string::npos);
+  EXPECT_NE(diag_at(result, "DET006", "src/flow/det006_identity.cpp", 10)
+                .message.find(
+                    "tag_shard_with_thread -> write_summary_line -> printf"),
+            std::string::npos);
+}
+
+TEST(PcsLint, Det002CatchesAutoDeclaredStructuredBindingLoop) {
+  LintOptions opts;
+  opts.root = std::string(PCS_LINT_FIXTURES) + "/bad_tree";
+  opts.rules = {"DET002"};
+  const LintResult result = pcs_lint::run_lint(opts);
+  const std::vector<std::string> want = {
+      "DET002@src/det002_unordered.cpp:8",
+      "DET002@src/det002_unordered.cpp:11",
+      "DET002@src/det002_unordered.cpp:20",  // for (auto& [k, v] : m)
+      "DET002@src/flow/helpers.cpp:21"};
+  EXPECT_EQ(keys(result), want);
+  EXPECT_NE(
+      diag_at(result, "DET002", "src/det002_unordered.cpp", 20)
+          .message.find("range-for over unordered container 'm'"),
+      std::string::npos);
+}
+
+TEST(PcsLint, Inv002FiresOnMissingFieldOnly) {
+  const LintResult bad = lint_tree("bad_tree");
+  const Diagnostic& d =
+      diag_at(bad, "INV002", "src/exp/inv002_fingerprint.cpp", 10);
+  EXPECT_NE(d.message.find("'drift_mv'"), std::string::npos);
+  EXPECT_NE(d.message.find("population_canonical"), std::string::npos);
+  // good_tree carries the same struct with a complete canonical string and
+  // is asserted clean in GoodTreeIsClean.
+}
+
+TEST(PcsLint, SuppressionBudgetIsAnExactRatchet) {
+  using pcs_lint::check_suppression_budget;
+  const std::map<std::string, int> counts = {{"DET001", 3}};
+  {
+    std::vector<Diagnostic> diags;
+    check_suppression_budget("DET001 3\n", ".pcs-lint-budget", counts, diags);
+    EXPECT_TRUE(diags.empty());
+  }
+  {  // over budget: a suppression was added without review
+    std::vector<Diagnostic> diags;
+    check_suppression_budget("DET001 2\n", ".pcs-lint-budget", counts, diags);
+    ASSERT_EQ(diags.size(), 1u);
+    EXPECT_EQ(diags[0].rule, "BUDGET001");
+    EXPECT_NE(diags[0].message.find("exceed budget"), std::string::npos);
+  }
+  {  // under budget: the ratchet must be tightened to match
+    std::vector<Diagnostic> diags;
+    check_suppression_budget("DET001 4\n", ".pcs-lint-budget", counts, diags);
+    ASSERT_EQ(diags.size(), 1u);
+    EXPECT_NE(diags[0].message.find("stale"), std::string::npos);
+  }
+  {  // comments and blank lines are fine; junk and unknown rules are not
+    std::vector<Diagnostic> diags;
+    check_suppression_budget(
+        "# header\n\nDET001 3  # inline comment\nDET999 1\nDET001 oops\n",
+        ".pcs-lint-budget", counts, diags);
+    ASSERT_EQ(diags.size(), 2u);
+    EXPECT_EQ(diags[0].line, 4);  // unknown rule
+    EXPECT_EQ(diags[1].line, 5);  // unparsable line
+  }
+}
+
+TEST(PcsLint, RenderJsonIsStable) {
+  LintResult result;
+  result.files_scanned = 2;
+  result.diags.push_back({"DET001", "src/a.cpp", 7, "say \"hi\"\n"});
+  result.suppression_counts = {{"DET001", 3}, {"DET005", 1}};
+  EXPECT_EQ(pcs_lint::render_json(result),
+            "{\"version\":1,\"files_scanned\":2,\"diagnostics\":["
+            "{\"rule\":\"DET001\",\"file\":\"src/a.cpp\",\"line\":7,"
+            "\"message\":\"say \\\"hi\\\"\\n\"}],"
+            "\"suppressions\":{\"DET001\":3,\"DET005\":1}}");
+}
+
+// -- --fix -----------------------------------------------------------------
+
+std::string slurp(const std::filesystem::path& p) {
+  std::ifstream in(p, std::ios::binary);
+  std::ostringstream ss;
+  ss << in.rdbuf();
+  return ss.str();
+}
+
+TEST(PcsLint, FixIsIdempotentAndMatchesExpectedTree) {
+  namespace fs = std::filesystem;
+  const fs::path fixtures(PCS_LINT_FIXTURES);
+  const fs::path work =
+      fs::temp_directory_path() / "pcs_lint_fix_round_trip";
+  fs::remove_all(work);
+  fs::copy(fixtures / "fix_tree", work, fs::copy_options::recursive);
+
+  LintOptions opts;
+  opts.root = work.string();
+  const pcs_lint::FixResult first = pcs_lint::apply_fixes(opts);
+  EXPECT_TRUE(first.io_errors.empty());
+  EXPECT_EQ(first.changed_files,
+            std::vector<std::string>{"src/fixit.cpp"});
+  ASSERT_EQ(first.edits.size(), 3u);
+  EXPECT_EQ(first.edits[0].kind, "LINT001 normalization");
+  EXPECT_EQ(first.edits[0].line, 6);
+  EXPECT_EQ(first.edits[1].kind, "LINT001 normalization");
+  EXPECT_EQ(first.edits[1].line, 9);
+  EXPECT_EQ(first.edits[2].kind, "DET002 scaffold");
+  EXPECT_EQ(first.edits[2].line, 13);
+
+  EXPECT_EQ(slurp(work / "src/fixit.cpp"),
+            slurp(fixtures / "fix_tree_expected/src/fixit.cpp"));
+
+  // Second run: a strict no-op.
+  const pcs_lint::FixResult second = pcs_lint::apply_fixes(opts);
+  EXPECT_TRUE(second.changed_files.empty());
+  EXPECT_TRUE(second.edits.empty());
+  EXPECT_EQ(slurp(work / "src/fixit.cpp"),
+            slurp(fixtures / "fix_tree_expected/src/fixit.cpp"));
+  fs::remove_all(work);
 }
 
 }  // namespace

@@ -12,6 +12,7 @@
 #include <vector>
 
 #include "exp/population_engine.hpp"
+#include "exp/population_grid.hpp"
 #include "fault/ber_model.hpp"
 #include "fault/fault_map.hpp"
 #include "tech/technology.hpp"
@@ -286,7 +287,7 @@ TEST(PopulationEngine, CheckpointRoundTripsAndResumesByteIdentically) {
   std::remove(path.c_str());
 }
 
-TEST(PopulationEngine, ResumeRefusesMismatchedSpecOrCorruptSidecar) {
+TEST(PopulationEngine, StrictResumeRefusesMismatchedSpecOrCorruptSidecar) {
   PopulationSpec spec = small_spec(64);
   const BerModel ber(Technology::soi45());
   const std::string path =
@@ -298,6 +299,7 @@ TEST(PopulationEngine, ResumeRefusesMismatchedSpecOrCorruptSidecar) {
   PopulationEngine(ber, 1).run(spec, nullptr, &ckpt);
 
   ckpt.resume = true;
+  ckpt.strict_resume = true;
   PopulationSpec other = spec;
   other.num_chips += 1;
   EXPECT_THROW(PopulationEngine(ber, 1).run(other, nullptr, &ckpt),
@@ -319,6 +321,111 @@ TEST(PopulationEngine, ResumeRefusesMismatchedSpecOrCorruptSidecar) {
   std::remove(path.c_str());
   EXPECT_EQ(PopulationEngine(ber, 1).run(spec, nullptr, &ckpt),
             PopulationEngine(ber, 1).run(spec));
+  std::remove(path.c_str());
+}
+
+namespace {
+
+std::string slurp_file(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  std::ostringstream ss;
+  ss << in.rdbuf();
+  return ss.str();
+}
+
+void spit_file(const std::string& path, const std::string& content) {
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  out << content;
+}
+
+}  // namespace
+
+// Default (non-strict) resume: every sidecar rejection path falls back to
+// a clean start whose result and report are byte-identical to an
+// uninterrupted run, and the next save overwrites the bad sidecar.
+TEST(PopulationEngine, RejectedSidecarFallsBackToCleanStart) {
+  PopulationSpec spec = small_spec(64);
+  spec.chips_per_shard = 16;  // 4 shards
+  const BerModel ber(Technology::soi45());
+  const PopulationResult fresh = PopulationEngine(ber, 1).run(spec);
+  const std::string path =
+      std::string(::testing::TempDir()) + "pcs_pop_ck_fallback.txt";
+  std::remove(path.c_str());
+
+  CheckpointOptions ckpt;
+  ckpt.path = path;
+  PopulationEngine(ber, 1).run(spec, nullptr, &ckpt);
+  const std::string valid = slurp_file(path);
+  ASSERT_NE(valid.find("points 1"), std::string::npos);
+  ckpt.resume = true;
+
+  // Fingerprint mismatch: the sidecar belongs to `spec`, the run is for a
+  // different seed. All four shards re-run; telemetry proves it.
+  PopulationSpec other = spec;
+  other.seed += 1;
+  const PopulationResult other_fresh = PopulationEngine(ber, 1).run(other);
+  MemoryTraceSink mem;
+  EXPECT_EQ(PopulationEngine(ber, 1).run(other, &mem, &ckpt), other_fresh);
+  EXPECT_EQ(mem.records().size(), 4u);
+
+  // Shape mismatch: same fingerprint, wrong point count.
+  std::string reshaped = valid;
+  reshaped.replace(reshaped.find("points 1"), 8, "points 2");
+  spit_file(path, reshaped);
+  EXPECT_EQ(PopulationEngine(ber, 1).run(spec, nullptr, &ckpt), fresh);
+
+  // Truncated sidecar (mid-file cut), then outright garbage.
+  spit_file(path, valid.substr(0, valid.size() / 2));
+  const PopulationResult after_truncated =
+      PopulationEngine(ber, 1).run(spec, nullptr, &ckpt);
+  EXPECT_EQ(after_truncated, fresh);
+  spit_file(path, "not a checkpoint\n");
+  EXPECT_EQ(PopulationEngine(ber, 1).run(spec, nullptr, &ckpt), fresh);
+
+  // Watermark past the end of the run (a sidecar from a longer run).
+  std::string overrun = valid;
+  const std::size_t wm = overrun.find("shards_done ");
+  ASSERT_NE(wm, std::string::npos);
+  overrun.replace(wm, overrun.find('\n', wm) - wm, "shards_done 99");
+  spit_file(path, overrun);
+  EXPECT_EQ(PopulationEngine(ber, 1).run(spec, nullptr, &ckpt), fresh);
+
+  // The fallback run's report is byte-identical to the uninterrupted one,
+  // and the rejected sidecar was overwritten by a valid final save.
+  std::ostringstream a, b;
+  render_population_report(spec, after_truncated, a);
+  render_population_report(spec, fresh, b);
+  EXPECT_EQ(a.str(), b.str());
+  EXPECT_EQ(slurp_file(path), valid);
+  std::remove(path.c_str());
+}
+
+// The grid engine shares the loader and must fall back the same way.
+TEST(PopulationGridEngine, RejectedSidecarFallsBackToCleanStart) {
+  PopulationGridSpec spec;
+  spec.base = small_spec(48);
+  spec.base.chips_per_shard = 16;
+  spec.sizes_kb = {16, 32};
+  spec.assocs = {4};
+  spec.sigmas = {1.0};
+  const BerModel ber(Technology::soi45());
+  PopulationGridEngine engine(ber, 1);
+  const PopulationGridResult fresh = engine.run(spec);
+
+  const std::string path =
+      std::string(::testing::TempDir()) + "pcs_grid_ck_fallback.txt";
+  std::remove(path.c_str());
+  CheckpointOptions ckpt;
+  ckpt.path = path;
+  engine.run(spec, nullptr, &ckpt);
+
+  ckpt.resume = true;
+  spit_file(path, "not a checkpoint\n");
+  const PopulationGridResult resumed = engine.run(spec, nullptr, &ckpt);
+  ASSERT_EQ(resumed.points.size(), fresh.points.size());
+  for (std::size_t i = 0; i < fresh.points.size(); ++i) {
+    EXPECT_EQ(resumed.points[i].result, fresh.points[i].result);
+  }
   std::remove(path.c_str());
 }
 

@@ -230,7 +230,7 @@ TEST(PopulationGridEngine, CheckpointResumeIsByteIdentical) {
   std::remove(path.c_str());
 }
 
-TEST(PopulationGridEngine, ResumeRefusesAMismatchedSpec) {
+TEST(PopulationGridEngine, StrictResumeRefusesAMismatchedSpec) {
   PopulationGridSpec spec = small_grid(140);
   const BerModel ber(Technology::soi45());
   const std::string path = tmp_path("pcs_grid_ck_mismatch.txt");
@@ -239,6 +239,7 @@ TEST(PopulationGridEngine, ResumeRefusesAMismatchedSpec) {
   CheckpointOptions ckpt;
   ckpt.path = path;
   ckpt.every_shards = 0;  // only the final save
+  ckpt.strict_resume = true;
   PopulationGridEngine(ber, 1).run(spec, nullptr, &ckpt);
 
   ckpt.resume = true;

@@ -1,0 +1,276 @@
+// --fix: the two mechanically safe rewrites, applied in place and
+// idempotently.
+//
+//   LINT001 normalization  a suppression annotation whose intent is
+//     unambiguous (directive case, stray spacing, lowercased rule IDs) is
+//     rewritten to the canonical `pcs-lint: allow(RULE, ...) reason` form.
+//     Annotations that would still be malformed after normalization
+//     (unknown rule, missing reason) are left for the human.
+//
+//   DET002 scaffold  a commented sorted-drain recipe is inserted above each
+//     range-for the linter flags, tagged `pcs-lint: fix(DET002)` so a
+//     second run recognizes and skips it. The diagnostic itself stays until
+//     the loop is actually rewritten -- the scaffold shows the fix, it does
+//     not silence the rule.
+//
+// Normalization never changes line counts and scaffolds are inserted
+// bottom-up, so every diagnostic line number stays valid while edits apply.
+
+#include <algorithm>
+#include <cctype>
+#include <filesystem>
+#include <fstream>
+#include <map>
+#include <sstream>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "lint.hpp"
+
+namespace pcs_lint {
+namespace {
+
+namespace fs = std::filesystem;
+
+bool read_file(const fs::path& p, std::string& out) {
+  std::ifstream in(p, std::ios::binary);
+  if (!in) return false;
+  std::ostringstream ss;
+  ss << in.rdbuf();
+  out = ss.str();
+  return true;
+}
+
+bool write_file(const fs::path& p, const std::string& content) {
+  std::ofstream out(p, std::ios::binary | std::ios::trunc);
+  if (!out) return false;
+  out << content;
+  return static_cast<bool>(out);
+}
+
+std::vector<std::string> split_lines(const std::string& content,
+                                     bool* final_newline) {
+  std::vector<std::string> lines;
+  std::string cur;
+  for (const char c : content) {
+    if (c == '\n') {
+      lines.push_back(cur);
+      cur.clear();
+    } else {
+      cur += c;
+    }
+  }
+  *final_newline = cur.empty() && !content.empty();
+  if (!cur.empty()) lines.push_back(cur);
+  return lines;
+}
+
+std::string join_lines(const std::vector<std::string>& lines,
+                       bool final_newline) {
+  std::string out;
+  for (std::size_t i = 0; i < lines.size(); ++i) {
+    out += lines[i];
+    if (i + 1 < lines.size() || final_newline) out += '\n';
+  }
+  return out;
+}
+
+std::string trim(std::string_view s) {
+  std::size_t b = 0;
+  std::size_t e = s.size();
+  while (b < e && std::isspace(static_cast<unsigned char>(s[b]))) ++b;
+  while (e > b && std::isspace(static_cast<unsigned char>(s[e - 1]))) --e;
+  return std::string(s.substr(b, e - b));
+}
+
+std::string lower(std::string s) {
+  for (char& c : s) c = static_cast<char>(std::tolower(static_cast<unsigned char>(c)));
+  return s;
+}
+
+std::string upper(std::string s) {
+  for (char& c : s) c = static_cast<char>(std::toupper(static_cast<unsigned char>(c)));
+  return s;
+}
+
+std::size_t find_ci(const std::string& hay, const std::string& needle) {
+  const std::string h = lower(hay);
+  return h.find(lower(needle));
+}
+
+// Lenient re-parse of one annotation: returns the canonical
+// `pcs-lint: allow(RULE, ...) reason` text when the intent is unambiguous,
+// "" when it is not an annotation or cannot be fixed mechanically.
+std::string canonicalize_annotation(const std::string& text) {
+  const std::size_t tag = find_ci(text, "pcs-lint");
+  if (tag == std::string::npos) return std::string();
+  std::size_t i = tag + 8;
+  while (i < text.size() && std::isspace(static_cast<unsigned char>(text[i])))
+    ++i;
+  if (i < text.size() && text[i] == ':') ++i;
+  while (i < text.size() && std::isspace(static_cast<unsigned char>(text[i])))
+    ++i;
+  const std::size_t d0 = i;
+  while (i < text.size() &&
+         (std::isalpha(static_cast<unsigned char>(text[i])) ||
+          text[i] == '-' || text[i] == '_')) {
+    ++i;
+  }
+  std::string directive = lower(text.substr(d0, i - d0));
+  std::replace(directive.begin(), directive.end(), '_', '-');
+  if (directive == "allowfile") directive = "allow-file";
+  if (directive != "allow" && directive != "allow-file") return std::string();
+  while (i < text.size() && std::isspace(static_cast<unsigned char>(text[i])))
+    ++i;
+  if (i >= text.size() || text[i] != '(') return std::string();
+  const std::size_t close = text.find(')', ++i);
+  if (close == std::string::npos) return std::string();
+  // Rule list: uppercase each comma-separated ID; every one must be real.
+  std::string ids;
+  std::size_t start = i;
+  while (start <= close) {
+    std::size_t comma = text.find(',', start);
+    if (comma == std::string::npos || comma > close) comma = close;
+    const std::string id = upper(trim(
+        std::string_view(text).substr(start, comma - start)));
+    if (id.empty() || !is_known_rule(id)) return std::string();
+    if (!ids.empty()) ids += ", ";
+    ids += id;
+    if (comma == close) break;
+    start = comma + 1;
+  }
+  if (ids.empty()) return std::string();
+  const std::string reason = trim(text.substr(close + 1));
+  if (reason.empty()) return std::string();
+  return "pcs-lint: " + directive + "(" + ids + ") " + reason;
+}
+
+// Rewrites the `// ...` annotation on one line to canonical form; returns
+// true when the line changed.
+bool normalize_line(std::string& line) {
+  // Find the comment that holds the annotation: the first "//" whose
+  // remainder mentions pcs-lint (case-insensitively).
+  std::size_t slash = 0;
+  while (true) {
+    slash = line.find("//", slash);
+    if (slash == std::string::npos) return false;
+    if (find_ci(line.substr(slash), "pcs-lint") != std::string::npos) break;
+    slash += 2;
+  }
+  const std::string body = line.substr(slash + 2);
+  const std::string canon = canonicalize_annotation(body);
+  if (canon.empty() || trim(body) == canon) return false;
+  line = line.substr(0, slash + 2) + " " + canon;
+  return true;
+}
+
+std::string leading_ws(const std::string& line) {
+  std::size_t i = 0;
+  while (i < line.size() && (line[i] == ' ' || line[i] == '\t')) ++i;
+  return line.substr(0, i);
+}
+
+// The container name quoted in a DET002 message.
+std::string quoted_var(const std::string& message) {
+  const std::size_t tag = message.find("container '");
+  if (tag == std::string::npos) return std::string();
+  const std::size_t start = tag + 11;
+  const std::size_t end = message.find('\'', start);
+  if (end == std::string::npos) return std::string();
+  return message.substr(start, end - start);
+}
+
+}  // namespace
+
+FixResult apply_fixes(const LintOptions& opts) {
+  FixResult result;
+  const fs::path root(opts.root);
+
+  // DET002 sites first (line numbers refer to the unmodified files; the
+  // normalization pass below never changes line counts, so they stay
+  // valid). Suppressed sites are already filtered out by run_lint.
+  LintOptions det_opts = opts;
+  det_opts.rules = {"DET002"};
+  const LintResult det = run_lint(det_opts);
+  std::map<std::string, std::vector<const Diagnostic*>> det_sites;
+  for (const Diagnostic& d : det.diags) {
+    if (d.message.rfind("range-for", 0) == 0) {
+      det_sites[d.file].push_back(&d);
+    }
+  }
+
+  for (const LintFile& file : collect_lint_files(opts)) {
+    std::string content;
+    if (!read_file(file.abs, content)) {
+      result.io_errors.push_back(file.abs);
+      continue;
+    }
+    bool final_newline = true;
+    std::vector<std::string> lines = split_lines(content, &final_newline);
+    std::vector<FixEdit> edits;
+
+    for (std::size_t i = 0; i < lines.size(); ++i) {
+      if (normalize_line(lines[i])) {
+        edits.push_back(
+            {file.rel, static_cast<int>(i + 1), "LINT001 normalization"});
+      }
+    }
+
+    // Scaffolds bottom-up so earlier sites keep their line numbers.
+    const auto sites = det_sites.find(file.rel);
+    if (sites != det_sites.end()) {
+      std::vector<const Diagnostic*> ordered = sites->second;
+      std::sort(ordered.begin(), ordered.end(),
+                [](const Diagnostic* a, const Diagnostic* b) {
+                  return a->line > b->line;
+                });
+      for (const Diagnostic* d : ordered) {
+        if (d->line < 1 ||
+            static_cast<std::size_t>(d->line) > lines.size()) {
+          continue;
+        }
+        const std::string var = quoted_var(d->message);
+        if (var.empty()) continue;
+        // Idempotency: a marker naming this container right above the
+        // loop means the scaffold is already there.
+        bool present = false;
+        for (int back = 1; back <= 3 && d->line - back >= 1; ++back) {
+          const std::string& prev = lines[d->line - 1 - back];
+          if (prev.find("pcs-lint: fix(DET002)") != std::string::npos &&
+              prev.find("'" + var + "'") != std::string::npos) {
+            present = true;
+            break;
+          }
+        }
+        if (present) continue;
+        const std::string indent = leading_ws(lines[d->line - 1]);
+        lines.insert(
+            lines.begin() + (d->line - 1),
+            {indent + "// pcs-lint: fix(DET002) sorted-drain scaffold for '" +
+                 var + "':",
+             indent + "// copy '" + var +
+                 "' into a std::vector, std::sort it, then iterate the "
+                 "vector."});
+        edits.push_back({file.rel, d->line, "DET002 scaffold"});
+      }
+    }
+
+    if (edits.empty()) continue;
+    if (!write_file(file.abs, join_lines(lines, final_newline))) {
+      result.io_errors.push_back(file.abs);
+      continue;
+    }
+    result.changed_files.push_back(file.rel);
+    // Report edits top-down regardless of application order.
+    std::sort(edits.begin(), edits.end(),
+              [](const FixEdit& a, const FixEdit& b) {
+                return a.line < b.line;
+              });
+    result.edits.insert(result.edits.end(), edits.begin(), edits.end());
+  }
+  std::sort(result.changed_files.begin(), result.changed_files.end());
+  return result;
+}
+
+}  // namespace pcs_lint

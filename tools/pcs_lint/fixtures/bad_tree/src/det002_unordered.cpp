@@ -12,3 +12,12 @@ void dump(const std::unordered_map<int, int>& hist,
     std::printf("%d\n", *it);
   }
 }
+
+// The deduced-type declaration below is the structured-binding hole the
+// token matcher used to miss: `m` never appears next to `unordered_map`.
+void dump_auto() {
+  auto m = std::unordered_map<int, int>{{1, 2}, {3, 4}};
+  for (const auto& [key, count] : m) {
+    std::printf("%d %d\n", key, count);
+  }
+}

@@ -1,0 +1,33 @@
+// Flow true positives: nothing here serializes, but every helper feeds
+// write_summary_line() (src/flow/writer.cpp) through the call graph, so
+// its nondeterminism lands in the report bytes.
+#include <atomic>
+#include <chrono>
+#include <unordered_map>
+
+void write_summary_line(int key, double value);
+
+double helper_stamp() {
+  const auto now = std::chrono::system_clock::now();
+  return std::chrono::duration<double>(now.time_since_epoch()).count();
+}
+
+void report_helpers() {
+  write_summary_line(0, helper_stamp());
+}
+
+double fold_partial(const std::unordered_map<int, double>& parts) {
+  double sum = 0.0;
+  for (const auto& [key, value] : parts) sum += key * value;
+  return sum;
+}
+
+void report_partials(const std::unordered_map<int, double>& parts) {
+  write_summary_line(2, fold_partial(parts));
+}
+
+void reduce_tasks(const double* values, int n) {
+  std::atomic<double> acc{0.0};
+  for (int i = 0; i < n; ++i) acc += values[i];
+  write_summary_line(1, acc.load());
+}

@@ -1,0 +1,8 @@
+// Flow-analysis sink: the one function in src/flow/ that writes report
+// bytes. Clean on its own; the true positives live in the helpers that
+// feed it.
+#include <cstdio>
+
+void write_summary_line(int key, double value) {
+  std::printf("%d %.6f\n", key, value);
+}

@@ -1,0 +1,16 @@
+// Corpus for the --fix round-trip test: malformed-but-unambiguous
+// annotations plus a range-for that needs a sorted-drain scaffold.
+#include <cstdio>
+#include <unordered_map>
+
+// pcs-lint: Allow(DET001) profiling-only stamp, never serialized
+int stamp();
+
+// pcs-lint:allow (det001, det003) quarantined reference generator
+int noisy();
+
+void dump(const std::unordered_map<int, int>& hist) {
+  for (const auto& [key, count] : hist) {
+    std::printf("%d %d\n", key, count);
+  }
+}

@@ -1,0 +1,18 @@
+// Corpus for the --fix round-trip test: malformed-but-unambiguous
+// annotations plus a range-for that needs a sorted-drain scaffold.
+#include <cstdio>
+#include <unordered_map>
+
+// pcs-lint: allow(DET001) profiling-only stamp, never serialized
+int stamp();
+
+// pcs-lint: allow(DET001, DET003) quarantined reference generator
+int noisy();
+
+void dump(const std::unordered_map<int, int>& hist) {
+  // pcs-lint: fix(DET002) sorted-drain scaffold for 'hist':
+  // copy 'hist' into a std::vector, std::sort it, then iterate the vector.
+  for (const auto& [key, count] : hist) {
+    std::printf("%d %d\n", key, count);
+  }
+}

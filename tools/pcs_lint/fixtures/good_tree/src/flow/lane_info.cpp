@@ -1,0 +1,15 @@
+// DET006/DET002 clean flow case: thread ids and hash-order iteration are
+// fine when no call path carries their values into serialized output.
+#include <cstddef>
+#include <thread>
+#include <unordered_map>
+
+std::size_t lane_of() {
+  return std::hash<std::thread::id>{}(std::this_thread::get_id()) % 8;
+}
+
+double local_mass(const std::unordered_map<int, double>& parts) {
+  double sum = 0.0;
+  for (const auto& [key, value] : parts) sum += value + key;
+  return sum;
+}

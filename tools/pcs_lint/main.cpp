@@ -5,6 +5,9 @@
 //   pcs_lint --root /path/to/repo    # scan the default dirs under a root
 //   pcs_lint --rules SCHEMA001       # only the telemetry docs gate
 //   pcs_lint src/core/mechanism.cpp  # explicit files (relative to root)
+//   pcs_lint --format=json           # machine-readable output on stdout
+//   pcs_lint --fix                   # apply the mechanically safe rewrites
+//   pcs_lint --budget FILE           # suppression-budget file (BUDGET001)
 //   pcs_lint --list-rules
 
 #include <cstdio>
@@ -16,7 +19,8 @@ namespace {
 
 int usage(std::FILE* to) {
   std::fputs(
-      "usage: pcs_lint [--root DIR] [--rules ID[,ID...]] [--list-rules] "
+      "usage: pcs_lint [--root DIR] [--rules ID[,ID...]] [--budget FILE]\n"
+      "                [--format=text|json] [--fix] [--list-rules] "
       "[file...]\n",
       to);
   return to == stdout ? 0 : 2;
@@ -26,6 +30,8 @@ int usage(std::FILE* to) {
 
 int main(int argc, char** argv) {
   pcs_lint::LintOptions opts;
+  bool json = false;
+  bool fix = false;
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
     if (arg == "--help" || arg == "-h") {
@@ -40,6 +46,25 @@ int main(int argc, char** argv) {
     if (arg == "--root") {
       if (++i >= argc) return usage(stderr);
       opts.root = argv[i];
+      continue;
+    }
+    if (arg == "--budget") {
+      if (++i >= argc) return usage(stderr);
+      opts.budget_path = argv[i];
+      continue;
+    }
+    if (arg == "--fix") {
+      fix = true;
+      continue;
+    }
+    if (arg.rfind("--format=", 0) == 0) {
+      const std::string fmt = arg.substr(9);
+      if (fmt == "json") {
+        json = true;
+      } else if (fmt != "text") {
+        std::fprintf(stderr, "pcs-lint: unknown format '%s'\n", fmt.c_str());
+        return 2;
+      }
       continue;
     }
     if (arg == "--rules") {
@@ -70,12 +95,31 @@ int main(int argc, char** argv) {
     opts.files.push_back(arg);
   }
 
+  if (fix) {
+    const pcs_lint::FixResult fixed = pcs_lint::apply_fixes(opts);
+    for (const std::string& err : fixed.io_errors) {
+      std::fprintf(stderr, "pcs-lint: cannot rewrite %s\n", err.c_str());
+    }
+    for (const pcs_lint::FixEdit& e : fixed.edits) {
+      std::printf("%s:%d: fixed: %s\n", e.file.c_str(), e.line,
+                  e.kind.c_str());
+    }
+    std::fprintf(stderr, "pcs-lint: --fix changed %zu file(s)\n",
+                 fixed.changed_files.size());
+    if (!fixed.io_errors.empty()) return 2;
+    // Fall through and report what remains after the rewrites.
+  }
+
   const pcs_lint::LintResult result = pcs_lint::run_lint(opts);
   for (const std::string& err : result.io_errors) {
     std::fprintf(stderr, "pcs-lint: cannot read %s\n", err.c_str());
   }
-  for (const pcs_lint::Diagnostic& d : result.diags) {
-    std::printf("%s\n", pcs_lint::format(d).c_str());
+  if (json) {
+    std::printf("%s\n", pcs_lint::render_json(result).c_str());
+  } else {
+    for (const pcs_lint::Diagnostic& d : result.diags) {
+      std::printf("%s\n", pcs_lint::format(d).c_str());
+    }
   }
   if (!result.io_errors.empty() || result.files_scanned == 0) {
     std::fprintf(stderr, "pcs-lint: error (%d files scanned, %zu unreadable)\n",

@@ -34,6 +34,30 @@ void add(std::vector<Diagnostic>& diags, const char* rule,
   diags.push_back({rule, file, line, std::move(message)});
 }
 
+// ------------------------------------------------------------- flow glue --
+
+// Witness chain when the function enclosing `line` sits in a serial context
+// (its values plausibly reach serialized output); sets `*chain` and returns
+// true. False when there is no index, no enclosing function, or no path to
+// a sink.
+bool flow_serial(const SymbolIndex* index, const std::string& path, int line,
+                 std::string* chain) {
+  if (index == nullptr) return false;
+  const FunctionDef* fn = index->enclosing(path, line);
+  if (fn == nullptr || !index->in_serial_context(fn->name)) return false;
+  *chain = index->sink_chain(fn->name);
+  return true;
+}
+
+// DET001/DET004 fire everywhere; the index only sharpens the message with
+// the call chain that carries the value into serialized output.
+std::string flow_suffix(const SymbolIndex* index, const std::string& path,
+                        int line) {
+  std::string chain;
+  if (!flow_serial(index, path, line, &chain)) return std::string();
+  return "; value reaches serialized output via " + chain;
+}
+
 // ---------------------------------------------------------------- DET001 --
 
 // Direct identifiers that always mean a wall-clock read.
@@ -50,7 +74,7 @@ const std::set<std::string, std::less<>> kClockIdents = {
 const std::set<std::string, std::less<>> kClockCalls = {"time", "clock"};
 
 void rule_det001(const std::string& path, const std::vector<Token>& toks,
-                 std::vector<Diagnostic>& diags) {
+                 std::vector<Diagnostic>& diags, const SymbolIndex* index) {
   for (size_t i = 0; i < toks.size(); ++i) {
     const Token& t = toks[i];
     if (t.kind != TokKind::kIdent) continue;
@@ -58,7 +82,8 @@ void rule_det001(const std::string& path, const std::vector<Token>& toks,
       add(diags, "DET001", path, t.line,
           "wall-clock source '" + t.text +
               "' breaks replay determinism; quarantine profiling code with "
-              "'pcs-lint: allow-file(DET001) <reason>'");
+              "'pcs-lint: allow-file(DET001) <reason>'" +
+              flow_suffix(index, path, t.line));
       continue;
     }
     if (kClockCalls.count(t.text) == 0) continue;
@@ -74,7 +99,8 @@ void rule_det001(const std::string& path, const std::vector<Token>& toks,
     }
     add(diags, "DET001", path, t.line,
         "call to wall-clock function '" + t.text +
-            "()' breaks replay determinism");
+            "()' breaks replay determinism" +
+            flow_suffix(index, path, t.line));
   }
 }
 
@@ -115,15 +141,18 @@ size_t skip_template_args(const std::vector<Token>& toks, size_t i) {
 }
 
 void rule_det002(const std::string& path, const std::vector<Token>& toks,
-                 std::vector<Diagnostic>& diags) {
-  bool serializing = false;
+                 std::vector<Diagnostic>& diags, const SymbolIndex* index) {
+  // v1 firing condition: the file itself serializes. The index adds the
+  // flow-aware condition per site: the enclosing function's values reach a
+  // sink through helper calls even when this file never writes a byte.
+  bool file_serializing = false;
   for (const Token& t : toks) {
     if (t.kind == TokKind::kIdent && kSerializeMarkers.count(t.text) != 0) {
-      serializing = true;
+      file_serializing = true;
       break;
     }
   }
-  if (!serializing) return;
+  if (!file_serializing && index == nullptr) return;
 
   // Pass 1: names with an unordered type. Covers direct declarations and
   // one level of `using Alias = std::unordered_map<...>;`.
@@ -161,9 +190,48 @@ void rule_det002(const std::string& path, const std::vector<Token>& toks,
       unordered_vars.insert(toks[j].text);
     }
   }
+  // Pass 1b: `auto m = std::unordered_map<...>{...};` -- the deduced type
+  // never names the variable next to the template, so the declaration pass
+  // above misses it (this was the structured-binding-range-for hole: the
+  // subsequent `for (auto& [k, v] : m)` sailed through).
+  for (size_t i = 0; i + 2 < toks.size(); ++i) {
+    if (!is_ident(toks[i], "auto") || toks[i + 1].kind != TokKind::kIdent ||
+        !is_punct(toks[i + 2], "=")) {
+      continue;
+    }
+    for (size_t j = i + 3; j < toks.size() && !is_punct(toks[j], ";"); ++j) {
+      if (toks[j].kind == TokKind::kIdent &&
+          unordered_types.count(toks[j].text) != 0) {
+        unordered_vars.insert(toks[i + 1].text);
+        break;
+      }
+    }
+  }
   if (unordered_vars.empty()) return;
 
-  // Pass 2a: range-for whose range expression names an unordered variable.
+  // One site = one diagnostic: legacy wording when the file serializes,
+  // flow wording (with the witness chain) when only the call graph reaches
+  // a sink, nothing when neither holds.
+  const auto report = [&](int line, const std::string& var,
+                          const char* how) {
+    if (file_serializing) {
+      add(diags, "DET002", path, line,
+          std::string(how) + " over unordered container '" + var +
+              "' in a serializing file leaks hash-table order into "
+              "output; copy into a sorted vector first");
+      return;
+    }
+    std::string chain;
+    if (!flow_serial(index, path, line, &chain)) return;
+    add(diags, "DET002", path, line,
+        std::string(how) + " over unordered container '" + var +
+            "' leaks hash-table order into serialized output via " + chain +
+            "; copy into a sorted vector first");
+  };
+
+  // Pass 2a: range-for whose range expression names an unordered variable
+  // (structured-binding loop variables are irrelevant here: only the range
+  // expression after ':' is inspected).
   for (size_t i = 0; i + 1 < toks.size(); ++i) {
     if (!is_ident(toks[i], "for") || !is_punct(toks[i + 1], "(")) continue;
     int depth = 0;
@@ -188,10 +256,7 @@ void rule_det002(const std::string& path, const std::vector<Token>& toks,
     for (size_t j = colon + 1; j < close; ++j) {
       if (toks[j].kind == TokKind::kIdent &&
           unordered_vars.count(toks[j].text) != 0) {
-        add(diags, "DET002", path, toks[i].line,
-            "range-for over unordered container '" + toks[j].text +
-                "' in a serializing file leaks hash-table order into "
-                "output; copy into a sorted vector first");
+        report(toks[i].line, toks[j].text, "range-for");
         break;
       }
     }
@@ -205,9 +270,7 @@ void rule_det002(const std::string& path, const std::vector<Token>& toks,
         unordered_vars.count(toks[i].text) != 0 &&
         is_punct(toks[i + 1], ".") && toks[i + 2].kind == TokKind::kIdent &&
         kBegin.count(toks[i + 2].text) != 0 && is_punct(toks[i + 3], "(")) {
-      add(diags, "DET002", path, toks[i].line,
-          "iterator over unordered container '" + toks[i].text +
-              "' in a serializing file leaks hash-table order into output");
+      report(toks[i].line, toks[i].text, "iterator");
     }
   }
 }
@@ -299,7 +362,7 @@ bool det004_exempt(const std::string& path) {
 }
 
 void rule_det004(const std::string& path, const std::vector<Token>& toks,
-                 std::vector<Diagnostic>& diags) {
+                 std::vector<Diagnostic>& diags, const SymbolIndex* index) {
   if (det004_exempt(path)) return;
   for (size_t i = 0; i + 1 < toks.size(); ++i) {
     if (!is_ident(toks[i], "atomic") || !is_punct(toks[i + 1], "<")) continue;
@@ -309,8 +372,79 @@ void rule_det004(const std::string& path, const std::vector<Token>& toks,
         add(diags, "DET004", path, toks[i].line,
             "std::atomic<" + toks[j].text +
                 "> accumulation is order-dependent (float addition is not "
-                "associative); reduce via RunAggregator instead");
+                "associative); reduce via RunAggregator instead" +
+                flow_suffix(index, path, toks[i].line));
         break;
+      }
+    }
+  }
+}
+
+// ---------------------------------------------------------------- DET006 --
+
+// Thread-id and pointer-address values are scheduler/ASLR-dependent: two
+// byte-identical replays differ the moment one lands in a report. Sites:
+// this_thread::get_id() (or any get_id() call), reinterpret_cast to
+// uintptr_t/intptr_t, and "%p" printf formats. With an index the rule fires
+// only when the enclosing function is in a serial context; without one it
+// degrades to the v1-style file-level serializing check.
+void rule_det006(const std::string& path, const std::vector<Token>& toks,
+                 std::vector<Diagnostic>& diags, const SymbolIndex* index) {
+  bool file_serializing = false;
+  for (const Token& t : toks) {
+    if (t.kind == TokKind::kIdent && kSerializeMarkers.count(t.text) != 0) {
+      file_serializing = true;
+      break;
+    }
+  }
+  // True when a nondeterministic identity value produced at `line` can
+  // land in serialized bytes; fills `*chain` with the witness when the
+  // index provides one.
+  const auto serial_at = [&](int line, std::string* chain) {
+    if (index != nullptr) {
+      const FunctionDef* fn = index->enclosing(path, line);
+      if (fn != nullptr) {
+        if (!index->in_serial_context(fn->name)) return false;
+        *chain = index->sink_chain(fn->name);
+        return true;
+      }
+      // Namespace-scope token: no flow info, fall through to file level.
+    }
+    return file_serializing;
+  };
+  const auto report = [&](int line, const std::string& what) {
+    std::string chain;
+    if (!serial_at(line, &chain)) return;
+    std::string msg = what +
+                      " is scheduler/ASLR-dependent and must not reach "
+                      "serialized output";
+    if (!chain.empty()) msg += " (flows via " + chain + ")";
+    msg += "; derive a stable id (shard index, lane number) instead";
+    add(diags, "DET006", path, line, msg);
+  };
+
+  for (size_t i = 0; i < toks.size(); ++i) {
+    const Token& t = toks[i];
+    if (t.kind == TokKind::kString && t.text.find("%p") != std::string::npos) {
+      report(t.line, "pointer-address format \"%p\"");
+      continue;
+    }
+    if (t.kind != TokKind::kIdent) continue;
+    if (t.text == "get_id" && i + 1 < toks.size() &&
+        is_punct(toks[i + 1], "(")) {
+      report(t.line, "thread-id value 'get_id()'");
+      continue;
+    }
+    if (t.text == "reinterpret_cast" && i + 1 < toks.size() &&
+        is_punct(toks[i + 1], "<")) {
+      const size_t end = skip_template_args(toks, i + 1);
+      for (size_t j = i + 2; j < end; ++j) {
+        if (is_ident(toks[j], "uintptr_t") || is_ident(toks[j], "intptr_t")) {
+          report(t.line,
+                 "pointer-address cast 'reinterpret_cast<" + toks[j].text +
+                     ">'");
+          break;
+        }
       }
     }
   }
@@ -397,12 +531,21 @@ const std::vector<RuleInfo>& rule_registry() {
       {"DET005",
        "no scalar Rng draws in the fault hot path (src/fault/*); use the "
        "block draw APIs"},
+      {"DET006",
+       "no thread-id / pointer-address values flowing into serialized "
+       "output (scheduler/ASLR determinism)"},
       {"INV001",
        "faulty-bits writes only in mechanism.cpp/cache_level.cpp "
        "(single-writer fault inclusion)"},
+      {"INV002",
+       "every PopulationSpec/PopulationGridSpec field appears in its "
+       "canonical fingerprint string (checkpoint validity)"},
       {"SCHEMA001", "telemetry emissions match the TELEMETRY.md schema"},
       {"SCHEMA002", "job-file schema matches the POPULATION.md job-schema "
                     "block"},
+      {"BUDGET001",
+       "per-rule suppression counts match the committed .pcs-lint-budget "
+       "ratchet"},
       {"LINT001", "malformed pcs-lint suppression annotation"},
   };
   return kRules;
@@ -462,6 +605,21 @@ Suppressions collect_suppressions(const LexResult& lx, const std::string& file,
     const std::string body = trim(c.text.substr(tag + 9));
     bool file_scope = false;
     std::string_view rest;
+    if (body.rfind("fix(", 0) == 0) {
+      // Scaffold marker left by --fix: suppresses nothing, but the rule ID
+      // must be real so stale markers cannot rot unnoticed.
+      const std::string_view marker = std::string_view(body).substr(4);
+      const size_t mclose = marker.find(')');
+      const std::string id =
+          mclose == std::string_view::npos
+              ? std::string(trim(marker))
+              : trim(marker.substr(0, mclose));
+      if (mclose == std::string_view::npos || !is_known_rule(id)) {
+        add(diags, "LINT001", file, c.line,
+            "malformed fix(RULE) scaffold marker; expected a known rule ID");
+      }
+      continue;
+    }
     if (body.rfind("allow-file(", 0) == 0) {
       file_scope = true;
       rest = std::string_view(body).substr(11);
@@ -510,6 +668,7 @@ Suppressions collect_suppressions(const LexResult& lx, const std::string& file,
     }
     if (!ok || rules.empty()) continue;
     for (const std::string& id : rules) {
+      ++sup.counts[id];  // feeds the BUDGET001 ratchet
       if (file_scope) {
         sup.file_rules.insert(id);
       } else if (c.trailing) {
@@ -527,15 +686,16 @@ Suppressions collect_suppressions(const LexResult& lx, const std::string& file,
 
 void lint_tokens(const std::string& rel_path, const LexResult& lx,
                  const std::set<std::string>& rules,
-                 std::vector<Diagnostic>& diags) {
+                 std::vector<Diagnostic>& diags, const SymbolIndex* index) {
   const auto want = [&rules](const char* id) {
     return rules.empty() || rules.count(id) != 0;
   };
-  if (want("DET001")) rule_det001(rel_path, lx.tokens, diags);
-  if (want("DET002")) rule_det002(rel_path, lx.tokens, diags);
+  if (want("DET001")) rule_det001(rel_path, lx.tokens, diags, index);
+  if (want("DET002")) rule_det002(rel_path, lx.tokens, diags, index);
   if (want("DET003")) rule_det003(rel_path, lx.tokens, diags);
-  if (want("DET004")) rule_det004(rel_path, lx.tokens, diags);
+  if (want("DET004")) rule_det004(rel_path, lx.tokens, diags, index);
   if (want("DET005")) rule_det005(rel_path, lx.tokens, diags);
+  if (want("DET006")) rule_det006(rel_path, lx.tokens, diags, index);
   if (want("INV001")) rule_inv001(rel_path, lx.tokens, diags);
 }
 
