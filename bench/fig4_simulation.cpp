@@ -15,7 +15,9 @@
 // threads; the output is byte-identical at every thread count). Set
 // PCS_TRACE=<path> to also write a telemetry trace of all 96 runs
 // (TELEMETRY.md); its deterministic section is likewise byte-identical at
-// every thread count.
+// every thread count. Pass --trace-file PATH (repeatable) to replay
+// recorded trace files -- text or the compressed .pcst container
+// (TRACES.md) -- in place of the synthetic workload column.
 #include <cstdlib>
 #include <cstring>
 #include <iostream>
@@ -45,7 +47,22 @@ struct Row {
 /// once per shard instead of once per grid point.
 u32 g_sweep_lanes = 0;
 
-// Fans the whole 2x16x3 grid across the pool; reports come back in grid
+/// Non-empty = replay these recorded trace files (text or .pcst, see
+/// TRACES.md) instead of the sixteen synthetic SPEC-like profiles. The
+/// warmup/measure boundary is event-positional, so a converted .pcst
+/// replays the same windows as its text original.
+std::vector<std::string> g_trace_files;
+
+const std::vector<std::string>& grid_workloads() {
+  return g_trace_files.empty() ? spec_profile_names() : g_trace_files;
+}
+
+std::string workload_label(const std::string& workload) {
+  const auto slash = workload.find_last_of('/');
+  return slash == std::string::npos ? workload : workload.substr(slash + 1);
+}
+
+// Fans the whole 2xWx3 grid across the pool; reports come back in grid
 // order (config-major, workload, then baseline/SPCS/DPCS), so rows[c][w]
 // is at a fixed offset regardless of which worker finished when.
 std::vector<std::vector<Row>> run_grid(u64 refs) {
@@ -55,7 +72,7 @@ std::vector<std::vector<Row>> run_grid(u64 refs) {
   ExperimentGrid grid;
   grid.add_config(SystemConfig::config_a())
       .add_config(SystemConfig::config_b())
-      .add_workloads(spec_profile_names())
+      .add_workloads(grid_workloads())
       .add_policy(PolicyKind::kBaseline)
       .add_policy(PolicyKind::kStatic)
       .add_policy(PolicyKind::kDynamic)
@@ -77,12 +94,12 @@ std::vector<std::vector<Row>> run_grid(u64 refs) {
     reports = ExperimentRunner().run(grid, sink.get());
   }
 
-  const u64 num_wl = spec_profile_names().size();
+  const u64 num_wl = grid_workloads().size();
   std::vector<std::vector<Row>> rows(2, std::vector<Row>(num_wl));
   for (u64 c = 0; c < 2; ++c) {
     for (u64 w = 0; w < num_wl; ++w) {
       Row& row = rows[c][w];
-      row.name = spec_profile_names()[w];
+      row.name = workload_label(grid_workloads()[w]);
       const u64 at = (c * num_wl + w) * 3;
       row.base = reports[at];
       row.spcs = reports[at + 1];
@@ -184,8 +201,11 @@ int main(int argc, char** argv) {
         g_sweep_lanes = static_cast<u32>(
             std::strtoul(argv[++i], nullptr, 10));
       }
+    } else if (std::strcmp(argv[i], "--trace-file") == 0 && i + 1 < argc) {
+      g_trace_files.emplace_back(argv[++i]);
     } else {
-      std::cerr << "usage: " << argv[0] << " [--sweep-lanes [N]]\n";
+      std::cerr << "usage: " << argv[0]
+                << " [--sweep-lanes [N]] [--trace-file PATH]...\n";
       return 2;
     }
   }

@@ -7,7 +7,11 @@
 // scripts/run_bench.sh snapshots them into BENCH_micro.json per PR.
 #include <benchmark/benchmark.h>
 
+#include <filesystem>
+#include <fstream>
+#include <memory>
 #include <span>
+#include <string>
 #include <vector>
 
 #include "cache/cache_level.hpp"
@@ -24,9 +28,13 @@
 #include "fault/cell_fault_field.hpp"
 #include "fault/fault_map.hpp"
 #include "tech/technology.hpp"
+#include "trace/encode.hpp"
+#include "trace/mmap_reader.hpp"
+#include "trace/workload_source.hpp"
 #include "util/rng.hpp"
 #include "workload/spec_profiles.hpp"
 #include "workload/synthetic.hpp"
+#include "workload/trace_file.hpp"
 
 namespace {
 
@@ -502,6 +510,113 @@ void BM_PopulationGridDieIndependent(benchmark::State& state) {
                           static_cast<i64>(spec.base.num_chips));
 }
 BENCHMARK(BM_PopulationGridDieIndependent);
+
+// ---- Binary trace codec (.pcst) -------------------------------------------
+
+namespace trace_bench {
+
+struct Fixture {
+  // Scratch files go to the temp dir so bench runs never litter the repo.
+  std::string text_path =
+      (std::filesystem::temp_directory_path() / "bench_codec_fixture.trace")
+          .string();
+  std::string pcst_path =
+      (std::filesystem::temp_directory_path() / "bench_codec_fixture.pcst")
+          .string();
+  u64 events = 0;
+  u64 text_bytes = 0;
+  u64 pcst_bytes = 0;
+};
+
+u64 file_bytes(const std::string& path) {
+  std::ifstream in(path, std::ios::binary | std::ios::ate);
+  const auto pos = in.tellg();
+  return pos < 0 ? 0 : static_cast<u64>(pos);
+}
+
+/// Records a 1M-event gcc trace once per process, in both containers. The
+/// size_ratio counter on BM_PcstDecode is the on-disk reduction the PR's
+/// acceptance bar tracks (>= 4x), next to the items/s ratio vs
+/// BM_FileTraceParse (>= 10x).
+const Fixture& fixture() {
+  static const Fixture fx = [] {
+    Fixture f;
+    auto src = make_spec_trace("gcc", 42);
+    f.events = record_trace(*src, f.text_path, 1'000'000);
+    convert_trace(f.text_path, f.pcst_path, TraceFormat::kPcst);
+    f.text_bytes = file_bytes(f.text_path);
+    f.pcst_bytes = file_bytes(f.pcst_path);
+    return f;
+  }();
+  return fx;
+}
+
+}  // namespace trace_bench
+
+/// The text replay path: getline + sscanf per event (workload/trace_file).
+void BM_FileTraceParse(benchmark::State& state) {
+  const auto& fx = trace_bench::fixture();
+  auto trace = std::make_unique<FileTrace>(fx.text_path);
+  TraceEvent e;
+  for (auto _ : state) {
+    if (!trace->next(e)) {
+      trace = std::make_unique<FileTrace>(fx.text_path);
+      trace->next(e);
+    }
+    benchmark::DoNotOptimize(e);
+  }
+  state.SetItemsProcessed(state.iterations());
+  state.SetBytesProcessed(static_cast<i64>(
+      static_cast<u64>(state.iterations()) * fx.text_bytes / fx.events));
+}
+BENCHMARK(BM_FileTraceParse);
+
+/// The memory-mapped zero-copy path: whole 256-event blocks decoded
+/// straight into the caller's buffer (trace/mmap_reader). Items = events,
+/// so items/s over BM_FileTraceParse is the decode speedup; bytes = the
+/// compressed bytes consumed, so bytes/s is the codec's GB/s.
+void BM_PcstDecode(benchmark::State& state) {
+  const auto& fx = trace_bench::fixture();
+  auto file = std::make_shared<const PcstFile>(fx.pcst_path);
+  auto trace = std::make_unique<PcstTrace>(file);
+  std::vector<TraceEvent> block(pcst::kEventsPerBlock);
+  u64 events = 0;
+  for (auto _ : state) {
+    u64 n = trace->next_block(block.data(), block.size());
+    if (n == 0) {
+      trace = std::make_unique<PcstTrace>(file);
+      n = trace->next_block(block.data(), block.size());
+    }
+    events += n;
+    benchmark::DoNotOptimize(block.data());
+    benchmark::ClobberMemory();
+  }
+  state.SetItemsProcessed(static_cast<i64>(events));
+  state.SetBytesProcessed(
+      static_cast<i64>(events * fx.pcst_bytes / fx.events));
+  state.counters["size_ratio"] = static_cast<double>(fx.text_bytes) /
+                                 static_cast<double>(fx.pcst_bytes);
+}
+BENCHMARK(BM_PcstDecode);
+
+/// Encode throughput: in-memory events through encode_pcst_block (the
+/// PcstWriter hot loop without the file I/O).
+void BM_PcstEncodeBlock(benchmark::State& state) {
+  auto src = make_spec_trace("gcc", 42);
+  std::vector<TraceEvent> evs(4096);
+  for (auto& e : evs) src->next(e);
+  std::string out;
+  for (auto _ : state) {
+    out.clear();
+    for (std::size_t i = 0; i < evs.size(); i += pcst::kEventsPerBlock) {
+      encode_pcst_block(evs.data() + i, pcst::kEventsPerBlock, out);
+    }
+    benchmark::DoNotOptimize(out.data());
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<i64>(evs.size()));
+}
+BENCHMARK(BM_PcstEncodeBlock);
 
 void BM_MarchSsBist(benchmark::State& state) {
   const BerModel ber(Technology::soi45());

@@ -13,6 +13,9 @@
 //   --levels N            allowed VDD levels (default 3)
 //   --csv                 emit one CSV row per run instead of tables
 //   --record PATH N       record N events of --workload into PATH and exit
+//   --format text|pcst    container for --record (default text; pcst is the
+//                         compressed binary container, see TRACES.md --
+//                         trace_convert converts between the two)
 //   --trace PATH          write a telemetry trace (JSONL, or per-type CSV
 //                         when PATH ends in .csv) -- see TELEMETRY.md; the
 //                         PCS_TRACE environment variable is an equivalent
@@ -22,14 +25,17 @@
 //                         concurrently; each job writes its own output file
 //                         and optional telemetry trace. Kinds: "sim",
 //                         "population", "population_grid" (the sample-once
-//                         (size x assoc x sigma) grid engine). Job schema
-//                         and the determinism contract are documented in
-//                         POPULATION.md. Exits non-zero if any job failed.
+//                         (size x assoc x sigma) grid engine), and
+//                         "trace_replay" (replay a recorded trace file).
+//                         Job schema and the determinism contract are
+//                         documented in POPULATION.md. Exits non-zero if
+//                         any job failed.
 //
 // Examples:
 //   pcs_sim --config B --policy dpcs --workload mcf --refs 2000000
 //   pcs_sim --workload gcc --csv
 //   pcs_sim --record /tmp/gcc.trace 100000 --workload gcc
+//   pcs_sim --record /tmp/gcc.pcst 100000 --workload gcc --format pcst
 //   pcs_sim --workload /tmp/gcc.trace
 //   pcs_sim --policy dpcs --workload hmmer --trace run.jsonl
 //   pcs_sim --serve jobs.ndjson
@@ -44,7 +50,8 @@
 #include "exp/job_service.hpp"
 #include "exp/thread_pool.hpp"
 #include "telemetry/trace_sink.hpp"
-#include "workload/trace_file.hpp"
+#include "trace/encode.hpp"
+#include "trace/workload_source.hpp"
 
 using namespace pcs;
 
@@ -54,6 +61,7 @@ struct Options {
   SimJobSpec job;
   std::string record_path;
   u64 record_count = 0;
+  TraceFormat record_format = TraceFormat::kText;
   std::string serve_path;
 };
 
@@ -62,8 +70,8 @@ struct Options {
                "usage: %s [--config A|B] [--policy baseline|spcs|dpcs|all]\n"
                "          [--workload NAME|trace-file] [--refs N] [--warmup N]\n"
                "          [--chip-seed N] [--trace-seed N] [--levels N]\n"
-               "          [--csv] [--record PATH N] [--trace PATH]\n"
-               "          [--serve JOBFILE]\n",
+               "          [--csv] [--record PATH N] [--format text|pcst]\n"
+               "          [--trace PATH] [--serve JOBFILE]\n",
                argv0);
   std::exit(2);
 }
@@ -105,6 +113,16 @@ Options parse(int argc, char** argv) {
       need(2);
       o.record_path = argv[++i];
       o.record_count = std::strtoull(argv[++i], nullptr, 10);
+    } else if (a == "--format") {
+      need(1);
+      const std::string fmt = argv[++i];
+      if (fmt == "text") {
+        o.record_format = TraceFormat::kText;
+      } else if (fmt == "pcst") {
+        o.record_format = TraceFormat::kPcst;
+      } else {
+        usage(argv[0]);
+      }
     } else if (a == "--trace") {
       need(1);
       o.job.trace_path = argv[++i];
@@ -150,7 +168,8 @@ int main(int argc, char** argv) {
 
   if (!o.record_path.empty()) {
     auto trace = make_workload_source(o.job.workload, o.job.trace_seed);
-    const u64 n = record_trace(*trace, o.record_path, o.record_count);
+    const u64 n =
+        record_trace(*trace, o.record_path, o.record_count, o.record_format);
     std::printf("recorded %llu events of '%s' into %s\n",
                 static_cast<unsigned long long>(n), trace->name(),
                 o.record_path.c_str());

@@ -1,0 +1,118 @@
+// trace_convert: convert recorded traces between the portable text format
+// and the compressed binary .pcst container (TRACES.md).
+//
+//   ./build/examples/trace_convert IN OUT [--verify]
+//
+// The direction is chosen by sniffing IN's magic bytes: a .pcst input is
+// converted to text, anything else is parsed as a text trace and converted
+// to .pcst. With --verify, both files are re-opened after the conversion
+// and their decoded event streams compared event by event -- the converted
+// file must replay exactly the same stream, so a simulation driven by
+// either file produces byte-identical reports (the differential test and
+// the CI smoke pin this end to end). Prints both on-disk sizes and the
+// compression ratio.
+//
+// Examples:
+//   pcs_sim --record /tmp/gcc.trace 1000000 --workload gcc
+//   trace_convert /tmp/gcc.trace /tmp/gcc.pcst --verify
+//   pcs_sim --workload /tmp/gcc.pcst
+#include <cstdio>
+#include <cstdlib>
+#include <exception>
+#include <fstream>
+#include <memory>
+#include <stdexcept>
+#include <string>
+
+#include "cache/trace_source.hpp"
+#include "trace/workload_source.hpp"
+
+using namespace pcs;
+
+namespace {
+
+[[noreturn]] void usage(const char* argv0) {
+  std::fprintf(stderr, "usage: %s IN OUT [--verify]\n", argv0);
+  std::exit(2);
+}
+
+u64 file_size(const std::string& path) {
+  std::ifstream in(path, std::ios::binary | std::ios::ate);
+  if (!in) return 0;
+  const auto pos = in.tellg();
+  return pos < 0 ? 0 : static_cast<u64>(pos);
+}
+
+/// Replays both files and compares the event streams; returns the number
+/// of events or throws on the first divergence.
+u64 verify_streams(const std::string& a_path, const std::string& b_path) {
+  auto a = open_trace_file(a_path);
+  auto b = open_trace_file(b_path);
+  TraceEvent ea, eb;
+  u64 n = 0;
+  for (;;) {
+    const bool more_a = a->next(ea);
+    const bool more_b = b->next(eb);
+    if (more_a != more_b) {
+      throw std::runtime_error(
+          "verify failed: event counts differ after " + std::to_string(n) +
+          " events (" + (more_a ? a_path : b_path) + " has more)");
+    }
+    if (!more_a) return n;
+    if (ea.ref.addr != eb.ref.addr || ea.ref.write != eb.ref.write ||
+        ea.ref.ifetch != eb.ref.ifetch ||
+        ea.gap_instructions != eb.gap_instructions) {
+      throw std::runtime_error("verify failed: event " + std::to_string(n) +
+                               " differs between " + a_path + " and " +
+                               b_path);
+    }
+    ++n;
+  }
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::string in_path, out_path;
+  bool verify = false;
+  for (int i = 1; i < argc; ++i) {
+    const std::string a = argv[i];
+    if (a == "--verify") {
+      verify = true;
+    } else if (in_path.empty()) {
+      in_path = a;
+    } else if (out_path.empty()) {
+      out_path = a;
+    } else {
+      usage(argv[0]);
+    }
+  }
+  if (in_path.empty() || out_path.empty()) usage(argv[0]);
+
+  try {
+    const bool to_pcst = !is_pcst_file(in_path);
+    const u64 events = convert_trace(
+        in_path, out_path, to_pcst ? TraceFormat::kPcst : TraceFormat::kText);
+    const u64 in_bytes = file_size(in_path);
+    const u64 out_bytes = file_size(out_path);
+    std::printf("converted %llu events: %s (%llu bytes) -> %s (%llu bytes)",
+                static_cast<unsigned long long>(events), in_path.c_str(),
+                static_cast<unsigned long long>(in_bytes), out_path.c_str(),
+                static_cast<unsigned long long>(out_bytes));
+    if (out_bytes > 0) {
+      std::printf(", %.2fx %s", static_cast<double>(in_bytes) /
+                                    static_cast<double>(out_bytes),
+                  to_pcst ? "smaller" : "expansion");
+    }
+    std::printf("\n");
+    if (verify) {
+      const u64 n = verify_streams(in_path, out_path);
+      std::printf("verified: both files replay the same %llu-event stream\n",
+                  static_cast<unsigned long long>(n));
+    }
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "trace_convert: %s\n", e.what());
+    return 1;
+  }
+  return 0;
+}

@@ -56,6 +56,8 @@ def main():
         "|---|---:|---:|---:|",
     ]
     over_budget = []
+    added = sorted(set(cur) - set(base))
+    removed = sorted(set(base) - set(cur))
     for name in sorted(set(base) | set(cur)):
         b = base.get(name, {}).get("ns_per_op")
         c = cur.get(name, {}).get("ns_per_op")
@@ -82,6 +84,15 @@ def main():
             f"_Positive delta = slower than baseline. Gate: fail above "
             f"+{args.max_regress:g}%._"
         )
+    # Call out membership changes explicitly: a new benchmark has no
+    # baseline so the gate cannot see it -- without these lines a first
+    # landing would slide through the delta table unannounced.
+    if added:
+        lines += ["", f"**New benchmarks ({len(added)}), not gated until a "
+                      f"baseline lands:** " + ", ".join(added)]
+    if removed:
+        lines += ["", f"**Removed benchmarks ({len(removed)}):** " +
+                      ", ".join(removed)]
     lines += ["", footer, ""]
     table = "\n".join(lines)
     print(table)

@@ -38,6 +38,18 @@ for b in raw.get("benchmarks", []):
     entry = {"ns_per_op": round(b["cpu_time"], 3)}
     if "items_per_second" in b:
         entry["items_per_second"] = round(b["items_per_second"], 1)
+    if "bytes_per_second" in b:
+        entry["bytes_per_second"] = round(b["bytes_per_second"], 1)
+    # User counters (e.g. BM_PcstDecode's size_ratio) ride along so
+    # non-timing acceptance numbers land in the snapshot too.
+    skip = {
+        "family_index", "per_family_instance_index", "repetitions",
+        "repetition_index", "threads", "iterations", "real_time",
+        "cpu_time", "items_per_second", "bytes_per_second",
+    }
+    for key, value in b.items():
+        if key not in skip and isinstance(value, (int, float)):
+            entry[key] = round(value, 3)
     benches[b["name"]] = entry
 
 out = {

@@ -208,6 +208,52 @@ void CacheLevel::emit_stats(TraceSink& sink,
   sink.emit(rec);
 }
 
+CacheLevel::OccupancySnapshot CacheLevel::occupancy() const noexcept {
+  OccupancySnapshot snap;
+  const u64 sets = org_.num_sets();
+  for (u64 s = 0; s < sets; ++s) {
+    const u32 v = valid_bits_[s];
+    const u32 d = dirty_bits_[s];
+    const u32 f = faulty_bits_[s];
+    ++snap.sets_by_valid_ways[static_cast<u32>(std::popcount(v))];
+    u32 any = v | d | f;
+    while (any != 0) {
+      const u32 w = static_cast<u32>(std::countr_zero(any));
+      any &= any - 1;
+      const u32 bit = 1u << w;
+      snap.valid_sets[w] += (v & bit) != 0 ? 1 : 0;
+      snap.dirty_sets[w] += (d & bit) != 0 ? 1 : 0;
+      snap.faulty_sets[w] += (f & bit) != 0 ? 1 : 0;
+    }
+  }
+  return snap;
+}
+
+void CacheLevel::emit_occupancy(TraceSink& sink, u64 interval,
+                                Cycle cycle) const {
+  const OccupancySnapshot snap = occupancy();
+  for (u32 w = 0; w < org_.assoc; ++w) {
+    TraceRecord rec("occupancy_way");
+    rec.field("cache", name_)
+        .field("interval", interval)
+        .field("cycle", cycle)
+        .field("way", w)
+        .field("valid_sets", snap.valid_sets[w])
+        .field("dirty_sets", snap.dirty_sets[w])
+        .field("faulty_sets", snap.faulty_sets[w]);
+    sink.emit(rec);
+  }
+  for (u32 v = 0; v <= org_.assoc; ++v) {
+    TraceRecord rec("occupancy_set");
+    rec.field("cache", name_)
+        .field("interval", interval)
+        .field("cycle", cycle)
+        .field("valid_ways", v)
+        .field("sets", snap.sets_by_valid_ways[v]);
+    sink.emit(rec);
+  }
+}
+
 double CacheLevel::effective_capacity() const noexcept {
   return 1.0 - static_cast<double>(faulty_count_) /
                    static_cast<double>(org_.num_blocks());

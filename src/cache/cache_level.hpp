@@ -192,6 +192,21 @@ class CacheLevel {
   /// measured-window delta of this level's counters; see TELEMETRY.md).
   void emit_stats(TraceSink& sink, const CacheLevelStats& window) const;
 
+  /// Point-in-time occupancy summary, reduced from the packed per-set
+  /// valid/dirty/faulty masks. Pure state inspection -- no counters move.
+  struct OccupancySnapshot {
+    std::array<u64, 32> valid_sets{};   ///< sets whose way w holds a valid line
+    std::array<u64, 32> dirty_sets{};   ///< sets whose way w is dirty
+    std::array<u64, 32> faulty_sets{};  ///< sets whose way w is power-gated
+    std::array<u64, 33> sets_by_valid_ways{};  ///< histogram: sets with v valid ways
+  };
+  OccupancySnapshot occupancy() const noexcept;
+
+  /// Emits the `occupancy_way` (one per way) and `occupancy_set`
+  /// (valid-ways histogram) records for an interval boundary; see
+  /// TELEMETRY.md. Deterministic -- derives only from cache state.
+  void emit_occupancy(TraceSink& sink, u64 interval, Cycle cycle) const;
+
   const std::string& name() const noexcept { return name_; }
   const CacheOrg& org() const noexcept { return org_; }
   u32 hit_latency() const noexcept { return hit_latency_; }

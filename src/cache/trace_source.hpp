@@ -22,6 +22,17 @@ class TraceSource {
   /// Produces the next event; returns false when the trace is exhausted.
   virtual bool next(TraceEvent& out) = 0;
 
+  /// Fills out[0..max_events) and returns the count delivered (< max_events
+  /// only at end of trace). Semantically identical to calling next() in a
+  /// loop -- the default does exactly that -- but block-decoding sources
+  /// (the .pcst reader) override it to decode straight into the caller's
+  /// buffer, which is what the sweep engine's decode-block loop consumes.
+  virtual u64 next_block(TraceEvent* out, u64 max_events) {
+    u64 n = 0;
+    while (n < max_events && next(out[n])) ++n;
+    return n;
+  }
+
   /// Human-readable workload name (for reports).
   virtual const char* name() const = 0;
 };

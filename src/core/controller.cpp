@@ -81,6 +81,7 @@ void PcsController::emit_interval_records(bool deferred) {
       .field("stall_cycles", stall_delta);
   trace_->emit(rec);
 
+  cache_->emit_occupancy(*trace_, interval_index_, cpu_->cycles());
   meter_.emit_interval(*trace_, cache_->name(), interval_index_,
                        cpu_->cycles());
 }

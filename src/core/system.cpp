@@ -4,6 +4,7 @@
 
 #include "core/static_policy.hpp"
 #include "fault/cell_fault_field.hpp"
+#include "trace/workload_source.hpp"
 #include "util/rng.hpp"
 #include "workload/spec_profiles.hpp"
 
@@ -222,7 +223,7 @@ SimReport PcsSystem::run(TraceSource& trace, const RunParams& params) {
 SimReport run_one(const SystemConfig& config, const std::string& workload,
                   PolicyKind kind, u64 chip_seed, u64 trace_seed,
                   const RunParams& params, TraceSink* trace_sink) {
-  auto trace = make_spec_trace(workload, trace_seed);
+  auto trace = make_workload_source(workload, trace_seed);
   PcsSystem sys(config, kind, chip_seed);
   if (trace_sink) sys.set_trace(trace_sink);
   return sys.run(*trace, params);

@@ -167,7 +167,9 @@ class PcsSystem {
   TraceSink* trace_ = nullptr;
 };
 
-/// Manufactures one system and runs one SPEC-like workload end to end.
+/// Manufactures one system and runs one workload end to end. `workload` is
+/// a SPEC-like profile name or a recorded-trace path (text or .pcst; see
+/// trace/workload_source.hpp -- a '/' or '.' selects the file path).
 ///
 /// This is the experiment engine's unit of work: every input arrives by
 /// value, all state (trace generator, fault fields, controllers, meters) is

@@ -26,9 +26,8 @@
 #include "exp/thread_pool.hpp"
 #include "fault/ber_model.hpp"
 #include "tech/technology.hpp"
+#include "trace/workload_source.hpp"
 #include "util/table.hpp"
-#include "workload/spec_profiles.hpp"
-#include "workload/trace_file.hpp"
 
 namespace pcs {
 
@@ -234,8 +233,9 @@ void reject_unknown_keys(const JsonObj& o, const std::string& kind) {
 
 /// Job kinds, in Job::Kind enumerator order (SCHEMA002 diffs this table
 /// against the documented schema).
-constexpr const char* kJobKinds[] = {"sim", "population", "population_grid"};
-static_assert(sizeof(kJobKinds) / sizeof(kJobKinds[0]) == 3);
+constexpr const char* kJobKinds[] = {"sim", "population", "population_grid",
+                                     "trace_replay"};
+static_assert(sizeof(kJobKinds) / sizeof(kJobKinds[0]) == 4);
 
 namespace {
 
@@ -392,22 +392,36 @@ Job parse_job_line(const std::string& line) {
     g.checkpoint_shards = jnum(o, "checkpoint_shards", g.checkpoint_shards);
     g.resume = jbool(o, "resume", g.resume);
     g.spec.validate();
+  } else if (kind == kind_name(Job::Kind::kTraceReplay)) {
+    job.kind = Job::Kind::kTraceReplay;
+    TraceReplayJobSpec& t = job.trace_replay;
+    t.id = jstr(o, "id", "");
+    t.file = jstr(o, "file", "");
+    if (t.file.empty()) {
+      bad_job("job key 'file' is required for kind 'trace_replay'");
+    }
+    t.config = jstr(o, "config", t.config);
+    if (t.config != "A" && t.config != "B") {
+      bad_job("job key 'config': must be \"A\" or \"B\"");
+    }
+    t.policy = jstr(o, "policy", t.policy);
+    if (t.policy != "baseline" && t.policy != "spcs" && t.policy != "dpcs" &&
+        t.policy != "all") {
+      bad_job("job key 'policy': must be baseline, spcs, dpcs, or all");
+    }
+    t.refs = jnum(o, "refs", t.refs);
+    t.warmup = jnum(o, "warmup", t.warmup);
+    t.chip_seed = jnum(o, "chip_seed", t.chip_seed);
+    t.levels = static_cast<u32>(jnum(o, "levels", t.levels));
+    t.csv = jbool(o, "csv", t.csv);
+    t.out = jstr(o, "out", "");
+    t.trace_path = jstr(o, "trace", "");
   } else {
     bad_job("unknown job kind '" + kind +
-            "' (known: sim, population, population_grid)");
+            "' (known: sim, population, population_grid, trace_replay)");
   }
   reject_unknown_keys(o, kind);
   return job;
-}
-
-std::unique_ptr<TraceSource> make_workload_source(const std::string& workload,
-                                                 u64 trace_seed) {
-  // A '/' or '.' suggests a filesystem path; otherwise a profile name.
-  if (workload.find('/') != std::string::npos ||
-      workload.find('.') != std::string::npos) {
-    return std::make_unique<FileTrace>(workload);
-  }
-  return make_spec_trace(workload, trace_seed);
 }
 
 void run_sim_job(const SimJobSpec& o, std::ostream& out, u32 num_threads,
@@ -536,6 +550,25 @@ void run_population_grid_job(const PopulationGridJobSpec& j, std::ostream& out,
   render_population_grid_report(j.spec, result, out);
 }
 
+void run_trace_replay_job(const TraceReplayJobSpec& j, std::ostream& out,
+                          u32 num_threads, TraceSink* trace) {
+  // Exactly a sim job whose workload is the file; the trace_seed is
+  // irrelevant because file workloads ignore it (the recorded stream IS the
+  // workload), so any value keeps the output byte-identical to pcs_sim.
+  SimJobSpec s;
+  s.id = j.id;
+  s.config = j.config;
+  s.policy = j.policy;
+  s.workload = j.file;
+  s.refs = j.refs;
+  s.warmup = j.warmup;
+  s.chip_seed = j.chip_seed;
+  s.trace_seed = 0;
+  s.levels = j.levels;
+  s.csv = j.csv;
+  run_sim_job(s, out, num_threads, trace);
+}
+
 namespace {
 
 /// Runs one job to completion: renders into a memory buffer first so a
@@ -557,8 +590,10 @@ JobOutcome execute_job(const Job& job) {
       run_sim_job(job.sim, body, 1, sink.get());
     } else if (job.kind == Job::Kind::kPopulation) {
       run_population_job(job.population, body, 1, sink.get());
-    } else {
+    } else if (job.kind == Job::Kind::kPopulationGrid) {
       run_population_grid_job(job.population_grid, body, 1, sink.get());
+    } else {
+      run_trace_replay_job(job.trace_replay, body, 1, sink.get());
     }
     std::ofstream f(job.out_path(), std::ios::binary | std::ios::trunc);
     if (!f) {
@@ -641,8 +676,10 @@ std::vector<JobOutcome> JobService::serve(std::istream& in,
         job.sim.id = id;
       } else if (job.kind == Job::Kind::kPopulation) {
         job.population.id = id;
-      } else {
+      } else if (job.kind == Job::Kind::kPopulationGrid) {
         job.population_grid.id = id;
+      } else {
+        job.trace_replay.id = id;
       }
       if (job.out_path().empty()) {
         accepted = false;

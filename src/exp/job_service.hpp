@@ -38,8 +38,6 @@
 
 namespace pcs {
 
-class TraceSource;
-
 /// One simulator run, mirroring pcs_sim's CLI options (kind "sim").
 struct SimJobSpec {
   std::string id;
@@ -82,32 +80,65 @@ struct PopulationGridJobSpec {
   bool resume = false;
 };
 
+/// One recorded-trace replay run (kind "trace_replay"): a simulator run
+/// whose workload is a recorded trace file, text or memory-mapped .pcst
+/// (TRACES.md). `file` is required; there is no trace_seed key because the
+/// event stream is fully determined by the file.
+struct TraceReplayJobSpec {
+  std::string id;
+  std::string file;          ///< recorded trace path (text or .pcst)
+  std::string config = "A";  ///< A | B
+  std::string policy = "all";  ///< baseline | spcs | dpcs | all
+  u64 refs = 1'000'000;
+  u64 warmup = 0;  ///< 0 = refs/4
+  u64 chip_seed = 1;
+  u32 levels = 3;
+  bool csv = false;
+  std::string out;
+  std::string trace_path;
+};
+
 /// A parsed job line: exactly one of the kinds is active.
 struct Job {
-  enum class Kind { kSim, kPopulation, kPopulationGrid };
+  enum class Kind { kSim, kPopulation, kPopulationGrid, kTraceReplay };
   Kind kind = Kind::kSim;
   SimJobSpec sim;
   PopulationJobSpec population;
   PopulationGridJobSpec population_grid;
+  TraceReplayJobSpec trace_replay;
 
   const std::string& id() const noexcept {
-    if (kind == Kind::kSim) return sim.id;
-    return kind == Kind::kPopulation ? population.id : population_grid.id;
+    switch (kind) {
+      case Kind::kSim: return sim.id;
+      case Kind::kPopulation: return population.id;
+      case Kind::kPopulationGrid: return population_grid.id;
+      case Kind::kTraceReplay: break;
+    }
+    return trace_replay.id;
   }
   const std::string& out_path() const noexcept {
-    if (kind == Kind::kSim) return sim.out;
-    return kind == Kind::kPopulation ? population.out : population_grid.out;
+    switch (kind) {
+      case Kind::kSim: return sim.out;
+      case Kind::kPopulation: return population.out;
+      case Kind::kPopulationGrid: return population_grid.out;
+      case Kind::kTraceReplay: break;
+    }
+    return trace_replay.out;
   }
   const std::string& trace_path() const noexcept {
-    if (kind == Kind::kSim) return sim.trace_path;
-    return kind == Kind::kPopulation ? population.trace_path
-                                     : population_grid.trace_path;
+    switch (kind) {
+      case Kind::kSim: return sim.trace_path;
+      case Kind::kPopulation: return population.trace_path;
+      case Kind::kPopulationGrid: return population_grid.trace_path;
+      case Kind::kTraceReplay: break;
+    }
+    return trace_replay.trace_path;
   }
   const std::string& checkpoint_path() const noexcept {
     static const std::string kNone;
-    if (kind == Kind::kSim) return kNone;
-    return kind == Kind::kPopulation ? population.checkpoint
-                                     : population_grid.checkpoint;
+    if (kind == Kind::kPopulation) return population.checkpoint;
+    if (kind == Kind::kPopulationGrid) return population_grid.checkpoint;
+    return kNone;
   }
 };
 
@@ -117,12 +148,6 @@ struct Job {
 /// message naming the offender -- the runtime teeth behind POPULATION.md's
 /// schema table.
 Job parse_job_line(const std::string& line);
-
-/// Opens the workload a sim job names: a '/' or '.' in `workload` selects a
-/// recorded trace file, anything else one of the SPEC-like profiles seeded
-/// with `trace_seed` (the same heuristic the pcs_sim CLI has always used).
-std::unique_ptr<TraceSource> make_workload_source(const std::string& workload,
-                                                  u64 trace_seed);
 
 /// Runs one simulator job and renders the report to `out` -- byte-identical
 /// to `pcs_sim` with the equivalent flags (this IS pcs_sim's run path).
@@ -144,6 +169,13 @@ void run_population_job(const PopulationJobSpec& spec, std::ostream& out,
 void run_population_grid_job(const PopulationGridJobSpec& spec,
                              std::ostream& out, u32 num_threads,
                              TraceSink* trace = nullptr);
+
+/// Runs one trace-replay job: exactly a "sim" job whose workload is the
+/// recorded file, so the output is byte-identical to
+/// `pcs_sim --workload FILE` with the equivalent flags (and, when FILE is a
+/// converted .pcst, to replaying the text original -- TRACES.md).
+void run_trace_replay_job(const TraceReplayJobSpec& spec, std::ostream& out,
+                          u32 num_threads, TraceSink* trace = nullptr);
 
 /// What happened to one submitted job (in submission order).
 struct JobOutcome {

@@ -10,6 +10,7 @@
 // and the speedup ratio compare against -- is untouched.
 #include "cache/cache_level_inl.hpp"
 #include "cache/hierarchy_inl.hpp"
+#include "trace/workload_source.hpp"
 #include "util/rng.hpp"
 #include "workload/spec_profiles.hpp"
 
@@ -146,8 +147,9 @@ void run_shard_loops(std::vector<Lane>& lanes, TraceSource& trace,
   u64 warm = 0;
   while (warm < params.warmup_refs) {
     const u64 want = std::min<u64>(kBlockEvents, params.warmup_refs - warm);
-    u64 n = 0;
-    while (n < want && trace.next(block[n])) ++n;
+    // next_block is semantically a next() loop, but block-decoding sources
+    // (the mmap'd .pcst reader) fill the buffer zero-copy in one call.
+    const u64 n = trace.next_block(block.data(), want);
     drive_lanes<K>(lanes, block.data(), n);
     warm += n;
     if (n < want) break;  // trace exhausted during warm-up
@@ -156,8 +158,7 @@ void run_shard_loops(std::vector<Lane>& lanes, TraceSource& trace,
   u64 measured = 0;
   while (measured < params.max_refs) {
     const u64 want = std::min<u64>(kBlockEvents, params.max_refs - measured);
-    u64 n = 0;
-    while (n < want && trace.next(block[n])) ++n;
+    const u64 n = trace.next_block(block.data(), want);
     drive_lanes<K>(lanes, block.data(), n);
     measured += n;
     if (n < want) break;
@@ -187,7 +188,7 @@ std::vector<SimReport> run_shard(const std::vector<ExperimentPoint>& points,
   }
 
   const ExperimentPoint& head = points[idxs[0]];
-  auto trace_src = make_spec_trace(head.workload, head.trace_seed);
+  auto trace_src = make_workload_source(head.workload, head.trace_seed);
 
   // Hoist the replacement dispatch when every level of every lane shares
   // one ReplKind (true for the paper grids: "lru" at assoc <= 16

@@ -1,0 +1,60 @@
+// .pcst container parsing/decoding over a raw byte image (mmap'd or read
+// into memory -- the decoder never touches a FILE*). All validation errors
+// throw std::runtime_error naming the file and, for block-level damage, the
+// offending block index, so a corrupted multi-GB capture localizes instead
+// of silently replaying garbage. See trace/format.hpp for the layout.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "cache/trace_source.hpp"
+#include "trace/format.hpp"
+#include "util/types.hpp"
+
+namespace pcs {
+
+/// Parsed fixed header (+ embedded name).
+struct PcstHeader {
+  u32 version = 0;
+  u32 events_per_block = 0;
+  u64 event_count = 0;
+  u64 block_count = 0;
+  u64 index_offset = 0;
+  std::string name;
+  /// Total header size on disk (fixed part + name + checksum).
+  u64 header_bytes = 0;
+};
+
+/// One block-index entry (offset/size/events/checksum of a payload).
+struct PcstBlockRef {
+  u64 offset = 0;
+  u32 bytes = 0;
+  u32 events = 0;
+  u32 checksum = 0;
+};
+
+/// True when [data, data+size) starts with the PCST magic.
+bool is_pcst_image(const u8* data, u64 size) noexcept;
+
+/// Validates magic, version, bounds, and the header checksum.
+/// `path` seeds error messages only.
+PcstHeader parse_pcst_header(const u8* data, u64 size,
+                             const std::string& path);
+
+/// Validates and parses the trailing block index: entry bounds against the
+/// file image, the index checksum, and that per-block event counts sum to
+/// the header's event_count. Catches truncated files (the index is the last
+/// thing written).
+std::vector<PcstBlockRef> parse_pcst_index(const u8* data, u64 size,
+                                           const PcstHeader& header,
+                                           const std::string& path);
+
+/// Decodes one block payload into out[0..ref.events). Verifies the payload
+/// checksum first, then the internal structure (kind codes, varint bounds,
+/// gap-run coverage); any mismatch throws naming `block_idx`. Returns the
+/// number of events decoded (== ref.events).
+u32 decode_pcst_block(const u8* data, const PcstBlockRef& ref, u64 block_idx,
+                      TraceEvent* out, const std::string& path);
+
+}  // namespace pcs

@@ -1,0 +1,131 @@
+#include "trace/mmap_reader.hpp"
+
+#include <algorithm>
+#include <cstdio>
+#include <stdexcept>
+#include <utility>
+
+#if defined(__unix__) || defined(__APPLE__)
+#define PCS_HAVE_MMAP 1
+#include <fcntl.h>
+#include <sys/mman.h>
+#include <sys/stat.h>
+#include <unistd.h>
+#endif
+
+namespace pcs {
+
+PcstFile::PcstFile(const std::string& path) : path_(path) {
+#if PCS_HAVE_MMAP
+  const int fd = ::open(path.c_str(), O_RDONLY);
+  if (fd < 0) throw std::runtime_error("cannot open trace file: " + path);
+  struct stat st{};
+  if (::fstat(fd, &st) != 0 || st.st_size < 0) {
+    ::close(fd);
+    throw std::runtime_error("cannot stat trace file: " + path);
+  }
+  size_ = static_cast<u64>(st.st_size);
+  if (size_ > 0) {
+    void* map = ::mmap(nullptr, size_, PROT_READ, MAP_PRIVATE, fd, 0);
+    if (map != MAP_FAILED) {
+      data_ = static_cast<const u8*>(map);
+      mapped_ = true;
+    }
+  }
+  if (!mapped_) {
+    // mmap unavailable (empty file, exotic filesystem): fall back to one
+    // read into memory -- same bytes, same validation, no zero-copy.
+    fallback_.resize(size_);
+    u64 got = 0;
+    while (got < size_) {
+      const ::ssize_t r = ::read(fd, fallback_.data() + got, size_ - got);
+      if (r <= 0) break;
+      got += static_cast<u64>(r);
+    }
+    ::close(fd);
+    if (got != size_) {
+      throw std::runtime_error("cannot read trace file: " + path);
+    }
+    data_ = fallback_.data();
+  } else {
+    ::close(fd);
+  }
+#else
+  std::FILE* f = std::fopen(path.c_str(), "rb");
+  if (f == nullptr) throw std::runtime_error("cannot open trace file: " + path);
+  std::fseek(f, 0, SEEK_END);
+  const long sz = std::ftell(f);
+  std::fseek(f, 0, SEEK_SET);
+  size_ = sz < 0 ? 0 : static_cast<u64>(sz);
+  fallback_.resize(size_);
+  const u64 got = size_ ? std::fread(fallback_.data(), 1, size_, f) : 0;
+  std::fclose(f);
+  if (got != size_) throw std::runtime_error("cannot read trace file: " + path);
+  data_ = fallback_.data();
+#endif
+  try {
+    header_ = parse_pcst_header(data_, size_, path_);
+    index_ = parse_pcst_index(data_, size_, header_, path_);
+  } catch (...) {
+#if PCS_HAVE_MMAP
+    if (mapped_) ::munmap(const_cast<u8*>(data_), size_);
+    mapped_ = false;
+#endif
+    throw;
+  }
+}
+
+PcstFile::~PcstFile() {
+#if PCS_HAVE_MMAP
+  if (mapped_) ::munmap(const_cast<u8*>(data_), size_);
+#endif
+}
+
+PcstTrace::PcstTrace(std::shared_ptr<const PcstFile> file)
+    : file_(std::move(file)) {
+  buf_.resize(file_->events_per_block());
+}
+
+PcstTrace::PcstTrace(const std::string& path)
+    : PcstTrace(std::make_shared<const PcstFile>(path)) {}
+
+bool PcstTrace::next(TraceEvent& out) {
+  if (pos_ == len_) {
+    if (block_ >= file_->block_count()) return false;
+    len_ = file_->decode_block(block_++, buf_.data());
+    pos_ = 0;
+  }
+  out = buf_[pos_++];
+  ++events_;
+  return true;
+}
+
+u64 PcstTrace::next_block(TraceEvent* out, u64 max_events) {
+  u64 total = 0;
+  while (total < max_events) {
+    if (pos_ < len_) {
+      // Drain the buffered tail of a partially-consumed block first.
+      const u64 take = std::min<u64>(max_events - total, len_ - pos_);
+      for (u64 i = 0; i < take; ++i) out[total + i] = buf_[pos_ + i];
+      pos_ += static_cast<u32>(take);
+      total += take;
+      continue;
+    }
+    if (block_ >= file_->block_count()) break;
+    const u32 blk_events = file_->block_events(block_);
+    if (max_events - total >= blk_events) {
+      // Zero-copy fast path: decode the whole block straight into the
+      // caller's buffer (the sweep engine's 256-event decode-block shape).
+      total += file_->decode_block(block_++, out + total);
+    } else {
+      // Clipped tail (warmup/measure boundary): decode into the side
+      // buffer and serve the prefix.
+      len_ = file_->decode_block(block_++, buf_.data());
+      pos_ = 0;
+    }
+  }
+  events_ += total;
+  return total;
+}
+
+}  // namespace pcs

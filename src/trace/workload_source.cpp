@@ -1,0 +1,43 @@
+#include "trace/workload_source.hpp"
+
+#include <cstdio>
+#include <cstring>
+
+#include "trace/encode.hpp"
+#include "trace/mmap_reader.hpp"
+#include "workload/spec_profiles.hpp"
+#include "workload/trace_file.hpp"
+
+namespace pcs {
+
+bool is_pcst_file(const std::string& path) {
+  std::FILE* f = std::fopen(path.c_str(), "rb");
+  if (f == nullptr) return false;
+  u8 magic[sizeof pcst::kMagic] = {};
+  const bool got = std::fread(magic, 1, sizeof magic, f) == sizeof magic;
+  std::fclose(f);
+  return got && std::memcmp(magic, pcst::kMagic, sizeof magic) == 0;
+}
+
+std::unique_ptr<TraceSource> open_trace_file(const std::string& path) {
+  if (is_pcst_file(path)) return std::make_unique<PcstTrace>(path);
+  return std::make_unique<FileTrace>(path);
+}
+
+std::unique_ptr<TraceSource> make_workload_source(const std::string& workload,
+                                                  u64 trace_seed) {
+  // A '/' or '.' suggests a filesystem path; otherwise a profile name.
+  if (workload.find('/') != std::string::npos ||
+      workload.find('.') != std::string::npos) {
+    return open_trace_file(workload);
+  }
+  return make_spec_trace(workload, trace_seed);
+}
+
+u64 convert_trace(const std::string& in, const std::string& out,
+                  TraceFormat format) {
+  const auto source = open_trace_file(in);
+  return record_trace(*source, out, ~0ULL, format);
+}
+
+}  // namespace pcs

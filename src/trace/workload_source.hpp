@@ -1,0 +1,42 @@
+// Workload resolution shared by every engine front end (scalar run_one, the
+// lane-parallel sweep engine, job-service jobs, the pcs_sim CLI): a name is
+// either one of the SPEC-like synthetic profiles or a recorded trace file,
+// and a trace file is either the portable text format or a binary .pcst
+// container -- picked by content (magic sniff), never by extension.
+#pragma once
+
+#include <memory>
+#include <string>
+
+#include "trace/format.hpp"
+#include "util/types.hpp"
+
+namespace pcs {
+
+class TraceSource;
+
+/// True when `path` starts with the .pcst magic (any unreadable/short file
+/// is "not pcst"; the open path reports the real error).
+bool is_pcst_file(const std::string& path);
+
+/// Opens a recorded trace file of either format: .pcst containers get the
+/// memory-mapped zero-copy reader, everything else the text FileTrace.
+/// Throws std::runtime_error on open failure or a corrupt container.
+std::unique_ptr<TraceSource> open_trace_file(const std::string& path);
+
+/// Opens the workload a run names: a '/' or '.' in `workload` selects a
+/// recorded trace file (text or .pcst), anything else one of the SPEC-like
+/// profiles seeded with `trace_seed` (the same heuristic the pcs_sim CLI
+/// has always used).
+std::unique_ptr<TraceSource> make_workload_source(const std::string& workload,
+                                                  u64 trace_seed);
+
+/// Converts a recorded trace between formats: decodes `in` (either format)
+/// and re-records every event into `out` as `format`. The embedded/implied
+/// workload name is carried over (a .pcst written here stores the source's
+/// name, so replays stay byte-identical to the original). Returns the
+/// number of events converted.
+u64 convert_trace(const std::string& in, const std::string& out,
+                  TraceFormat format);
+
+}  // namespace pcs

@@ -13,17 +13,35 @@ FileTrace::FileTrace(const std::string& path)
 }
 
 bool FileTrace::next(TraceEvent& out) {
-  std::string line;
-  while (std::getline(in_, line)) {
+  // line_buf_ is a member so the getline loop reuses one allocation for
+  // the whole trace instead of constructing a std::string per line.
+  while (std::getline(in_, line_buf_)) {
     ++line_;
-    if (line.empty() || line[0] == '#') continue;
+    const u64 line_start = byte_offset_;
+    byte_offset_ += line_buf_.size() + 1;  // getline consumed the '\n'
+    // Tolerate CRLF line endings and trailing whitespace.
+    std::size_t len = line_buf_.size();
+    while (len > 0 && (line_buf_[len - 1] == '\r' ||
+                       line_buf_[len - 1] == ' ' ||
+                       line_buf_[len - 1] == '\t')) {
+      --len;
+    }
+    std::size_t first = 0;
+    while (first < len &&
+           (line_buf_[first] == ' ' || line_buf_[first] == '\t')) {
+      ++first;
+    }
+    if (first == len || line_buf_[first] == '#') continue;
+    line_buf_.resize(len);
     char kind = 0;
     unsigned long long addr = 0;
     unsigned long gap = 0;
-    if (std::sscanf(line.c_str(), " %c %llx %lu", &kind, &addr, &gap) != 3 ||
+    if (std::sscanf(line_buf_.c_str() + first, " %c %llx %lu", &kind, &addr,
+                    &gap) != 3 ||
         (kind != 'R' && kind != 'W' && kind != 'I')) {
       throw std::runtime_error(path_ + ":" + std::to_string(line_) +
-                               ": malformed trace line: " + line);
+                               ": (byte " + std::to_string(line_start) +
+                               "): malformed trace line: " + line_buf_);
     }
     out.ref.addr = addr;
     out.ref.write = kind == 'W';

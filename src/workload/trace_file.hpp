@@ -22,8 +22,12 @@
 
 namespace pcs {
 
-/// Replays a trace file. Throws std::runtime_error on open failure and on
-/// the first malformed line (with its line number).
+/// Replays a text trace file. Tolerates CRLF line endings and trailing
+/// whitespace (traces round-trip through Windows editors and shell
+/// pipelines intact). Throws std::runtime_error on open failure and on the
+/// first malformed line, naming both the line number and the byte offset
+/// of the line start (`path:12: (byte 345): ...`) so the damage is
+/// addressable with dd/hexdump in multi-GB captures.
 class FileTrace final : public TraceSource {
  public:
   explicit FileTrace(const std::string& path);
@@ -38,7 +42,9 @@ class FileTrace final : public TraceSource {
   std::ifstream in_;
   std::string name_;
   std::string path_;
+  std::string line_buf_;  ///< reused across next() calls (hot loop)
   u64 line_ = 0;
+  u64 byte_offset_ = 0;  ///< file offset of the line in line_buf_
   u64 events_ = 0;
 };
 

@@ -76,6 +76,33 @@ TEST(CacheLevel, WritebackAddrReconstruction) {
   }
 }
 
+TEST(CacheLevel, OccupancySnapshotCountsValidDirtyFaultyPerWay) {
+  auto c = small_cache();
+  c.access(0x0000, true);   // set 0, dirty
+  c.access(0x0100, false);  // set 0, second way
+  c.access(0x0040, false);  // set 1
+  c.set_block_faulty(2, 1, true);
+
+  const auto snap = c.occupancy();
+  u64 valid_total = 0, dirty_total = 0, faulty_total = 0;
+  for (u32 w = 0; w < 2; ++w) {
+    valid_total += snap.valid_sets[w];
+    dirty_total += snap.dirty_sets[w];
+    faulty_total += snap.faulty_sets[w];
+  }
+  EXPECT_EQ(valid_total, 3u);
+  EXPECT_EQ(dirty_total, 1u);
+  EXPECT_EQ(faulty_total, 1u);
+  // Histogram over the 4 sets: set 0 has 2 valid ways, set 1 has 1,
+  // sets 2 and 3 have 0.
+  EXPECT_EQ(snap.sets_by_valid_ways[0], 2u);
+  EXPECT_EQ(snap.sets_by_valid_ways[1], 1u);
+  EXPECT_EQ(snap.sets_by_valid_ways[2], 1u);
+  u64 sets_total = 0;
+  for (u32 v = 0; v <= 2; ++v) sets_total += snap.sets_by_valid_ways[v];
+  EXPECT_EQ(sets_total, c.org().num_sets());
+}
+
 TEST(CacheLevel, FaultyBlockNeverHitsAndIsSkipped) {
   auto c = small_cache();
   c.access(0x0000, false);

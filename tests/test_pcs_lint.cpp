@@ -40,7 +40,7 @@ LintResult lint_tree(const std::string& tree) {
 
 TEST(PcsLint, BadTreeReportsExactDiagnostics) {
   const LintResult result = lint_tree("bad_tree");
-  EXPECT_EQ(result.files_scanned, 13);
+  EXPECT_EQ(result.files_scanned, 14);
   EXPECT_TRUE(result.io_errors.empty());
   const std::vector<std::string> expected = {
       "BUDGET001@.pcs-lint-budget:1",      // stale DET001 budget entry
@@ -53,6 +53,7 @@ TEST(PcsLint, BadTreeReportsExactDiagnostics) {
       "DET001@src/flow/helpers.cpp:11",    // clock read, sink via caller
       "DET002@src/flow/helpers.cpp:21",    // u-map range-for, sink via caller
       "DET004@src/flow/helpers.cpp:30",    // atomic<double> feeding a sink
+      "DET001@src/flow/pcst_record.cpp:16",  // clock -> PcstWriter sink
       "SCHEMA001@TELEMETRY.md:3",          // version mismatch (doc 1, src 2)
       "SCHEMA001@TELEMETRY.md:6",          // field 'spooky' never emitted
       "SCHEMA001@TELEMETRY.md:6",          // type 'ghost' never emitted
@@ -106,7 +107,7 @@ TEST(PcsLint, GoodTreeIsClean) {
   // path, fully documented telemetry emissions, and a job-file parser whose
   // kinds and keys all match POPULATION.md's job-schema block.
   const LintResult result = lint_tree("good_tree");
-  EXPECT_EQ(result.files_scanned, 12);
+  EXPECT_EQ(result.files_scanned, 13);
   EXPECT_TRUE(result.io_errors.empty());
   EXPECT_EQ(keys(result), std::vector<std::string>{});
   // The suppression counts the budget file ratchets against.
@@ -230,6 +231,12 @@ TEST(PcsLint, FlowDiagnosticsNameTheWitnessChain) {
                 .message.find(
                     "tag_shard_with_thread -> write_summary_line -> printf"),
             std::string::npos);
+  // PcstWriter is a sink marker: the binary trace encoder serializes.
+  EXPECT_NE(
+      diag_at(result, "DET001", "src/flow/pcst_record.cpp", 16)
+          .message.find(
+              "caller record_session -> append_session_meta -> PcstWriter"),
+      std::string::npos);
 }
 
 TEST(PcsLint, Det002CatchesAutoDeclaredStructuredBindingLoop) {

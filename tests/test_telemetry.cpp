@@ -130,6 +130,11 @@ const std::map<std::string, std::vector<std::string>>& documented_schema() {
        {"cache", "interval", "cycle", "level", "vdd", "accesses", "misses",
         "miss_rate", "caat", "naat", "predicted_aat", "deferred",
         "blocks_faulty", "gated_fraction", "stall_cycles"}},
+      {"occupancy_way",
+       {"cache", "interval", "cycle", "way", "valid_sets", "dirty_sets",
+        "faulty_sets"}},
+      {"occupancy_set",
+       {"cache", "interval", "cycle", "valid_ways", "sets"}},
       {"transition",
        {"cache", "cycle", "from_level", "to_level", "from_vdd", "to_vdd",
         "blocks_newly_faulty", "blocks_restored", "writebacks",
@@ -186,8 +191,8 @@ TEST(TelemetrySchema, EveryEmittedRecordMatchesDocumentedFields) {
   }
   // The simulation-level record types must all actually occur.
   for (const char* type : {"trace_header", "measurement_start", "interval",
-                           "transition", "energy", "cache_stats",
-                           "run_summary"}) {
+                           "occupancy_way", "occupancy_set", "transition",
+                           "energy", "cache_stats", "run_summary"}) {
     EXPECT_GT(seen[type], 0u) << "record type never emitted: " << type;
   }
 }

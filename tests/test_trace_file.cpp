@@ -82,6 +82,50 @@ TEST(TraceFile, MalformedLineThrowsWithLineNumber) {
   std::remove(path.c_str());
 }
 
+TEST(TraceFile, ToleratesCrlfAndTrailingWhitespace) {
+  const std::string path = temp_path("crlf.trace");
+  {
+    std::ofstream out(path, std::ios::binary);
+    out << "R 1000 2\r\n"      // CRLF line ending
+        << "W 2040 0  \n"      // trailing spaces
+        << "I 400 5\t\r\n"     // tab + CRLF
+        << "# comment\r\n"
+        << "\r\n";             // blank CRLF line
+  }
+  FileTrace t(path);
+  TraceEvent e;
+  ASSERT_TRUE(t.next(e));
+  EXPECT_EQ(e.ref.addr, 0x1000u);
+  EXPECT_EQ(e.gap_instructions, 2u);
+  ASSERT_TRUE(t.next(e));
+  EXPECT_TRUE(e.ref.write);
+  ASSERT_TRUE(t.next(e));
+  EXPECT_TRUE(e.ref.ifetch);
+  EXPECT_FALSE(t.next(e));
+  std::remove(path.c_str());
+}
+
+TEST(TraceFile, MalformedLineErrorCarriesByteOffset) {
+  const std::string path = temp_path("badbyte.trace");
+  {
+    std::ofstream out(path, std::ios::binary);
+    out << "R 1000 0\nbogus line here\n";  // bad line starts at byte 9
+  }
+  FileTrace t(path);
+  TraceEvent e;
+  EXPECT_TRUE(t.next(e));
+  try {
+    t.next(e);
+    FAIL() << "expected malformed-line error";
+  } catch (const std::runtime_error& err) {
+    const std::string what = err.what();
+    EXPECT_NE(what.find(":2:"), std::string::npos) << what;
+    EXPECT_NE(what.find("(byte 9)"), std::string::npos) << what;
+    EXPECT_NE(what.find("bogus line here"), std::string::npos) << what;
+  }
+  std::remove(path.c_str());
+}
+
 TEST(TraceFile, NameIsBasename) {
   const std::string path = temp_path("pretty.trace");
   {

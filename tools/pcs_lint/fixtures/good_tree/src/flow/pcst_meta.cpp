@@ -1,0 +1,11 @@
+// Clean PcstWriter flow case: a recorder that serializes only values
+// derived deterministically from its inputs. The sink marker alone must
+// not produce diagnostics.
+class PcstWriter;
+PcstWriter* open_meta_writer();
+void writer_append(PcstWriter* writer, unsigned long value);
+
+void append_block_count(unsigned long blocks) {
+  PcstWriter* writer = open_meta_writer();
+  writer_append(writer, blocks * 2 + 1);
+}

@@ -43,13 +43,13 @@ const std::set<std::string, std::less<>> kNotCalls = {
 };
 
 // Identifiers whose presence in a body marks it as a serializing sink:
-// trace emission, stream/file writers, stdio, the checkpoint writer. A
-// function *taking* an ostream counts -- that is exactly the report
-// renderers' shape.
+// trace emission, stream/file writers, stdio, the checkpoint writer, the
+// binary .pcst trace encoder. A function *taking* an ostream counts --
+// that is exactly the report renderers' shape.
 const std::set<std::string, std::less<>> kSinkMarkers = {
-    "TraceRecord", "TraceSink", "ofstream", "fstream",   "ostream",
-    "cout",        "printf",    "fprintf",  "fputs",     "puts",
-    "to_json",     "serialize",
+    "TraceRecord", "TraceSink", "ofstream",   "fstream", "ostream",
+    "cout",        "printf",    "fprintf",    "fputs",   "puts",
+    "to_json",     "serialize", "PcstWriter",
 };
 
 // Callee names treated as sinks even when their definition is not in the
